@@ -1,0 +1,216 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6) at CI scale, plus ablation micro-benchmarks for the design choices
+// DESIGN.md calls out (pointer-based join, selection-vector pruning,
+// operator fusion, factorized vs flat expansion).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks print their table once (on the first iteration)
+// and then time the full experiment; the minutes-scale configurations used
+// for EXPERIMENTS.md run through cmd/gesbench instead.
+package ges_test
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"ges/internal/bench"
+	"ges/internal/catalog"
+	"ges/internal/driver"
+	"ges/internal/exec"
+	"ges/internal/expr"
+	"ges/internal/ldbc"
+	"ges/internal/ldbc/queries"
+	"ges/internal/op"
+	"ges/internal/plan"
+	"ges/internal/storage"
+	"ges/internal/txn"
+)
+
+// benchExperiment runs one paper experiment per iteration; the first
+// iteration echoes the produced table to stdout so `go test -bench` output
+// doubles as a mini-report.
+func benchExperiment(b *testing.B, id string) {
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := bench.Quick()
+	// Warm the dataset cache outside the timer.
+	for _, sf := range cfg.SFs {
+		if _, err := driver.SharedDataset(sf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := io.Discard
+		if i == 0 {
+			w = os.Stdout
+		}
+		if err := e.Run(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_DatasetStats(b *testing.B)          { benchExperiment(b, "table1") }
+func BenchmarkFigure2_ExecutionAnalysis(b *testing.B)    { benchExperiment(b, "fig2") }
+func BenchmarkFigure3_OperatorBreakdown(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkFigure11_LatencyByVariant(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFigure12_TailLatency(b *testing.B)         { benchExperiment(b, "fig12") }
+func BenchmarkTable2_IntermediateMemory(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkTable3_VariantThroughput(b *testing.B)     { benchExperiment(b, "table3") }
+func BenchmarkFigure13_Scalability(b *testing.B)         { benchExperiment(b, "fig13") }
+func BenchmarkFigure14_ThroughputTrace(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkFigure15_CrossSystem(b *testing.B)         { benchExperiment(b, "fig15") }
+func BenchmarkTable4_CrossSystemThroughput(b *testing.B) { benchExperiment(b, "table4") }
+
+// ---------------------------------------------------------------------------
+// Per-query engine benchmarks (the units behind Figures 2/11).
+// ---------------------------------------------------------------------------
+
+var benchDS = struct {
+	once sync.Once
+	ds   *ldbc.Dataset
+}{}
+
+func dataset(b *testing.B) *ldbc.Dataset {
+	benchDS.once.Do(func() {
+		ds, err := ldbc.Generate(ldbc.Config{SF: 0.1, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDS.ds = ds
+	})
+	return benchDS.ds
+}
+
+func benchQuery(b *testing.B, name string, mode exec.Mode) {
+	ds := dataset(b)
+	r := queries.NewRunner(ds, mode, nil)
+	q, err := queries.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pg := ds.NewParamGen(1)
+	params := q.GenParams(ds, pg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Execute(q, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIC2_Flat(b *testing.B)          { benchQuery(b, "IC2", exec.ModeFlat) }
+func BenchmarkIC2_Factorized(b *testing.B)    { benchQuery(b, "IC2", exec.ModeFactorized) }
+func BenchmarkIC2_Fused(b *testing.B)         { benchQuery(b, "IC2", exec.ModeFused) }
+func BenchmarkIC5_Flat(b *testing.B)          { benchQuery(b, "IC5", exec.ModeFlat) }
+func BenchmarkIC5_Factorized(b *testing.B)    { benchQuery(b, "IC5", exec.ModeFactorized) }
+func BenchmarkIC5_Fused(b *testing.B)         { benchQuery(b, "IC5", exec.ModeFused) }
+func BenchmarkIC9_Flat(b *testing.B)          { benchQuery(b, "IC9", exec.ModeFlat) }
+func BenchmarkIC9_Factorized(b *testing.B)    { benchQuery(b, "IC9", exec.ModeFactorized) }
+func BenchmarkIC9_Fused(b *testing.B)         { benchQuery(b, "IC9", exec.ModeFused) }
+func BenchmarkIS2_Fused(b *testing.B)         { benchQuery(b, "IS2", exec.ModeFused) }
+func BenchmarkIC13_ShortestPath(b *testing.B) { benchQuery(b, "IC13", exec.ModeFused) }
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks (design choices called out in DESIGN.md).
+// ---------------------------------------------------------------------------
+
+// twoHopPlan builds the paper's canonical two-hop expansion, optionally
+// disabling the pointer-based join.
+func twoHopPlan(h *ldbc.Handles, personExt int64, noLazy bool) plan.Plan {
+	return plan.Plan{
+		&op.NodeByIdSeek{Var: "p", Label: h.Person, ExtID: personExt},
+		&op.Expand{From: "p", To: "f", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person, NoLazy: noLazy},
+		&op.Expand{From: "f", To: "g", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person, NoLazy: noLazy},
+		&op.Expand{From: "g", To: "msg", Et: h.HasCreator, Dir: catalog.In, DstLabel: storage.AnyLabel, NoLazy: noLazy},
+		&op.Limit{N: 1}, // constant-delay early exit keeps the tree cost dominant
+	}
+}
+
+func benchPointerJoin(b *testing.B, noLazy bool) {
+	ds := dataset(b)
+	eng := exec.New(exec.ModeFactorized)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := twoHopPlan(ds.H, int64(i%len(ds.Persons))+1, noLazy)
+		if _, err := eng.Run(ds.Graph, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_PointerJoin_On/Off isolate §5's pointer-based join: the
+// lazy segment columns should beat materialized neighbor copies.
+func BenchmarkAblation_PointerJoin_On(b *testing.B)  { benchPointerJoin(b, false) }
+func BenchmarkAblation_PointerJoin_Off(b *testing.B) { benchPointerJoin(b, true) }
+
+func benchPrune(b *testing.B, noPrune bool) {
+	ds := dataset(b)
+	eng := exec.New(exec.ModeFactorized)
+	h := ds.H
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := plan.Plan{
+			&op.NodeByIdSeek{Var: "p", Label: h.Person, ExtID: int64(i%len(ds.Persons)) + 1},
+			&op.Expand{From: "p", To: "f", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+			&op.ProjectProps{Specs: []op.ProjSpec{{Var: "f", As: "f.id", ExtID: true}}},
+			// A selective filter: pruning should spare the message expansion
+			// for filtered-out friends.
+			&op.Filter{Pred: benchFilterPred(), NoPrune: noPrune},
+			&op.Expand{From: "f", To: "msg", Et: h.HasCreator, Dir: catalog.In, DstLabel: storage.AnyLabel},
+			&op.Limit{N: 10},
+		}
+		if _, err := eng.Run(ds.Graph, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_SelectionPruning_On(b *testing.B)  { benchPrune(b, false) }
+func BenchmarkAblation_SelectionPruning_Off(b *testing.B) { benchPrune(b, true) }
+
+// benchFilterPred is a selective friend filter (small external ids are the
+// zipf-popular persons).
+func benchFilterPred() expr.Expr { return expr.Le(expr.C("f.id"), expr.LInt(20)) }
+
+// BenchmarkAblation_MV2PLOverhead compares reads on the raw base graph with
+// reads through a snapshot carrying committed overlays.
+func BenchmarkAblation_MV2PLOverhead(b *testing.B) {
+	ds := dataset(b)
+	q, _ := queries.ByName("IS3")
+	pg := ds.NewParamGen(1)
+	params := q.GenParams(ds, pg)
+
+	b.Run("base", func(b *testing.B) {
+		r := queries.NewRunner(ds, exec.ModeFused, nil)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := r.Execute(q, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		mgr := txn.NewManager(ds.Graph)
+		r := queries.NewRunnerWith(ds, exec.New(exec.ModeFused), mgr)
+		// Commit a write so reads must consult overlays.
+		iu8, _ := queries.ByName("IU8")
+		if err := iu8.Update(mgr, ds, iu8.GenParams(ds, ds.NewParamGen(2))); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := r.Execute(q, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

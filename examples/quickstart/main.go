@@ -1,0 +1,95 @@
+// Quickstart: open an embedded GES database, define a schema, load a small
+// social graph, and run Cypher queries on the factorized engine.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ges"
+)
+
+func main() {
+	db := ges.Open(ges.Fused)
+
+	must(db.DefineVertexType("Person",
+		ges.Prop{Name: "name", Type: ges.String},
+		ges.Prop{Name: "age", Type: ges.Int64},
+	))
+	must(db.DefineVertexType("Post",
+		ges.Prop{Name: "title", Type: ges.String},
+		ges.Prop{Name: "likes", Type: ges.Int64},
+	))
+	must(db.DefineEdgeType("KNOWS"))
+	must(db.DefineEdgeType("WROTE"))
+
+	people := map[int64]struct {
+		name string
+		age  int64
+	}{
+		1: {"ada", 36}, 2: {"bob", 29}, 3: {"cyn", 41},
+		4: {"dan", 22}, 5: {"eve", 33},
+	}
+	for id, p := range people {
+		must(db.AddVertex("Person", id, ges.Props{"name": p.name, "age": p.age}))
+	}
+	posts := map[int64]struct {
+		author int64
+		title  string
+		likes  int64
+	}{
+		1: {2, "on factorization", 42},
+		2: {2, "f-trees in practice", 17},
+		3: {3, "cache-friendly columns", 99},
+		4: {4, "pointer-based joins", 8},
+		5: {5, "operator fusion", 61},
+	}
+	for id, p := range posts {
+		must(db.AddVertex("Post", id, ges.Props{"title": p.title, "likes": p.likes}))
+		must(db.AddEdge("WROTE", "Person", p.author, "Post", id, nil))
+	}
+	for _, e := range [][2]int64{{1, 2}, {1, 3}, {2, 4}, {3, 5}, {2, 3}} {
+		must(db.AddEdge("KNOWS", "Person", e[0], "Person", e[1], nil))
+	}
+
+	// Popular posts written by ada's friends-of-friends.
+	query := `
+		MATCH (me:Person)-[:KNOWS*1..2]->(friend)-[:WROTE]->(post)
+		WHERE id(me) = 1 AND post.likes > 10
+		RETURN friend.name, post.title, post.likes
+		ORDER BY post.likes DESC
+		LIMIT 3`
+
+	plan, err := db.Explain(query)
+	must(err)
+	fmt.Println("plan:", plan)
+
+	res, err := db.Query(query)
+	must(err)
+	fmt.Printf("\n%-8s %-26s %s\n", "friend", "post", "likes")
+	for _, row := range res.Rows {
+		fmt.Printf("%-8s %-26s %d\n", row[0], row[1], row[2])
+	}
+	fmt.Printf("\npeak intermediate bytes: %d, duration: %.3fms\n",
+		res.Stats.PeakIntermediateBytes, float64(res.Stats.DurationNanos)/1e6)
+
+	// Live updates: the first query sealed the database, so writes now run
+	// as MV2PL transactions and become visible to subsequent snapshots.
+	must(db.AddVertex("Person", 6, ges.Props{"name": "fay", "age": 27}))
+	must(db.AddEdge("KNOWS", "Person", 1, "Person", 6, nil))
+	res, err = db.Query(`
+		MATCH (me:Person)-[:KNOWS]->(f) WHERE id(me) = 1
+		RETURN COUNT(*) AS directFriends`)
+	must(err)
+	fmt.Printf("\nada's direct friends after update: %v\n", res.Rows[0][0])
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package ges
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ges/internal/catalog"
+	"ges/internal/vector"
+)
+
+// CSV bulk loading. Both loaders expect a header row; property columns are
+// matched by name against the schema and may appear in any order or be
+// omitted (missing properties store typed zeros). Values parse per the
+// schema's type: integers, floats, "true"/"false", and day-number dates.
+
+// LoadVerticesCSV ingests vertices of one label. The first header column
+// must be "id" (the external identifier); every other header must name a
+// schema property. It returns the number of vertices loaded.
+func (db *DB) LoadVerticesCSV(label string, r io.Reader) (int, error) {
+	l, ok := db.cat.Label(label)
+	if !ok {
+		return 0, fmt.Errorf("ges: unknown label %q", label)
+	}
+	defs := db.cat.LabelProps(l)
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("ges: reading CSV header: %w", err)
+	}
+	if len(header) == 0 || header[0] != "id" {
+		return 0, fmt.Errorf("ges: vertex CSV must start with an %q column", "id")
+	}
+	colDef, err := mapHeader(header[1:], defs)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("ges: CSV row %d: %w", n+2, err)
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return n, fmt.Errorf("ges: CSV row %d: bad id %q", n+2, rec[0])
+		}
+		props := Props{}
+		for i, d := range colDef {
+			if d == nil {
+				continue
+			}
+			v, err := parseCSVValue(rec[i+1], d.Kind)
+			if err != nil {
+				return n, fmt.Errorf("ges: CSV row %d, column %q: %w", n+2, d.Name, err)
+			}
+			props[d.Name] = v
+		}
+		if err := db.AddVertex(label, id, props); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// LoadEdgesCSV ingests edges of one type between two labels. The first two
+// header columns must be "src" and "dst" (external identifiers); remaining
+// headers name edge properties. It returns the number of edges loaded.
+func (db *DB) LoadEdgesCSV(etype, srcLabel, dstLabel string, r io.Reader) (int, error) {
+	et, ok := db.cat.EdgeType(etype)
+	if !ok {
+		return 0, fmt.Errorf("ges: unknown edge type %q", etype)
+	}
+	defs := db.cat.EdgeTypeProps(et)
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("ges: reading CSV header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "src" || header[1] != "dst" {
+		return 0, fmt.Errorf("ges: edge CSV must start with %q,%q columns", "src", "dst")
+	}
+	colDef, err := mapHeader(header[2:], defs)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("ges: CSV row %d: %w", n+2, err)
+		}
+		src, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return n, fmt.Errorf("ges: CSV row %d: bad src %q", n+2, rec[0])
+		}
+		dst, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return n, fmt.Errorf("ges: CSV row %d: bad dst %q", n+2, rec[1])
+		}
+		props := Props{}
+		for i, d := range colDef {
+			if d == nil {
+				continue
+			}
+			v, err := parseCSVValue(rec[i+2], d.Kind)
+			if err != nil {
+				return n, fmt.Errorf("ges: CSV row %d, column %q: %w", n+2, d.Name, err)
+			}
+			props[d.Name] = v
+		}
+		if err := db.AddEdge(etype, srcLabel, src, dstLabel, dst, props); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// mapHeader resolves CSV columns to schema property definitions.
+func mapHeader(cols []string, defs []catalog.PropDef) ([]*catalog.PropDef, error) {
+	out := make([]*catalog.PropDef, len(cols))
+	for i, name := range cols {
+		found := false
+		for j := range defs {
+			if defs[j].Name == name {
+				out[i] = &defs[j]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("ges: CSV column %q is not in the schema", name)
+		}
+	}
+	return out, nil
+}
+
+// parseCSVValue converts one CSV field to the facade value for a kind.
+func parseCSVValue(s string, k vector.Kind) (any, error) {
+	switch k {
+	case vector.KindInt64, vector.KindDate:
+		if s == "" {
+			return int64(0), nil
+		}
+		return strconv.ParseInt(s, 10, 64)
+	case vector.KindFloat64:
+		if s == "" {
+			return float64(0), nil
+		}
+		return strconv.ParseFloat(s, 64)
+	case vector.KindBool:
+		if s == "" {
+			return false, nil
+		}
+		return strconv.ParseBool(s)
+	case vector.KindString:
+		return s, nil
+	default:
+		return nil, fmt.Errorf("unsupported kind %s", k)
+	}
+}

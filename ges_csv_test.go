@@ -1,0 +1,118 @@
+package ges_test
+
+import (
+	"strings"
+	"testing"
+
+	"ges"
+)
+
+func csvDB(t *testing.T) *ges.DB {
+	t.Helper()
+	db := ges.Open(ges.Fused)
+	if err := db.DefineVertexType("Person",
+		ges.Prop{Name: "name", Type: ges.String},
+		ges.Prop{Name: "age", Type: ges.Int64},
+		ges.Prop{Name: "score", Type: ges.Float64},
+		ges.Prop{Name: "active", Type: ges.Bool}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineEdgeType("KNOWS", ges.Prop{Name: "since", Type: ges.Date}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestLoadVerticesCSV(t *testing.T) {
+	db := csvDB(t)
+	// Columns reordered vs schema, "score" omitted.
+	n, err := db.LoadVerticesCSV("Person", strings.NewReader(
+		"id,age,name,active\n"+
+			"1,30,ada,true\n"+
+			"2,25,bob,false\n"+
+			"3,,empty-age,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d vertices", n)
+	}
+	res, err := db.Query(`MATCH (p:Person) WHERE p.active = TRUE RETURN p.name, p.age, p.score`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "ada" || res.Rows[0][1] != int64(30) || res.Rows[0][2] != float64(0) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestLoadEdgesCSV(t *testing.T) {
+	db := csvDB(t)
+	if _, err := db.LoadVerticesCSV("Person", strings.NewReader("id,name\n1,a\n2,b\n3,c\n")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.LoadEdgesCSV("KNOWS", "Person", "Person", strings.NewReader(
+		"src,dst,since\n1,2,15000\n1,3,15001\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d edges", n)
+	}
+	res, err := db.Query(`MATCH (p:Person)-[:KNOWS]->(f) WHERE id(p) = 1
+	                      RETURN f.name ORDER BY f.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "b" || res.Rows[1][0] != "c" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := csvDB(t)
+	cases := []struct {
+		name string
+		do   func() error
+		frag string
+	}{
+		{"unknown label", func() error {
+			_, err := db.LoadVerticesCSV("Nope", strings.NewReader("id\n1\n"))
+			return err
+		}, "unknown label"},
+		{"missing id header", func() error {
+			_, err := db.LoadVerticesCSV("Person", strings.NewReader("name\nada\n"))
+			return err
+		}, `"id" column`},
+		{"unknown property header", func() error {
+			_, err := db.LoadVerticesCSV("Person", strings.NewReader("id,ghost\n1,x\n"))
+			return err
+		}, "not in the schema"},
+		{"bad id", func() error {
+			_, err := db.LoadVerticesCSV("Person", strings.NewReader("id,name\nxyz,a\n"))
+			return err
+		}, "bad id"},
+		{"bad int value", func() error {
+			_, err := db.LoadVerticesCSV("Person", strings.NewReader("id,age\n1,notanumber\n"))
+			return err
+		}, "age"},
+		{"edge header", func() error {
+			_, err := db.LoadEdgesCSV("KNOWS", "Person", "Person", strings.NewReader("a,b\n1,2\n"))
+			return err
+		}, `"src"`},
+		{"edge unknown endpoint", func() error {
+			_, err := db.LoadEdgesCSV("KNOWS", "Person", "Person", strings.NewReader("src,dst\n98,99\n"))
+			return err
+		}, "no Person vertex"},
+	}
+	for _, c := range cases {
+		err := c.do()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.frag)
+		}
+	}
+}

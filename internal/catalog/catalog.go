@@ -1,0 +1,204 @@
+// Package catalog interns the symbolic names of a label property graph —
+// vertex labels, edge types, and property keys — into small dense integer
+// IDs used throughout storage and execution. GES adopts the LPG model (§2.1)
+// where vertices and edges carry labels and key-value properties.
+package catalog
+
+import (
+	"fmt"
+	"sync"
+
+	"ges/internal/vector"
+)
+
+// LabelID identifies a vertex label.
+type LabelID uint16
+
+// EdgeTypeID identifies an edge type (relationship label).
+type EdgeTypeID uint16
+
+// PropID identifies a property key within a label's schema.
+type PropID uint16
+
+// Direction selects which adjacency of an edge type is traversed.
+type Direction uint8
+
+// Adjacency directions. Both is resolved by storage as the union of Out and
+// In at expansion time.
+const (
+	Out Direction = iota
+	In
+	Both
+)
+
+// String returns a short arrow rendering of the direction.
+func (d Direction) String() string {
+	switch d {
+	case Out:
+		return "->"
+	case In:
+		return "<-"
+	default:
+		return "--"
+	}
+}
+
+// Reverse returns the opposite direction; Both is its own reverse.
+func (d Direction) Reverse() Direction {
+	switch d {
+	case Out:
+		return In
+	case In:
+		return Out
+	default:
+		return Both
+	}
+}
+
+// PropDef describes one property of a label or edge type.
+type PropDef struct {
+	Name string
+	Kind vector.Kind
+}
+
+// Catalog is the shared name-interning table of a database instance. It is
+// safe for concurrent readers with at most one concurrent writer phase
+// (schema definition happens before query execution).
+type Catalog struct {
+	mu sync.RWMutex
+
+	labels     []string
+	labelByStr map[string]LabelID
+	labelProps [][]PropDef
+
+	edgeTypes     []string
+	edgeTypeByStr map[string]EdgeTypeID
+	edgeProps     [][]PropDef
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		labelByStr:    make(map[string]LabelID),
+		edgeTypeByStr: make(map[string]EdgeTypeID),
+	}
+}
+
+// AddLabel registers a vertex label with its property schema and returns its
+// ID. Registering an existing label returns the existing ID and an error if
+// the schema differs.
+func (c *Catalog) AddLabel(name string, props ...PropDef) (LabelID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.labelByStr[name]; ok {
+		return id, fmt.Errorf("catalog: label %q already defined", name)
+	}
+	id := LabelID(len(c.labels))
+	c.labels = append(c.labels, name)
+	c.labelProps = append(c.labelProps, append([]PropDef(nil), props...))
+	c.labelByStr[name] = id
+	return id, nil
+}
+
+// AddEdgeType registers an edge type with its (possibly empty) edge-property
+// schema and returns its ID.
+func (c *Catalog) AddEdgeType(name string, props ...PropDef) (EdgeTypeID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.edgeTypeByStr[name]; ok {
+		return id, fmt.Errorf("catalog: edge type %q already defined", name)
+	}
+	id := EdgeTypeID(len(c.edgeTypes))
+	c.edgeTypes = append(c.edgeTypes, name)
+	c.edgeProps = append(c.edgeProps, append([]PropDef(nil), props...))
+	c.edgeTypeByStr[name] = id
+	return id, nil
+}
+
+// Label resolves a label name; ok is false when undefined.
+func (c *Catalog) Label(name string) (LabelID, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	id, ok := c.labelByStr[name]
+	return id, ok
+}
+
+// EdgeType resolves an edge-type name.
+func (c *Catalog) EdgeType(name string) (EdgeTypeID, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	id, ok := c.edgeTypeByStr[name]
+	return id, ok
+}
+
+// LabelName returns the name of a label ID.
+func (c *Catalog) LabelName(id LabelID) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if int(id) >= len(c.labels) {
+		return fmt.Sprintf("label(%d)", id)
+	}
+	return c.labels[id]
+}
+
+// EdgeTypeName returns the name of an edge-type ID.
+func (c *Catalog) EdgeTypeName(id EdgeTypeID) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if int(id) >= len(c.edgeTypes) {
+		return fmt.Sprintf("edgetype(%d)", id)
+	}
+	return c.edgeTypes[id]
+}
+
+// NumLabels returns the number of registered labels.
+func (c *Catalog) NumLabels() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.labels)
+}
+
+// NumEdgeTypes returns the number of registered edge types.
+func (c *Catalog) NumEdgeTypes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.edgeTypes)
+}
+
+// LabelProps returns the property schema of a label.
+func (c *Catalog) LabelProps(id LabelID) []PropDef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.labelProps[id]
+}
+
+// EdgeTypeProps returns the property schema of an edge type.
+func (c *Catalog) EdgeTypeProps(id EdgeTypeID) []PropDef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.edgeProps[id]
+}
+
+// PropIndex resolves a property name within a label's schema.
+func (c *Catalog) PropIndex(label LabelID, prop string) (PropID, vector.Kind, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, p := range c.labelProps[label] {
+		if p.Name == prop {
+			return PropID(i), p.Kind, true
+		}
+	}
+	return 0, vector.KindInvalid, false
+}
+
+// EdgePropIndex resolves a property name within an edge type's schema.
+func (c *Catalog) EdgePropIndex(et EdgeTypeID, prop string) (PropID, vector.Kind, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, p := range c.edgeProps[et] {
+		if p.Name == prop {
+			return PropID(i), p.Kind, true
+		}
+	}
+	return 0, vector.KindInvalid, false
+}

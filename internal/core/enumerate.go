@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"ges/internal/vector"
+)
+
+// ColRef addresses one projected attribute inside an f-Tree: the owning
+// node's ID and the column's position within that node's block.
+type ColRef struct {
+	Node int
+	Col  int
+}
+
+// Resolve maps attribute names to ColRefs, failing on unknown names.
+func (t *FTree) Resolve(names []string) ([]ColRef, error) {
+	refs := make([]ColRef, len(names))
+	for i, name := range names {
+		n, c := t.FindColumn(name)
+		if c == nil {
+			return nil, fmt.Errorf("core: no column %q in f-tree (schema %v)", name, t.Schema())
+		}
+		col := -1
+		for j, cc := range n.Block.Columns() {
+			if cc == c {
+				col = j
+				break
+			}
+		}
+		refs[i] = ColRef{Node: n.id, Col: col}
+	}
+	return refs, nil
+}
+
+// Enumerate walks every valid tuple of the relation factorized by the tree
+// (R_FT) and calls fn with a reusable row buffer holding the projected
+// attributes; fn must copy the buffer if it retains it, and may return false
+// to stop enumeration early. The walk is the constant-delay enumeration of
+// Lemma 4.4 realized as a preorder backtracking loop: each node's row
+// iterator ranges over the index-vector interval selected by its parent's
+// current row, so the work per emitted tuple is O(|schema|).
+func (t *FTree) Enumerate(refs []ColRef, fn func(row []vector.Value) bool) {
+	n := len(t.nodes)
+	if n == 0 || t.Root.Block.NumRows() == 0 {
+		return
+	}
+	// Per-node projected columns, grouped for cheap buffer filling.
+	type proj struct {
+		col    *vector.Column
+		bufPos int
+	}
+	projs := make([][]proj, n)
+	for pos, r := range refs {
+		projs[r.Node] = append(projs[r.Node], proj{col: t.nodes[r.Node].Block.Column(r.Col), bufPos: pos})
+	}
+	parentIdx := make([]int, n)
+	for i := 1; i < n; i++ {
+		parentIdx[i] = t.nodes[i].Parent.id
+	}
+
+	buf := make([]vector.Value, len(refs))
+	cur := make([]int, n)
+	end := make([]int, n)
+
+	cur[0], end[0] = 0, t.Root.Block.NumRows()
+	d := 0
+	for d >= 0 {
+		// Advance node d's iterator to its next valid row.
+		node := t.nodes[d]
+		r := -1
+		if cur[d] < end[d] {
+			if s := node.Sel.NextSet(cur[d]); s >= 0 && s < end[d] {
+				r = s
+			}
+		}
+		if r < 0 {
+			// Exhausted: backtrack and advance the parent level.
+			d--
+			if d >= 0 {
+				cur[d]++
+			}
+			continue
+		}
+		cur[d] = r
+		for _, p := range projs[d] {
+			buf[p.bufPos] = p.col.Get(r)
+		}
+		if d == n-1 {
+			if !fn(buf) {
+				return
+			}
+			cur[d]++
+			continue
+		}
+		// Descend: initialize the next node's iterator from its parent's
+		// current row.
+		d++
+		rg := t.nodes[d].Index[cur[parentIdx[d]]]
+		cur[d], end[d] = int(rg.Start), int(rg.End)
+	}
+}
+
+// Defactor materializes the named attributes of every valid tuple into a
+// row-oriented FlatBlock — the "ultimate solution" the executor reverts to
+// for complex blocking logic (§4.2, Flat-Block).
+func (t *FTree) Defactor(names []string) (*FlatBlock, error) {
+	refs, err := t.Resolve(names)
+	if err != nil {
+		return nil, err
+	}
+	kinds := make([]vector.Kind, len(refs))
+	for i, r := range refs {
+		kinds[i] = t.nodes[r.Node].Block.Column(r.Col).Kind
+	}
+	out := NewFlatBlock(append([]string(nil), names...), kinds)
+	t.Enumerate(refs, func(row []vector.Value) bool {
+		out.Append(row)
+		return true
+	})
+	return out, nil
+}
+
+// DefactorAll materializes every attribute of the tree in preorder schema
+// order.
+func (t *FTree) DefactorAll() (*FlatBlock, error) {
+	return t.Defactor(t.Schema())
+}
+
+// Chunk is the intermediate-result currency flowing between operators: it
+// holds either a factorized tree or a flat block. Operators prefer the
+// factorized branch; the first operator needing global cross-node state
+// de-factors, and all downstream operators run block-based — the paper's
+// "seamlessly reverts to block-based execution" (§4).
+type Chunk struct {
+	FT   *FTree
+	Flat *FlatBlock
+}
+
+// IsFlat reports whether the chunk is in the flat representation.
+func (c *Chunk) IsFlat() bool { return c.Flat != nil }
+
+// MemBytes returns the accounted memory of whichever representation the
+// chunk holds; the executor samples this after every operator to report the
+// peak intermediate size (Table 2).
+func (c *Chunk) MemBytes() int {
+	n := 0
+	if c.FT != nil {
+		n += c.FT.MemBytes()
+	}
+	if c.Flat != nil {
+		n += c.Flat.MemBytes()
+	}
+	return n
+}

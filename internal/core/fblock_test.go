@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ges/internal/vector"
+)
+
+func intCol(name string, vals ...int64) *vector.Column {
+	c := vector.NewColumn(name, vector.KindInt64)
+	for _, v := range vals {
+		c.AppendInt64(v)
+	}
+	return c
+}
+
+func TestFBlockBasics(t *testing.T) {
+	b := NewFBlock(intCol("a", 1, 2, 3), intCol("b", 4, 5, 6))
+	if b.NumRows() != 3 || b.NumCols() != 2 {
+		t.Fatalf("shape = %dx%d", b.NumRows(), b.NumCols())
+	}
+	if got := b.Schema(); strings.Join(got, ",") != "a,b" {
+		t.Fatalf("schema = %v", got)
+	}
+	if b.ColumnByName("b") == nil || b.ColumnByName("z") != nil {
+		t.Fatal("ColumnByName broken")
+	}
+	tup := b.Tuple(1)
+	if len(tup) != 2 || tup[0].I != 2 || tup[1].I != 5 {
+		t.Fatalf("Tuple(1) = %v", tup)
+	}
+	if !strings.Contains(b.String(), "FBlock{a,b}x3") {
+		t.Fatalf("String = %q", b.String())
+	}
+}
+
+func TestFBlockCardinalityPanics(t *testing.T) {
+	assertPanics(t, "NewFBlock mismatch", func() {
+		NewFBlock(intCol("a", 1, 2), intCol("b", 1))
+	})
+	assertPanics(t, "AddColumn mismatch", func() {
+		b := NewFBlock(intCol("a", 1, 2))
+		b.AddColumn(intCol("b", 1))
+	})
+}
+
+func assertPanics(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestFBlockReset(t *testing.T) {
+	b := NewFBlock(intCol("a", 1, 2, 3))
+	b.Reset()
+	if b.NumRows() != 0 {
+		t.Fatalf("rows after Reset = %d", b.NumRows())
+	}
+	b.Column(0).AppendInt64(9)
+	if b.Tuple(0)[0].I != 9 {
+		t.Fatal("block unusable after Reset")
+	}
+}
+
+func TestFlatBlockProject(t *testing.T) {
+	fb := NewFlatBlock([]string{"x", "y", "z"},
+		[]vector.Kind{vector.KindInt64, vector.KindString, vector.KindInt64})
+	fb.Append([]vector.Value{vector.Int64(1), vector.String_("a"), vector.Int64(10)})
+	fb.Append([]vector.Value{vector.Int64(2), vector.String_("b"), vector.Int64(20)})
+
+	p, err := fb.Project([]string{"z", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCols() != 2 || p.Rows[0][0].I != 10 || p.Rows[0][1].I != 1 {
+		t.Fatalf("projected = %s", p)
+	}
+	if _, err := fb.Project([]string{"ghost"}); err == nil {
+		t.Fatal("projecting a missing column must fail")
+	}
+}
+
+func TestFlatBlockAppendCopies(t *testing.T) {
+	fb := NewFlatBlock([]string{"x"}, []vector.Kind{vector.KindInt64})
+	row := []vector.Value{vector.Int64(1)}
+	fb.Append(row)
+	row[0] = vector.Int64(99)
+	if fb.Rows[0][0].I != 1 {
+		t.Fatal("Append must copy the caller's buffer")
+	}
+}
+
+func TestFlatBlockMemBytesCountsPayload(t *testing.T) {
+	small := NewFlatBlock([]string{"s"}, []vector.Kind{vector.KindString})
+	small.AppendOwned([]vector.Value{vector.String_("ab")})
+	big := NewFlatBlock([]string{"s"}, []vector.Kind{vector.KindString})
+	big.AppendOwned([]vector.Value{vector.String_(strings.Repeat("x", 10_000))})
+	if big.MemBytes() <= small.MemBytes()+9000 {
+		t.Fatalf("string payload not accounted: %d vs %d", small.MemBytes(), big.MemBytes())
+	}
+}
+
+func TestFlatBlockSchemaMismatchPanics(t *testing.T) {
+	assertPanics(t, "NewFlatBlock", func() {
+		NewFlatBlock([]string{"a"}, nil)
+	})
+}
+
+func TestChunkMemBytes(t *testing.T) {
+	ft := figure7Tree()
+	flat, _ := ft.DefactorAll()
+	c := &Chunk{FT: ft, Flat: flat}
+	if c.MemBytes() != ft.MemBytes()+flat.MemBytes() {
+		t.Fatal("chunk memory must sum both representations")
+	}
+	if (&Chunk{Flat: flat}).IsFlat() != true || (&Chunk{FT: ft}).IsFlat() != false {
+		t.Fatal("IsFlat wrong")
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ges/internal/vector"
+)
+
+// Range is one entry of an index vector: the half-open child-row interval
+// [Start, End) that belongs to a single parent row. An empty interval
+// (Start == End) means the parent row has no extension in the child.
+type Range struct {
+	Start, End int32
+}
+
+// Empty reports whether the range covers no rows.
+func (r Range) Empty() bool { return r.Start >= r.End }
+
+// Len returns the number of rows in the range.
+func (r Range) Len() int { return int(r.End - r.Start) }
+
+// Node is one node of an f-Tree (§4.2): an f-Block, a selection vector over
+// its rows, and — unless it is the root — the index vector of the edge from
+// its parent, mapping every parent row to a contiguous range of this node's
+// rows (the Cartesian-product relationship).
+type Node struct {
+	Block *FBlock
+	Sel   *vector.Bitset
+
+	Parent   *Node
+	Children []*Node
+
+	// Index is the index vector I(parent,this): Index[i] is the row range
+	// of this node belonging to parent row i. nil for the root.
+	Index []Range
+
+	id int // position in the tree's preorder registry
+}
+
+// ID returns the node's stable identifier within its tree.
+func (n *Node) ID() int { return n.id }
+
+// Valid reports whether row i of the node passes its selection vector.
+func (n *Node) Valid(i int) bool { return n.Sel.Get(i) }
+
+// ChildRange returns the row range of child rows for parent row i.
+func (n *Node) ChildRange(i int) Range {
+	return n.Index[i]
+}
+
+// FTree is the practical factorization tree of §4.2. It owns a preorder
+// registry of its nodes (parents before children) which both the operators
+// and the constant-delay enumerator walk.
+type FTree struct {
+	Root  *Node
+	nodes []*Node
+}
+
+// NewFTree creates a tree whose root holds the given block; all root rows
+// start valid.
+func NewFTree(rootBlock *FBlock) *FTree {
+	root := &Node{Block: rootBlock, Sel: vector.NewBitset(rootBlock.NumRows())}
+	return &FTree{Root: root, nodes: []*Node{root}}
+}
+
+// AddChild attaches a new node under parent with its block and the index
+// vector of the connecting edge. len(index) must equal the parent block's
+// cardinality. Each Expand adds one node this way, progressively growing the
+// tree (§4.3, Expand).
+func (t *FTree) AddChild(parent *Node, block *FBlock, index []Range) *Node {
+	if len(index) != parent.Block.NumRows() {
+		panic(fmt.Sprintf("core: index vector length %d != parent cardinality %d",
+			len(index), parent.Block.NumRows()))
+	}
+	n := &Node{
+		Block:  block,
+		Sel:    vector.NewBitset(block.NumRows()),
+		Parent: parent,
+		Index:  index,
+		id:     len(t.nodes),
+	}
+	parent.Children = append(parent.Children, n)
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Nodes returns the preorder node registry (parents precede children).
+func (t *FTree) Nodes() []*Node { return t.nodes }
+
+// NumNodes returns the number of nodes.
+func (t *FTree) NumNodes() int { return len(t.nodes) }
+
+// FindColumn locates the unique node and column holding attribute name. The
+// disjoint-schema-partition property guarantees at most one owner.
+func (t *FTree) FindColumn(name string) (*Node, *vector.Column) {
+	for _, n := range t.nodes {
+		if c := n.Block.ColumnByName(name); c != nil {
+			return n, c
+		}
+	}
+	return nil, nil
+}
+
+// Schema returns the union of all node schemas — S(R_FT).
+func (t *FTree) Schema() []string {
+	var out []string
+	for _, n := range t.nodes {
+		out = append(out, n.Block.Schema()...)
+	}
+	return out
+}
+
+// NodeOfColumns returns the single node owning every name in names, or nil
+// when the names span multiple nodes. Order-By / Group-By use this to decide
+// between factorized handling and de-factoring (§4.3).
+func (t *FTree) NodeOfColumns(names []string) *Node {
+	var owner *Node
+	for _, name := range names {
+		n, c := t.FindColumn(name)
+		if c == nil {
+			return nil
+		}
+		if owner == nil {
+			owner = n
+		} else if owner != n {
+			return nil
+		}
+	}
+	return owner
+}
+
+// CountTuples returns the number of valid tuples encoded by the tree — the
+// cardinality of R_FT — without enumerating them. It runs one bottom-up
+// pass: count(u,i) = Π_c Σ_{j ∈ I(u,c)[i], valid j} count(c,j).
+func (t *FTree) CountTuples() int64 {
+	memo := make([][]int64, len(t.nodes))
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		rows := n.Block.NumRows()
+		cnt := make([]int64, rows)
+		for r := 0; r < rows; r++ {
+			if !n.Sel.Get(r) {
+				continue
+			}
+			prod := int64(1)
+			for _, c := range n.Children {
+				sum := int64(0)
+				rg := c.Index[r]
+				for j := rg.Start; j < rg.End; j++ {
+					sum += memo[c.id][j]
+				}
+				prod *= sum
+				if prod == 0 {
+					break
+				}
+			}
+			cnt[r] = prod
+		}
+		memo[n.id] = cnt
+	}
+	total := int64(0)
+	for r := 0; r < t.Root.Block.NumRows(); r++ {
+		total += memo[0][r]
+	}
+	return total
+}
+
+// PruneUp clears the selection bit of every row (bottom-up from the given
+// node) whose child ranges retain no valid row, so upstream operators skip
+// dead subtrees early. It is an optimization; enumeration is correct without
+// it.
+func (t *FTree) PruneUp(from *Node) {
+	for n := from; n != nil && n.Parent != nil; n = n.Parent {
+		p := n.Parent
+		changed := false
+		for i := 0; i < p.Block.NumRows(); i++ {
+			if !p.Sel.Get(i) {
+				continue
+			}
+			rg := n.Index[i]
+			hasValid := false
+			for j := rg.Start; j < rg.End; j++ {
+				if n.Sel.Get(int(j)) {
+					hasValid = true
+					break
+				}
+			}
+			if !hasValid {
+				p.Sel.Clear(i)
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// MemBytes returns the accounted intermediate-result memory of the tree:
+// blocks, selection vectors and index vectors. This is the quantity Table 2
+// of the paper reports.
+func (t *FTree) MemBytes() int {
+	n := 64
+	for _, nd := range t.nodes {
+		n += nd.Block.MemBytes()
+		n += nd.Sel.MemBytes()
+		n += len(nd.Index) * 8
+		n += 96 // node struct overhead
+	}
+	return n
+}
+
+// String renders the tree structure for debugging.
+func (t *FTree) String() string {
+	var sb strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&sb, "%s valid=%d/%d\n", n.Block, n.Sel.Count(), n.Block.NumRows())
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+	return sb.String()
+}

@@ -1,0 +1,133 @@
+package cypher
+
+import "ges/internal/catalog"
+
+// Query is a parsed Cypher query: one or more MATCH clauses followed by a
+// RETURN clause.
+type Query struct {
+	Matches []MatchClause
+	Return  ReturnClause
+}
+
+// MatchClause is one MATCH ... [WHERE ...] segment. The pattern is a linear
+// path: nodes alternating with relationships.
+type MatchClause struct {
+	Nodes []NodePat
+	Rels  []RelPat // len(Rels) == len(Nodes)-1
+	Where Expr     // nil when absent
+}
+
+// NodePat is a node pattern (var:Label).
+type NodePat struct {
+	Var   string
+	Label string // empty = unlabeled
+}
+
+// RelPat is a relationship pattern with optional variable length.
+type RelPat struct {
+	Type    string
+	Dir     catalog.Direction
+	MinHops int // 1 for plain relationships
+	MaxHops int
+}
+
+// ReturnClause carries projection, ordering and pagination.
+type ReturnClause struct {
+	Distinct bool
+	Items    []ReturnItem
+	OrderBy  []OrderItem
+	Skip     int // -1 = absent
+	Limit    int // -1 = absent
+}
+
+// AggKind classifies aggregate return items.
+type AggKind uint8
+
+// Aggregates supported in RETURN.
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggCountDistinct
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// ReturnItem is one projection: an expression with an optional alias and
+// optional aggregate wrapper (COUNT(x), SUM(x), ...; COUNT(*) has nil Expr).
+type ReturnItem struct {
+	Agg   AggKind
+	Expr  Expr // nil only for COUNT(*)
+	Alias string
+}
+
+// OrderItem is one ORDER BY key, referencing a return alias or a plain
+// property/id expression.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a parsed scalar expression.
+type Expr interface{ isExpr() }
+
+// PropRef is var.prop.
+type PropRef struct{ Var, Prop string }
+
+// IDRef is id(var).
+type IDRef struct{ Var string }
+
+// Lit is a literal value.
+type Lit struct {
+	Kind LitKind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// LitKind classifies literals.
+type LitKind uint8
+
+// Literal kinds.
+const (
+	LitInt LitKind = iota
+	LitFloat
+	LitString
+	LitBool
+)
+
+// Bin is a binary operation (comparisons, AND/OR, arithmetic).
+type Bin struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "+", "-", "*", "/"
+	L, R Expr
+}
+
+// Not negates a boolean expression.
+type Not struct{ X Expr }
+
+// InList tests membership in a literal list.
+type InList struct {
+	X    Expr
+	List []Lit
+}
+
+// StrPred is CONTAINS / STARTS WITH / ENDS WITH.
+type StrPred struct {
+	Op string // "CONTAINS", "STARTS", "ENDS"
+	L  Expr
+	R  string
+}
+
+// VarRef names a bare variable (only valid in WITH pass-throughs).
+type VarRef struct{ Var string }
+
+func (PropRef) isExpr() {}
+func (IDRef) isExpr()   {}
+func (Lit) isExpr()     {}
+func (Bin) isExpr()     {}
+func (Not) isExpr()     {}
+func (InList) isExpr()  {}
+func (StrPred) isExpr() {}
+func (VarRef) isExpr()  {}

@@ -1,0 +1,498 @@
+package cypher
+
+import (
+	"fmt"
+	"math"
+
+	"ges/internal/catalog"
+	"ges/internal/expr"
+	"ges/internal/op"
+	"ges/internal/plan"
+	"ges/internal/storage"
+	"ges/internal/vector"
+)
+
+// Compile parses and binds a Cypher query against a catalog, producing a
+// physical plan for the GES engine (any variant) or the volcano engine.
+func Compile(src string, cat *catalog.Catalog) (plan.Plan, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Bind(q, cat)
+}
+
+// binder carries binding state.
+type binder struct {
+	cat       *catalog.Catalog
+	plan      plan.Plan
+	bound     map[string]bool            // pattern variables bound so far
+	labels    map[string]catalog.LabelID // var -> label (AnyLabel when free)
+	projected map[string]bool            // canonical columns already projected
+}
+
+// Bind lowers a parsed query to a physical plan.
+func Bind(q *Query, cat *catalog.Catalog) (plan.Plan, error) {
+	b := &binder{
+		cat:       cat,
+		bound:     map[string]bool{},
+		labels:    map[string]catalog.LabelID{},
+		projected: map[string]bool{},
+	}
+	for i := range q.Matches {
+		if err := b.bindMatch(&q.Matches[i], i == 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.bindReturn(&q.Return); err != nil {
+		return nil, err
+	}
+	return b.plan, nil
+}
+
+func (b *binder) labelOf(n NodePat) (catalog.LabelID, error) {
+	if n.Label == "" {
+		if l, ok := b.labels[n.Var]; ok {
+			return l, nil
+		}
+		return storage.AnyLabel, nil
+	}
+	l, ok := b.cat.Label(n.Label)
+	if !ok {
+		return 0, fmt.Errorf("cypher: unknown label %q", n.Label)
+	}
+	if prev, seen := b.labels[n.Var]; seen && prev != l && prev != storage.AnyLabel {
+		return 0, fmt.Errorf("cypher: variable %q bound to conflicting labels", n.Var)
+	}
+	b.labels[n.Var] = l
+	return l, nil
+}
+
+// bindMatch lowers one MATCH clause: the pattern expansion, then its WHERE.
+func (b *binder) bindMatch(m *MatchClause, first bool) error {
+	start := m.Nodes[0]
+	startLabel, err := b.labelOf(start)
+	if err != nil {
+		return err
+	}
+	if !b.bound[start.Var] {
+		if !first {
+			return fmt.Errorf("cypher: MATCH must start from an already-bound variable (%q is new)", start.Var)
+		}
+		// Seek by id when the WHERE contains id(start) = <int>; else scan.
+		if ext, rest, ok := extractIDSeek(m.Where, start.Var); ok {
+			if startLabel == storage.AnyLabel {
+				return fmt.Errorf("cypher: id() seek on %q requires a label", start.Var)
+			}
+			b.plan = append(b.plan, &op.NodeByIdSeek{Var: start.Var, Label: startLabel, ExtID: ext})
+			m.Where = rest
+		} else {
+			if startLabel == storage.AnyLabel {
+				return fmt.Errorf("cypher: the first node %q needs a label (or an id() equality) to anchor the scan", start.Var)
+			}
+			b.plan = append(b.plan, &op.NodeScan{Var: start.Var, Label: startLabel})
+		}
+		b.bound[start.Var] = true
+	}
+
+	for i, rel := range m.Rels {
+		from, to := m.Nodes[i], m.Nodes[i+1]
+		if !b.bound[from.Var] {
+			return fmt.Errorf("cypher: relationship source %q is unbound", from.Var)
+		}
+		if b.bound[to.Var] {
+			return fmt.Errorf("cypher: cyclic patterns (%q already bound) are not supported in the subset; rewrite with separate MATCH clauses and joins", to.Var)
+		}
+		et, ok := b.cat.EdgeType(rel.Type)
+		if !ok {
+			return fmt.Errorf("cypher: unknown relationship type %q", rel.Type)
+		}
+		toLabel, err := b.labelOf(to)
+		if err != nil {
+			return err
+		}
+		if rel.MinHops == 1 && rel.MaxHops == 1 {
+			b.plan = append(b.plan, &op.Expand{
+				From: from.Var, To: to.Var, Et: et, Dir: rel.Dir, DstLabel: toLabel,
+			})
+		} else {
+			b.plan = append(b.plan, &op.VarLengthExpand{
+				From: from.Var, To: to.Var, Et: et, Dir: rel.Dir, DstLabel: toLabel,
+				MinHops: rel.MinHops, MaxHops: rel.MaxHops, Distinct: true,
+			})
+		}
+		b.bound[to.Var] = true
+	}
+
+	if m.Where != nil {
+		if err := b.ensureProjections(m.Where); err != nil {
+			return err
+		}
+		pred, err := b.toExpr(m.Where)
+		if err != nil {
+			return err
+		}
+		b.plan = append(b.plan, &op.Filter{Pred: pred})
+	}
+	return nil
+}
+
+// extractIDSeek finds a conjunct `id(v) = <int>` (either side) and returns
+// the literal plus the remaining predicate.
+func extractIDSeek(e Expr, v string) (int64, Expr, bool) {
+	switch n := e.(type) {
+	case Bin:
+		if n.Op == "AND" {
+			if ext, rest, ok := extractIDSeek(n.L, v); ok {
+				if rest == nil {
+					return ext, n.R, true
+				}
+				return ext, Bin{Op: "AND", L: rest, R: n.R}, true
+			}
+			if ext, rest, ok := extractIDSeek(n.R, v); ok {
+				if rest == nil {
+					return ext, n.L, true
+				}
+				return ext, Bin{Op: "AND", L: n.L, R: rest}, true
+			}
+			return 0, nil, false
+		}
+		if n.Op != "=" {
+			return 0, nil, false
+		}
+		if id, ok := n.L.(IDRef); ok && id.Var == v {
+			if lit, ok := n.R.(Lit); ok && lit.Kind == LitInt {
+				return lit.I, nil, true
+			}
+		}
+		if id, ok := n.R.(IDRef); ok && id.Var == v {
+			if lit, ok := n.L.(Lit); ok && lit.Kind == LitInt {
+				return lit.I, nil, true
+			}
+		}
+	}
+	return 0, nil, false
+}
+
+// canonical returns the engine column name of a simple reference.
+func canonical(e Expr) (string, bool) {
+	switch n := e.(type) {
+	case PropRef:
+		return n.Var + "." + n.Prop, true
+	case IDRef:
+		return "id(" + n.Var + ")", true
+	}
+	return "", false
+}
+
+// collectRefs appends every property/id reference in the expression.
+func collectRefs(e Expr, dst []Expr) []Expr {
+	switch n := e.(type) {
+	case PropRef, IDRef:
+		return append(dst, e)
+	case Bin:
+		return collectRefs(n.R, collectRefs(n.L, dst))
+	case Not:
+		return collectRefs(n.X, dst)
+	case InList:
+		return collectRefs(n.X, dst)
+	case StrPred:
+		return collectRefs(n.L, dst)
+	}
+	return dst
+}
+
+// ensureProjections emits ProjectProps for every reference not yet
+// projected.
+func (b *binder) ensureProjections(exprs ...Expr) error {
+	var specs []op.ProjSpec
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		for _, ref := range collectRefs(e, nil) {
+			name, _ := canonical(ref)
+			if b.projected[name] {
+				continue
+			}
+			switch r := ref.(type) {
+			case PropRef:
+				if !b.bound[r.Var] {
+					return fmt.Errorf("cypher: unknown variable %q", r.Var)
+				}
+				specs = append(specs, op.ProjSpec{Var: r.Var, Prop: r.Prop, As: name})
+			case IDRef:
+				if !b.bound[r.Var] {
+					return fmt.Errorf("cypher: unknown variable %q", r.Var)
+				}
+				specs = append(specs, op.ProjSpec{Var: r.Var, As: name, ExtID: true})
+			}
+			b.projected[name] = true
+		}
+	}
+	if len(specs) > 0 {
+		b.plan = append(b.plan, &op.ProjectProps{Specs: specs})
+	}
+	return nil
+}
+
+// toExpr lowers an AST expression to an engine expression over canonical
+// column names.
+func (b *binder) toExpr(e Expr) (expr.Expr, error) {
+	switch n := e.(type) {
+	case PropRef, IDRef:
+		name, _ := canonical(n)
+		return expr.C(name), nil
+	case Lit:
+		return expr.Lit{Val: litValue(n)}, nil
+	case Bin:
+		l, err := b.toExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.toExpr(n.R)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "=":
+			return expr.Eq(l, r), nil
+		case "<>":
+			return expr.Ne(l, r), nil
+		case "<":
+			return expr.Lt(l, r), nil
+		case "<=":
+			return expr.Le(l, r), nil
+		case ">":
+			return expr.Gt(l, r), nil
+		case ">=":
+			return expr.Ge(l, r), nil
+		case "AND":
+			return expr.And{L: l, R: r}, nil
+		case "OR":
+			return expr.Or{L: l, R: r}, nil
+		case "+":
+			return expr.Arith{Op: expr.Add, L: l, R: r}, nil
+		case "-":
+			return expr.Arith{Op: expr.Sub, L: l, R: r}, nil
+		case "*":
+			return expr.Arith{Op: expr.Mul, L: l, R: r}, nil
+		case "/":
+			return expr.Arith{Op: expr.Div, L: l, R: r}, nil
+		}
+		return nil, fmt.Errorf("cypher: unsupported operator %q", n.Op)
+	case Not:
+		x, err := b.toExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{X: x}, nil
+	case InList:
+		x, err := b.toExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]vector.Value, len(n.List))
+		for i, l := range n.List {
+			list[i] = litValue(l)
+		}
+		return expr.In{X: x, List: list}, nil
+	case StrPred:
+		l, err := b.toExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		var o expr.StrOp
+		switch n.Op {
+		case "CONTAINS":
+			o = expr.Contains
+		case "STARTS":
+			o = expr.StartsWith
+		case "ENDS":
+			o = expr.EndsWith
+		}
+		return expr.StrPred{Op: o, L: l, R: n.R}, nil
+	case VarRef:
+		return nil, fmt.Errorf("cypher: bare variable %q cannot appear in expressions; use %s.<prop> or id(%s)", n.Var, n.Var, n.Var)
+	}
+	return nil, fmt.Errorf("cypher: unsupported expression %T", e)
+}
+
+func litValue(l Lit) vector.Value {
+	switch l.Kind {
+	case LitInt:
+		return vector.Int64(l.I)
+	case LitFloat:
+		return vector.Float64(l.F)
+	case LitString:
+		return vector.String_(l.S)
+	default:
+		return vector.Bool(l.B)
+	}
+}
+
+// bindReturn lowers projection, aggregation, ordering and pagination.
+func (b *binder) bindReturn(r *ReturnClause) error {
+	if len(r.Items) == 0 {
+		return fmt.Errorf("cypher: RETURN needs at least one item")
+	}
+	// Project every referenced attribute.
+	var needed []Expr
+	for _, it := range r.Items {
+		if it.Expr != nil {
+			needed = append(needed, it.Expr)
+		}
+	}
+	for _, o := range r.OrderBy {
+		if _, isVar := o.Expr.(VarRef); !isVar {
+			needed = append(needed, o.Expr)
+		}
+	}
+	if err := b.ensureProjections(needed...); err != nil {
+		return err
+	}
+
+	hasAgg := false
+	for _, it := range r.Items {
+		if it.Agg != AggNone {
+			hasAgg = true
+		}
+	}
+
+	// outName: the column each return item occupies before renaming.
+	outNames := make([]string, len(r.Items))
+	var renFrom, renTo []string
+	for i, it := range r.Items {
+		name := it.Alias
+		canon := ""
+		if it.Expr != nil {
+			if c, ok := canonical(it.Expr); ok {
+				canon = c
+			}
+		}
+		if name == "" {
+			if canon == "" {
+				name = fmt.Sprintf("expr%d", i)
+			} else {
+				name = canon
+			}
+		}
+		switch {
+		case it.Agg != AggNone:
+			outNames[i] = name // aggregates emit the alias directly
+		case canon != "":
+			outNames[i] = canon
+			if name != canon {
+				renFrom = append(renFrom, canon)
+				renTo = append(renTo, name)
+			}
+		default:
+			// Computed item: materialize via ProjectExpr under the final
+			// name.
+			ce, err := b.toExpr(it.Expr)
+			if err != nil {
+				return err
+			}
+			b.plan = append(b.plan, &op.ProjectExpr{Expr: ce, As: name, Kind: vector.KindInt64})
+			b.projected[name] = true
+			outNames[i] = name
+		}
+	}
+
+	// resolveOrderCol maps an ORDER BY expression to an output column name.
+	resolveOrderCol := func(e Expr, afterRename bool) (string, error) {
+		if v, ok := e.(VarRef); ok {
+			// Alias reference.
+			for i, it := range r.Items {
+				if it.Alias == v.Var {
+					if it.Agg != AggNone || afterRename {
+						return v.Var, nil
+					}
+					return outNames[i], nil
+				}
+			}
+			return "", fmt.Errorf("cypher: ORDER BY references unknown alias %q", v.Var)
+		}
+		if c, ok := canonical(e); ok {
+			return c, nil
+		}
+		return "", fmt.Errorf("cypher: ORDER BY supports aliases, properties and id() only")
+	}
+
+	if hasAgg {
+		var groupBy []string
+		var aggs []op.AggSpec
+		for i, it := range r.Items {
+			if it.Agg == AggNone {
+				groupBy = append(groupBy, outNames[i])
+				continue
+			}
+			spec := op.AggSpec{As: outNames[i]}
+			switch it.Agg {
+			case AggCount:
+				spec.Func = op.Count
+			case AggCountDistinct:
+				spec.Func = op.CountDistinct
+			case AggSum:
+				spec.Func = op.Sum
+			case AggMin:
+				spec.Func = op.Min
+			case AggMax:
+				spec.Func = op.Max
+			case AggAvg:
+				spec.Func = op.Avg
+			}
+			if it.Expr != nil {
+				c, ok := canonical(it.Expr)
+				if !ok {
+					return fmt.Errorf("cypher: aggregate arguments must be properties or id()")
+				}
+				spec.Arg = c
+			}
+			aggs = append(aggs, spec)
+		}
+		b.plan = append(b.plan, &op.Aggregate{GroupBy: groupBy, Aggs: aggs})
+	} else if r.Distinct {
+		b.plan = append(b.plan, &op.Distinct{Cols: outNames})
+	}
+
+	if len(r.OrderBy) > 0 {
+		keys := make([]op.SortKey, len(r.OrderBy))
+		for i, o := range r.OrderBy {
+			col, err := resolveOrderCol(o.Expr, false)
+			if err != nil {
+				return err
+			}
+			keys[i] = op.SortKey{Col: col, Desc: o.Desc}
+		}
+		ob := &op.OrderBy{Keys: keys, Cols: outNames}
+		if r.Limit > 0 && r.Skip <= 0 {
+			ob.Limit = r.Limit
+		}
+		b.plan = append(b.plan, ob)
+		if r.Skip > 0 || (r.Limit > 0 && ob.Limit == 0) {
+			b.plan = append(b.plan, pagination(r))
+		}
+	} else {
+		b.plan = append(b.plan, &op.Defactor{Cols: outNames})
+		if r.Skip >= 0 || r.Limit >= 0 {
+			b.plan = append(b.plan, pagination(r))
+		}
+	}
+	if len(renFrom) > 0 {
+		b.plan = append(b.plan, &op.Rename{From: renFrom, To: renTo})
+	}
+	return nil
+}
+
+func pagination(r *ReturnClause) op.Operator {
+	limit := r.Limit
+	if limit < 0 {
+		limit = math.MaxInt32
+	}
+	skip := r.Skip
+	if skip < 0 {
+		skip = 0
+	}
+	return &op.Limit{N: limit, Skip: skip}
+}

@@ -1,0 +1,39 @@
+package cypher
+
+import (
+	"testing"
+
+	"ges/internal/testgraph"
+)
+
+// FuzzCompile asserts the frontend never panics: every input either
+// compiles or returns an error. Run longer with:
+//
+//	go test -fuzz=FuzzCompile ./internal/cypher
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"MATCH (p:Person) RETURN id(p)",
+		"MATCH (p:Person)-[:KNOWS*1..2]->(q) WHERE id(p) = 1 RETURN q.name AS n ORDER BY n DESC LIMIT 3",
+		"MATCH (p:Person)<-[:LIKES]-(x) WHERE p.age >= 21 AND NOT p.name = 'x' RETURN COUNT(*)",
+		"MATCH (a:Person)-[:KNOWS]-(b) WITH b MATCH (b)-[:KNOWS]->(c) RETURN DISTINCT id(c) SKIP 1 LIMIT 2",
+		"MATCH (p:Person) WHERE p.name IN ['a','b'] OR p.name CONTAINS 'q' RETURN p.name",
+		"MATCH (p:Person RETURN",
+		"RETURN 1",
+		"MATCH (p:Person) RETURN SUM(p.age) AS s, MIN(p.age), MAX(p.age), AVG(p.age), COUNT(DISTINCT p.name)",
+		"MATCH (p:Person) WHERE (p.age + 1) * 2 / 3 - 4 > 0 RETURN id(p)",
+		"MATCH (p:Person)-[k:KNOWS*]->(q) RETURN id(q)",
+		"match (p:person) return id(p)",
+		"MATCH (p:Person) WHERE p.name STARTS WITH 'a' RETURN p.name ENDS",
+		"MATCH (🙂:Person) RETURN id(🙂)",
+		"MATCH (p:Person) WHERE id(p) = 99999999999999999999 RETURN id(p)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cat := testgraph.New().Cat
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must not panic; errors are fine.
+		_, _ = Compile(src, cat)
+	})
+}

@@ -1,0 +1,229 @@
+// Package cypher implements the frontend layer of GES's composable
+// architecture (§2.1, Figure 1): a lexer, parser and binder for a practical
+// subset of the Cypher query language, compiling declarative pattern queries
+// into the engine's physical plans. The subset covers the shapes interactive
+// graph queries take in the paper — linear MATCH paths with variable-length
+// relationships, property predicates, projection with aliases, aggregation,
+// ORDER BY / SKIP / LIMIT — e.g. the running example of §4.3:
+//
+//	MATCH (p:PERSON)-[:KNOWS*1..2]->(f) WHERE id(p) = 0
+//	MATCH (f)<-[:HAS_CREATOR]-(msg) WHERE msg.len > 125
+//	RETURN id(f), id(msg), msg.len
+//	ORDER BY msg.len DESC, id(f) ASC LIMIT 2
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkInt
+	tkFloat
+	tkString
+	tkLParen
+	tkRParen
+	tkLBracket
+	tkRBracket
+	tkColon
+	tkComma
+	tkDot
+	tkDotDot
+	tkStar
+	tkPipe
+	tkDash
+	tkArrowRight // ->
+	tkArrowLeft  // <-
+	tkLT
+	tkLE
+	tkGT
+	tkGE
+	tkEQ
+	tkNE
+	tkPlus
+	tkSlash
+	tkPercent
+)
+
+var keywords = map[string]bool{
+	"MATCH": true, "WHERE": true, "RETURN": true, "ORDER": true, "BY": true,
+	"LIMIT": true, "SKIP": true, "ASC": true, "DESC": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "AS": true, "DISTINCT": true,
+	"CONTAINS": true, "STARTS": true, "ENDS": true, "WITH": true, "TRUE": true,
+	"FALSE": true, "COUNT": true, "SUM": true, "MIN": true, "MAX": true,
+	"AVG": true, "ID": true,
+}
+
+// token is one lexical unit.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tkEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes a query string.
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(src)
+	emit := func(k tokenKind, s string, pos int) {
+		out = append(out, token{kind: k, text: s, pos: pos})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			emit(tkLParen, "(", i)
+			i++
+		case c == ')':
+			emit(tkRParen, ")", i)
+			i++
+		case c == '[':
+			emit(tkLBracket, "[", i)
+			i++
+		case c == ']':
+			emit(tkRBracket, "]", i)
+			i++
+		case c == ':':
+			emit(tkColon, ":", i)
+			i++
+		case c == ',':
+			emit(tkComma, ",", i)
+			i++
+		case c == '*':
+			emit(tkStar, "*", i)
+			i++
+		case c == '|':
+			emit(tkPipe, "|", i)
+			i++
+		case c == '+':
+			emit(tkPlus, "+", i)
+			i++
+		case c == '/':
+			emit(tkSlash, "/", i)
+			i++
+		case c == '%':
+			emit(tkPercent, "%", i)
+			i++
+		case c == '.':
+			if i+1 < n && src[i+1] == '.' {
+				emit(tkDotDot, "..", i)
+				i += 2
+			} else {
+				emit(tkDot, ".", i)
+				i++
+			}
+		case c == '-':
+			if i+1 < n && src[i+1] == '>' {
+				emit(tkArrowRight, "->", i)
+				i += 2
+			} else {
+				emit(tkDash, "-", i)
+				i++
+			}
+		case c == '<':
+			switch {
+			case i+1 < n && src[i+1] == '-':
+				emit(tkArrowLeft, "<-", i)
+				i += 2
+			case i+1 < n && src[i+1] == '=':
+				emit(tkLE, "<=", i)
+				i += 2
+			case i+1 < n && src[i+1] == '>':
+				emit(tkNE, "<>", i)
+				i += 2
+			default:
+				emit(tkLT, "<", i)
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tkGE, ">=", i)
+				i += 2
+			} else {
+				emit(tkGT, ">", i)
+				i++
+			}
+		case c == '=':
+			emit(tkEQ, "=", i)
+			i++
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tkNE, "!=", i)
+				i += 2
+			} else {
+				return nil, fmt.Errorf("cypher: unexpected '!' at %d", i)
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != quote {
+				if src[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("cypher: unterminated string at %d", i)
+			}
+			emit(tkString, sb.String(), i)
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			isFloat := false
+			for j < n && (src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			if j+1 < n && src[j] == '.' && src[j+1] >= '0' && src[j+1] <= '9' {
+				isFloat = true
+				j++
+				for j < n && src[j] >= '0' && src[j] <= '9' {
+					j++
+				}
+			}
+			if isFloat {
+				emit(tkFloat, src[i:j], i)
+			} else {
+				emit(tkInt, src[i:j], i)
+			}
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			if keywords[strings.ToUpper(word)] {
+				emit(tkKeyword, strings.ToUpper(word), i)
+			} else {
+				emit(tkIdent, word, i)
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("cypher: unexpected character %q at %d", c, i)
+		}
+	}
+	emit(tkEOF, "", n)
+	return out, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }

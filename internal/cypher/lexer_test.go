@@ -1,0 +1,103 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []tokenKind {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	out := make([]tokenKind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.kind
+	}
+	return out
+}
+
+func TestLexBasicQuery(t *testing.T) {
+	toks, err := lex(`MATCH (p:Person)-[:KNOWS*1..2]->(f) WHERE p.age >= 21 RETURN f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.kind == tkKeyword || tok.kind == tkIdent {
+			texts = append(texts, tok.text)
+		}
+	}
+	want := "MATCH,p,Person,KNOWS,f,WHERE,p,age,RETURN,f"
+	if got := strings.Join(texts, ","); got != want {
+		t.Fatalf("words = %s, want %s", got, want)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	got := kinds(t, `<- -> - < <= > >= = <> != .. . * ( ) [ ] : , | + / %`)
+	want := []tokenKind{
+		tkArrowLeft, tkArrowRight, tkDash, tkLT, tkLE, tkGT, tkGE,
+		tkEQ, tkNE, tkNE, tkDotDot, tkDot, tkStar, tkLParen, tkRParen,
+		tkLBracket, tkRBracket, tkColon, tkComma, tkPipe, tkPlus, tkSlash,
+		tkPercent, tkEOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexStringsAndNumbers(t *testing.T) {
+	toks, err := lex(`'single' "double" 'esc\'aped' 42 3.25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "single" || toks[1].text != "double" || toks[2].text != "esc'aped" {
+		t.Fatalf("strings = %q %q %q", toks[0].text, toks[1].text, toks[2].text)
+	}
+	if toks[3].kind != tkInt || toks[3].text != "42" {
+		t.Fatalf("int token = %+v", toks[3])
+	}
+	if toks[4].kind != tkFloat || toks[4].text != "3.25" {
+		t.Fatalf("float token = %+v", toks[4])
+	}
+}
+
+func TestLexKeywordCaseInsensitive(t *testing.T) {
+	toks, err := lex("match Return wHeRe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"MATCH", "RETURN", "WHERE"} {
+		if toks[i].kind != tkKeyword || toks[i].text != want {
+			t.Fatalf("token %d = %+v, want keyword %s", i, toks[i], want)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "a ! b", "€"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexIdentifiersWithUnderscores(t *testing.T) {
+	toks, err := lex("HAS_CREATOR _private x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tkIdent || toks[0].text != "HAS_CREATOR" {
+		t.Fatalf("token = %+v", toks[0])
+	}
+	if toks[1].text != "_private" || toks[2].text != "x1" {
+		t.Fatal("underscore/number identifiers broken")
+	}
+}

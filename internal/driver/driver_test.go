@@ -1,0 +1,201 @@
+package driver_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ges/internal/driver"
+	"ges/internal/exec"
+	"ges/internal/ldbc"
+	"ges/internal/ldbc/queries"
+)
+
+func testDataset(t testing.TB) *ldbc.Dataset {
+	t.Helper()
+	ds, err := ldbc.Generate(ldbc.Config{SF: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRecorderStatistics(t *testing.T) {
+	r := driver.NewRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Record("Q", queries.IC, time.Duration(i)*time.Millisecond)
+	}
+	if got := r.Count("Q"); got != 100 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := r.Avg("Q"); got != 50500*time.Microsecond {
+		t.Fatalf("avg = %v", got)
+	}
+	if got := r.Percentile("Q", 0.99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := r.Percentile("Q", 0.5); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := r.Total("Q"); got != 5050*time.Millisecond {
+		t.Fatalf("total = %v", got)
+	}
+	if got := r.KindCount(queries.IC); got != 100 {
+		t.Fatalf("kind count = %d", got)
+	}
+	if r.Percentile("missing", 0.99) != 0 || r.Avg("missing") != 0 {
+		t.Fatal("missing query should report zeros")
+	}
+}
+
+func TestMixRespectsFrequencies(t *testing.T) {
+	mix := driver.NewMix(nil)
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[mix.Draw(rng).Name]++
+	}
+	// Every query must appear, and the highest-frequency short reads must
+	// dominate the lowest-frequency updates.
+	if len(counts) != len(queries.All()) {
+		t.Fatalf("mix covered %d of %d queries", len(counts), len(queries.All()))
+	}
+	if counts["IS1"] < counts["IU1"] {
+		t.Fatalf("frequency ordering violated: IS1=%d IU1=%d", counts["IS1"], counts["IU1"])
+	}
+	// Rough proportionality check for one pair (freq 95 vs 2).
+	if counts["IS1"] < 10*counts["IU1"] {
+		t.Fatalf("IS1/IU1 ratio too small: %d/%d", counts["IS1"], counts["IU1"])
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	ds := testDataset(t)
+	r := queries.NewRunner(ds, exec.ModeFused, nil)
+	res := driver.Run(r, driver.Options{Workers: 4, Ops: 300, Seed: 3})
+	if res.Failed != 0 {
+		t.Fatalf("%d queries failed", res.Failed)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+	total := 0
+	for _, k := range []queries.Kind{queries.IC, queries.IS, queries.IU} {
+		total += res.Recorder.KindCount(k)
+	}
+	if total != 300 {
+		t.Fatalf("recorded %d ops, want 300", total)
+	}
+}
+
+func TestRunTraceBuckets(t *testing.T) {
+	ds := testDataset(t)
+	r := queries.NewRunner(ds, exec.ModeFused, nil)
+	trace := driver.RunTrace(r, 2, 400*time.Millisecond, 100*time.Millisecond, 7)
+	if len(trace) != 4 {
+		t.Fatalf("buckets = %d", len(trace))
+	}
+	total := 0
+	for _, p := range trace {
+		if p.Overall != p.IC+p.IS+p.IU {
+			t.Fatalf("bucket inconsistency: %+v", p)
+		}
+		total += p.Overall
+	}
+	if total == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+}
+
+func TestMeasureQueryBreakdown(t *testing.T) {
+	ds := testDataset(t)
+	r := queries.NewRunner(ds, exec.ModeFlat, nil)
+	q, _ := queries.ByName("IC9")
+	st, err := driver.MeasureQuery(r, q, 5, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 5 || st.Avg <= 0 || st.Total < st.Avg {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(st.ByOp) == 0 {
+		t.Fatal("no operator breakdown collected")
+	}
+	if _, ok := st.ByOp["VarLengthExpand"]; !ok {
+		t.Fatalf("breakdown misses VarLengthExpand: %v", st.ByOp)
+	}
+	if st.AvgMem <= 0 || st.MaxMem < st.AvgMem {
+		t.Fatalf("memory stats = %d/%d", st.AvgMem, st.MaxMem)
+	}
+}
+
+func TestSharedDatasetMemoized(t *testing.T) {
+	a, err := driver.SharedDataset(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := driver.SharedDataset(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("dataset not memoized")
+	}
+}
+
+// TestFactorizedBeatsFlat_Shape asserts the headline performance ordering
+// the paper reports for the expansion-heavy queries at a size where it is
+// stable: on IC9, flat must be slower and must allocate more peak
+// intermediate memory than the factorized variants.
+func TestFactorizedBeatsFlat_Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test skipped in -short")
+	}
+	ds, err := driver.SharedDataset(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := queries.ByName("IC9")
+	flat := queries.NewRunner(ds, exec.ModeFlat, nil)
+	fact := queries.NewRunner(ds, exec.ModeFactorized, nil)
+	stFlat, err := driver.MeasureQuery(flat, q, 15, 11, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stFact, err := driver.MeasureQuery(fact, q, 15, 11, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stFact.Avg >= stFlat.Avg {
+		t.Errorf("factorized IC9 (%v) not faster than flat (%v)", stFact.Avg, stFlat.Avg)
+	}
+	if stFact.AvgMem >= stFlat.AvgMem {
+		t.Errorf("factorized IC9 peak mem (%d) not below flat (%d)", stFact.AvgMem, stFlat.AvgMem)
+	}
+}
+
+// TestFusionCollapsesIC5Memory asserts Table 2's flagship row: fused IC5
+// peak memory collapses versus both flat and factorized-only execution.
+func TestFusionCollapsesIC5Memory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test skipped in -short")
+	}
+	ds, err := driver.SharedDataset(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := queries.ByName("IC5")
+	mem := map[exec.Mode]int{}
+	for _, mode := range []exec.Mode{exec.ModeFlat, exec.ModeFactorized, exec.ModeFused} {
+		r := queries.NewRunner(ds, mode, nil)
+		st, err := driver.MeasureQuery(r, q, 10, 13, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem[mode] = st.AvgMem
+	}
+	if mem[exec.ModeFused] >= mem[exec.ModeFlat]/2 {
+		t.Errorf("fusion did not collapse IC5 memory: flat=%d fused=%d", mem[exec.ModeFlat], mem[exec.ModeFused])
+	}
+}

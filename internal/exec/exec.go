@@ -1,0 +1,157 @@
+// Package exec drives physical plans through the GES execution engine
+// (§2.1, Execution Engine). It implements the three engine variants the
+// paper evaluates — GES (flat), GES_f (factorized) and GES_f* (factorized
+// with operator fusion) — plus per-operator timing, peak intermediate-result
+// memory accounting (Table 2, Figure 3), and the worker-pool runtime for
+// inter-query parallelism (Figure 13).
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"ges/internal/core"
+	"ges/internal/op"
+	"ges/internal/plan"
+	"ges/internal/storage"
+)
+
+// Mode selects the engine variant.
+type Mode int
+
+// Engine variants of the paper's ablation study (§6.1).
+const (
+	// ModeFlat is the baseline GES: every operator consumes and produces
+	// fully materialized flat tuple blocks.
+	ModeFlat Mode = iota
+	// ModeFactorized is GES_f: operators run natively over the f-Tree,
+	// de-factoring only when blocking logic demands it.
+	ModeFactorized
+	// ModeFused is GES_f*: ModeFactorized plus the operator-fusion rewrite
+	// rules.
+	ModeFused
+)
+
+// String returns the paper's name for the variant.
+func (m Mode) String() string {
+	switch m {
+	case ModeFlat:
+		return "GES"
+	case ModeFactorized:
+		return "GES_f"
+	case ModeFused:
+		return "GES_f*"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// OpStat records one operator's contribution to a query execution.
+type OpStat struct {
+	Name     string
+	Duration time.Duration
+	OutRows  int // logical rows of the produced chunk (tuple count)
+	MemBytes int // accounted size of the produced chunk
+}
+
+// Result is a completed query execution.
+type Result struct {
+	Block    *core.FlatBlock
+	OpStats  []OpStat
+	PeakMem  int
+	Duration time.Duration
+}
+
+// Engine executes plans against a storage view in one of the three variant
+// modes.
+type Engine struct {
+	Mode Mode
+	Pool *storage.Pool
+	// MaxRows bounds defensive materialization (0 = unlimited).
+	MaxRows int
+	// CollectStats enables per-operator timing and sizing; benchmarks that
+	// only need end-to-end latency leave it off to avoid perturbation.
+	CollectStats bool
+	// Parallel sets the intra-query parallelism degree for expansion
+	// operators (<= 1 = sequential).
+	Parallel int
+}
+
+// New returns an engine in the given mode with a fresh memory pool.
+func New(mode Mode) *Engine {
+	return &Engine{Mode: mode, Pool: storage.NewPool()}
+}
+
+// Run executes the plan and returns the flat result block.
+func (e *Engine) Run(view storage.View, p plan.Plan) (*Result, error) {
+	if e.Mode == ModeFused {
+		p = plan.Fuse(p)
+	}
+	ctx := &op.Ctx{View: view, Pool: e.Pool, MaxRows: e.MaxRows, Parallel: e.Parallel}
+	start := time.Now()
+
+	var ch *core.Chunk
+	var err error
+	res := &Result{}
+	for i, o := range p {
+		var opStart time.Time
+		if e.CollectStats {
+			opStart = time.Now()
+		}
+		ch, err = o.Execute(ctx, ch)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %s (op %d): %w", o.Name(), i, err)
+		}
+		// The flat baseline materializes after every operator, exactly like
+		// a classical tuple-pipeline engine.
+		if e.Mode == ModeFlat && !ch.IsFlat() {
+			fb, ferr := flatten(ctx, ch)
+			if ferr != nil {
+				return nil, fmt.Errorf("exec: %s (op %d): %w", o.Name(), i, ferr)
+			}
+			ch = &core.Chunk{Flat: fb}
+		}
+		ctx.Observe(ch)
+		if e.CollectStats {
+			res.OpStats = append(res.OpStats, OpStat{
+				Name:     o.Name(),
+				Duration: time.Since(opStart),
+				OutRows:  chunkRows(ch),
+				MemBytes: ch.MemBytes(),
+			})
+		}
+	}
+	if ch == nil {
+		return nil, fmt.Errorf("exec: empty plan")
+	}
+	if !ch.IsFlat() {
+		fb, ferr := flatten(ctx, ch)
+		if ferr != nil {
+			return nil, ferr
+		}
+		ch = &core.Chunk{Flat: fb}
+		ctx.Observe(ch)
+	}
+	res.Block = ch.Flat
+	res.PeakMem = ctx.PeakMem
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+func flatten(ctx *op.Ctx, ch *core.Chunk) (*core.FlatBlock, error) {
+	fb, err := ch.FT.DefactorAll()
+	if err != nil {
+		return nil, err
+	}
+	if ctx.MaxRows > 0 && fb.NumRows() > ctx.MaxRows {
+		return nil, fmt.Errorf("exec: materialization of %d rows exceeds limit %d", fb.NumRows(), ctx.MaxRows)
+	}
+	return fb, nil
+}
+
+func chunkRows(ch *core.Chunk) int {
+	if ch.IsFlat() {
+		return ch.Flat.NumRows()
+	}
+	return int(ch.FT.CountTuples())
+}

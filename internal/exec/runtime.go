@@ -1,0 +1,46 @@
+package exec
+
+import "sync"
+
+// Runtime manages query workload parallelism (§2.1, Runtime): a fixed pool
+// of workers drains a task queue, giving inter-query parallel execution with
+// a configurable degree — the knob behind the paper's scalability experiment
+// (Figure 13). Workers=1 degenerates to sequential execution.
+type Runtime struct {
+	queue chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewRuntime starts a runtime with the given worker count (minimum 1) and
+// queue depth.
+func NewRuntime(workers, depth int) *Runtime {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = workers * 2
+	}
+	r := &Runtime{queue: make(chan func(), depth)}
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer r.wg.Done()
+			for task := range r.queue {
+				task()
+			}
+		}()
+	}
+	return r
+}
+
+// Submit enqueues a task, blocking while the queue is full (closed-loop
+// admission control).
+func (r *Runtime) Submit(task func()) { r.queue <- task }
+
+// Close stops admission and waits for all queued tasks to finish. It is
+// idempotent.
+func (r *Runtime) Close() {
+	r.once.Do(func() { close(r.queue) })
+	r.wg.Wait()
+}

@@ -1,0 +1,297 @@
+package queries
+
+import (
+	"fmt"
+
+	"ges/internal/catalog"
+	"ges/internal/ldbc"
+	"ges/internal/txn"
+	"ges/internal/vector"
+)
+
+// resolve looks up a vertex by external ID at the latest committed version.
+func resolve(m *txn.Manager, label catalog.LabelID, ext int64) (vector.VID, error) {
+	v, ok := m.Snapshot().VertexByExt(label, ext)
+	if !ok {
+		return vector.NilVID, fmt.Errorf("queries: vertex %d (label %d) not found", ext, label)
+	}
+	return v, nil
+}
+
+// IU1 — add a person with location and interests.
+var IU1 = register(&Query{
+	Name: "IU1", Kind: IU, Freq: 2,
+	GenParams: func(ds *ldbc.Dataset, pg *ldbc.ParamGen) Params {
+		return Params{
+			"personId":  vector.Int64(ds.NewPersonExt()),
+			"firstName": vector.String_(pg.FirstName()),
+			"creation":  vector.Date(pg.Date()),
+			"cityId":    vector.Int64(int64(pg.Rng().Intn(ds.NumCities()) + 1)),
+		}
+	},
+	Update: func(m *txn.Manager, ds *ldbc.Dataset, p Params) error {
+		h := ds.H
+		city, err := resolve(m, h.City, p.Int("cityId"))
+		if err != nil {
+			return err
+		}
+		tx := m.Begin([]vector.VID{city})
+		v, err := tx.AddVertex(h.Person, p.Int("personId"),
+			vector.String_(p.Str("firstName")), vector.String_("Newcomer"),
+			vector.String_("female"), vector.Date(9000),
+			p["creation"], vector.String_("77.1.2.3"), vector.String_("Chrome"))
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.AddEdge(h.IsLocatedIn, v, city); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	},
+})
+
+// IU2 — add a like to a post.
+var IU2 = register(&Query{
+	Name: "IU2", Kind: IU, Freq: 14,
+	GenParams: func(ds *ldbc.Dataset, pg *ldbc.ParamGen) Params {
+		return Params{
+			"personId": vector.Int64(pg.PersonExt()),
+			"postId":   vector.Int64(pg.PostExt()),
+			"date":     vector.Date(pg.Date()),
+		}
+	},
+	Update: func(m *txn.Manager, ds *ldbc.Dataset, p Params) error {
+		h := ds.H
+		person, err := resolve(m, h.Person, p.Int("personId"))
+		if err != nil {
+			return err
+		}
+		post, err := resolve(m, h.Post, p.Int("postId"))
+		if err != nil {
+			return err
+		}
+		tx := m.Begin([]vector.VID{person, post})
+		if err := tx.AddEdge(h.Likes, person, post, p["date"]); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	},
+})
+
+// IU3 — add a like to a comment.
+var IU3 = register(&Query{
+	Name: "IU3", Kind: IU, Freq: 7,
+	GenParams: func(ds *ldbc.Dataset, pg *ldbc.ParamGen) Params {
+		ext, _ := pg.MessageExt()
+		if int(ext) > len(ds.Comments) {
+			ext = int64(len(ds.Comments))
+		}
+		if ext < 1 {
+			ext = 1
+		}
+		return Params{
+			"personId":  vector.Int64(pg.PersonExt()),
+			"commentId": vector.Int64(ext),
+			"date":      vector.Date(pg.Date()),
+		}
+	},
+	Update: func(m *txn.Manager, ds *ldbc.Dataset, p Params) error {
+		h := ds.H
+		person, err := resolve(m, h.Person, p.Int("personId"))
+		if err != nil {
+			return err
+		}
+		comment, err := resolve(m, h.Comment, p.Int("commentId"))
+		if err != nil {
+			return err
+		}
+		tx := m.Begin([]vector.VID{person, comment})
+		if err := tx.AddEdge(h.Likes, person, comment, p["date"]); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	},
+})
+
+// IU4 — add a forum with a moderator.
+var IU4 = register(&Query{
+	Name: "IU4", Kind: IU, Freq: 2,
+	GenParams: func(ds *ldbc.Dataset, pg *ldbc.ParamGen) Params {
+		return Params{
+			"forumId":     vector.Int64(ds.NewForumExt()),
+			"moderatorId": vector.Int64(pg.PersonExt()),
+			"date":        vector.Date(pg.Date()),
+		}
+	},
+	Update: func(m *txn.Manager, ds *ldbc.Dataset, p Params) error {
+		h := ds.H
+		mod, err := resolve(m, h.Person, p.Int("moderatorId"))
+		if err != nil {
+			return err
+		}
+		tx := m.Begin([]vector.VID{mod})
+		forum, err := tx.AddVertex(h.Forum, p.Int("forumId"),
+			vector.String_(fmt.Sprintf("New forum %d", p.Int("forumId"))), p["date"])
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.AddEdge(h.HasModerator, forum, mod); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	},
+})
+
+// IU5 — add a forum membership.
+var IU5 = register(&Query{
+	Name: "IU5", Kind: IU, Freq: 22,
+	GenParams: func(ds *ldbc.Dataset, pg *ldbc.ParamGen) Params {
+		return Params{
+			"forumId":  vector.Int64(pg.ForumExt()),
+			"personId": vector.Int64(pg.PersonExt()),
+			"date":     vector.Date(pg.Date()),
+		}
+	},
+	Update: func(m *txn.Manager, ds *ldbc.Dataset, p Params) error {
+		h := ds.H
+		forum, err := resolve(m, h.Forum, p.Int("forumId"))
+		if err != nil {
+			return err
+		}
+		person, err := resolve(m, h.Person, p.Int("personId"))
+		if err != nil {
+			return err
+		}
+		tx := m.Begin([]vector.VID{forum, person})
+		if err := tx.AddEdge(h.HasMember, forum, person, p["date"]); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	},
+})
+
+// IU6 — add a post to a forum.
+var IU6 = register(&Query{
+	Name: "IU6", Kind: IU, Freq: 11,
+	GenParams: func(ds *ldbc.Dataset, pg *ldbc.ParamGen) Params {
+		return Params{
+			"postId":   vector.Int64(ds.NewPostExt()),
+			"authorId": vector.Int64(pg.PersonExt()),
+			"forumId":  vector.Int64(pg.ForumExt()),
+			"date":     vector.Date(pg.Date()),
+			"length":   vector.Int64(pg.RandomContentLength()),
+			"language": vector.String_(pg.RandomLanguage()),
+		}
+	},
+	Update: func(m *txn.Manager, ds *ldbc.Dataset, p Params) error {
+		h := ds.H
+		author, err := resolve(m, h.Person, p.Int("authorId"))
+		if err != nil {
+			return err
+		}
+		forum, err := resolve(m, h.Forum, p.Int("forumId"))
+		if err != nil {
+			return err
+		}
+		tx := m.Begin([]vector.VID{author, forum})
+		post, err := tx.AddVertex(h.Post, p.Int("postId"),
+			vector.String_("new post"), p["length"], p["date"],
+			vector.String_("Chrome"), vector.String_("77.9.9.9"),
+			vector.String_(p.Str("language")))
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.AddEdge(h.HasCreator, post, author); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.AddEdge(h.ContainerOf, forum, post); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	},
+})
+
+// IU7 — add a comment replying to a message.
+var IU7 = register(&Query{
+	Name: "IU7", Kind: IU, Freq: 14,
+	GenParams: func(ds *ldbc.Dataset, pg *ldbc.ParamGen) Params {
+		pm := msgParams(pg)
+		pm["commentId"] = vector.Int64(ds.NewCommentExt())
+		pm["authorId"] = vector.Int64(pg.PersonExt())
+		pm["date"] = vector.Date(pg.Date())
+		pm["length"] = vector.Int64(pg.RandomContentLength())
+		return pm
+	},
+	Update: func(m *txn.Manager, ds *ldbc.Dataset, p Params) error {
+		h := ds.H
+		author, err := resolve(m, h.Person, p.Int("authorId"))
+		if err != nil {
+			return err
+		}
+		parent, err := resolve(m, msgLabel(h, p), p.Int("messageId"))
+		if err != nil {
+			return err
+		}
+		tx := m.Begin([]vector.VID{author, parent})
+		c, err := tx.AddVertex(h.Comment, p.Int("commentId"),
+			vector.String_("new reply"), p["length"], p["date"],
+			vector.String_("Firefox"), vector.String_("77.8.8.8"))
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.AddEdge(h.HasCreator, c, author); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.AddEdge(h.ReplyOf, c, parent); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	},
+})
+
+// IU8 — add a friendship (symmetric KNOWS pair).
+var IU8 = register(&Query{
+	Name: "IU8", Kind: IU, Freq: 5,
+	GenParams: func(ds *ldbc.Dataset, pg *ldbc.ParamGen) Params {
+		a, b := pg.TwoPersons()
+		return Params{
+			"person1Id": vector.Int64(a),
+			"person2Id": vector.Int64(b),
+			"date":      vector.Date(pg.Date()),
+		}
+	},
+	Update: func(m *txn.Manager, ds *ldbc.Dataset, p Params) error {
+		h := ds.H
+		p1, err := resolve(m, h.Person, p.Int("person1Id"))
+		if err != nil {
+			return err
+		}
+		p2, err := resolve(m, h.Person, p.Int("person2Id"))
+		if err != nil {
+			return err
+		}
+		tx := m.Begin([]vector.VID{p1, p2})
+		if err := tx.AddEdge(h.Knows, p1, p2, p["date"]); err != nil {
+			tx.Abort()
+			return err
+		}
+		if err := tx.AddEdge(h.Knows, p2, p1, p["date"]); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	},
+})

@@ -1,0 +1,82 @@
+package queries
+
+import (
+	"fmt"
+	"time"
+
+	"ges/internal/core"
+	"ges/internal/exec"
+	"ges/internal/ldbc"
+	"ges/internal/plan"
+	"ges/internal/storage"
+	"ges/internal/txn"
+)
+
+// Engine abstracts plan execution so the workload can run on either the
+// GES engine (exec.Engine, in any of its three variant modes) or the
+// tuple-at-a-time volcano comparison engine.
+type Engine interface {
+	Run(view storage.View, p plan.Plan) (*exec.Result, error)
+}
+
+// Runner executes workload queries against one dataset: plan queries run
+// through the engine, stored procedures run directly over a snapshot, and
+// updates run through the transaction manager. A Runner is safe for
+// concurrent use — the engine and manager are; per-call state is local.
+type Runner struct {
+	DS     *ldbc.Dataset
+	Mgr    *txn.Manager
+	Engine Engine
+}
+
+// NewRunner wires a runner for the dataset in the given engine mode. When
+// mgr is nil a fresh transaction manager is created over the dataset's
+// graph.
+func NewRunner(ds *ldbc.Dataset, mode exec.Mode, mgr *txn.Manager) *Runner {
+	return NewRunnerWith(ds, exec.New(mode), mgr)
+}
+
+// NewRunnerWith wires a runner around an explicit engine implementation.
+func NewRunnerWith(ds *ldbc.Dataset, eng Engine, mgr *txn.Manager) *Runner {
+	if mgr == nil {
+		mgr = txn.NewManager(ds.Graph)
+	}
+	return &Runner{DS: ds, Mgr: mgr, Engine: eng}
+}
+
+// view returns the read view for a query: the latest snapshot when any
+// transaction has committed, otherwise the base graph (zero overhead).
+func (r *Runner) view() storage.View {
+	if _, ver := r.Mgr.Stats(); ver > 0 {
+		return r.Mgr.Snapshot()
+	}
+	return r.DS.Graph
+}
+
+// Execute runs one query invocation and returns its result block (nil for
+// updates) and the engine result when a plan was executed.
+func (r *Runner) Execute(q *Query, p Params) (*core.FlatBlock, *exec.Result, error) {
+	switch {
+	case q.Build != nil:
+		res, err := r.Engine.Run(r.view(), q.Build(r.DS.H, p))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", q.Name, err)
+		}
+		return res.Block, res, nil
+	case q.Proc != nil:
+		start := time.Now()
+		fb, err := q.Proc(r.view(), r.DS.H, p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", q.Name, err)
+		}
+		return fb, &exec.Result{Block: fb, Duration: time.Since(start), PeakMem: fb.MemBytes()}, nil
+	case q.Update != nil:
+		start := time.Now()
+		if err := q.Update(r.Mgr, r.DS, p); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", q.Name, err)
+		}
+		return nil, &exec.Result{Duration: time.Since(start)}, nil
+	default:
+		return nil, nil, fmt.Errorf("%s: query has no implementation", q.Name)
+	}
+}

@@ -1,0 +1,150 @@
+package ldbc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stats summarizes a generated dataset — the analog of the paper's Table 1
+// (datasets and statistics).
+type Stats struct {
+	SF       float64
+	Persons  int
+	Vertices int
+	Edges    int
+	Bytes    int
+}
+
+// Stats computes dataset statistics.
+func (ds *Dataset) Stats() Stats {
+	return Stats{
+		SF:       ds.Config.SF,
+		Persons:  len(ds.Persons),
+		Vertices: ds.Graph.NumVertices(),
+		Edges:    ds.Graph.NumEdges(),
+		Bytes:    ds.Graph.MemBytes(),
+	}
+}
+
+// String renders one Table 1 row.
+func (s Stats) String() string {
+	return fmt.Sprintf("simSF%-5.4g persons=%-8d vertices=%-9d edges=%-10d size=%s",
+		s.SF, s.Persons, s.Vertices, s.Edges, FmtBytes(s.Bytes))
+}
+
+// FmtBytes renders a byte count in human units.
+func FmtBytes(n int) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// ParamGen draws query parameters from the generated data, deterministically
+// per seed — the stand-in for SNB's curated substitution parameters.
+type ParamGen struct {
+	ds  *Dataset
+	rng *rand.Rand
+}
+
+// NewParamGen returns a parameter generator over the dataset.
+func (ds *Dataset) NewParamGen(seed int64) *ParamGen {
+	return &ParamGen{ds: ds, rng: rand.New(rand.NewSource(seed ^ 0x706172616d73))}
+}
+
+// PersonExt picks a random person external ID.
+func (p *ParamGen) PersonExt() int64 {
+	return int64(p.rng.Intn(len(p.ds.Persons)) + 1)
+}
+
+// MessageExt picks a random message and reports whether it is a post.
+func (p *ParamGen) MessageExt() (ext int64, isPost bool) {
+	if p.rng.Intn(2) == 0 && len(p.ds.Posts) > 0 {
+		return int64(p.rng.Intn(len(p.ds.Posts)) + 1), true
+	}
+	if len(p.ds.Comments) == 0 {
+		return int64(p.rng.Intn(len(p.ds.Posts)) + 1), true
+	}
+	return int64(p.rng.Intn(len(p.ds.Comments)) + 1), false
+}
+
+// PostExt picks a random post external ID.
+func (p *ParamGen) PostExt() int64 { return int64(p.rng.Intn(len(p.ds.Posts)) + 1) }
+
+// ForumExt picks a random forum external ID.
+func (p *ParamGen) ForumExt() int64 { return int64(p.rng.Intn(len(p.ds.Forums)) + 1) }
+
+// Date picks a random day inside the activity window.
+func (p *ParamGen) Date() int64 {
+	return int64(DayStart + p.rng.Intn(DayEnd-DayStart))
+}
+
+// FirstName picks a first name appearing in the data.
+func (p *ParamGen) FirstName() string { return firstNames[p.rng.Intn(len(firstNames))] }
+
+// TagName picks a tag name.
+func (p *ParamGen) TagName() string {
+	return p.ds.TagNames[zipfIdx(p.rng, len(p.ds.TagNames))]
+}
+
+// TagClassName picks a tag class name.
+func (p *ParamGen) TagClassName() string { return tagThemes[p.rng.Intn(len(tagThemes))] }
+
+// CountryName picks a country name.
+func (p *ParamGen) CountryName() string {
+	return p.ds.CountryNames[p.rng.Intn(len(p.ds.CountryNames))]
+}
+
+// TwoCountries picks two distinct country names.
+func (p *ParamGen) TwoCountries() (string, string) {
+	a := p.rng.Intn(len(p.ds.CountryNames))
+	b := (a + 1 + p.rng.Intn(len(p.ds.CountryNames)-1)) % len(p.ds.CountryNames)
+	return p.ds.CountryNames[a], p.ds.CountryNames[b]
+}
+
+// TwoPersons picks two distinct person external IDs.
+func (p *ParamGen) TwoPersons() (int64, int64) {
+	a := p.rng.Intn(len(p.ds.Persons))
+	b := (a + 1 + p.rng.Intn(len(p.ds.Persons)-1)) % len(p.ds.Persons)
+	return int64(a + 1), int64(b + 1)
+}
+
+// WorkYear picks a workFrom-year threshold.
+func (p *ParamGen) WorkYear() int64 { return int64(2000 + p.rng.Intn(12)) }
+
+// Month picks a month 1..12.
+func (p *ParamGen) Month() int64 { return int64(1 + p.rng.Intn(12)) }
+
+// NewPersonExt reserves a fresh person external ID for update queries.
+func (ds *Dataset) NewPersonExt() int64 { return ds.nextPersonExt.Add(1) }
+
+// NewForumExt reserves a fresh forum external ID.
+func (ds *Dataset) NewForumExt() int64 { return ds.nextForumExt.Add(1) }
+
+// NewPostExt reserves a fresh post external ID.
+func (ds *Dataset) NewPostExt() int64 { return ds.nextPostExt.Add(1) }
+
+// NewCommentExt reserves a fresh comment external ID.
+func (ds *Dataset) NewCommentExt() int64 { return ds.nextCommentExt.Add(1) }
+
+// RandomLanguage picks a post language.
+func (p *ParamGen) RandomLanguage() string { return languages[p.rng.Intn(len(languages))] }
+
+// RandomBrowser picks a browser string.
+func (p *ParamGen) RandomBrowser() string { return browsers[p.rng.Intn(len(browsers))] }
+
+// RandomContentLength picks a message length.
+func (p *ParamGen) RandomContentLength() int64 { return int64(10 + p.rng.Intn(190)) }
+
+// NumCities returns the number of generated cities (city external IDs are
+// 1..NumCities).
+func (ds *Dataset) NumCities() int { return len(ds.places.cities) }
+
+// Rng exposes the generator's rng for update parameter synthesis.
+func (p *ParamGen) Rng() *rand.Rand { return p.rng }

@@ -1,0 +1,246 @@
+package op
+
+import (
+	"fmt"
+	"sort"
+
+	"ges/internal/core"
+	"ges/internal/vector"
+)
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	Count AggFunc = iota
+	CountDistinct
+	Sum
+	Min
+	Max
+	Avg
+)
+
+func (f AggFunc) String() string {
+	return [...]string{"count", "count-distinct", "sum", "min", "max", "avg"}[f]
+}
+
+// AggSpec is one aggregate: Func applied to column Arg (empty = count(*)),
+// emitted as As.
+type AggSpec struct {
+	Func AggFunc
+	Arg  string
+	As   string
+}
+
+// Aggregate groups tuples and computes aggregates. Aggregation needs global
+// state across whole tuples, so on the factorized path the chunk is
+// de-factored into a flat block first — exactly the cost the
+// AggregateProjectTop fusion (fused.go) exists to remove (§4.3).
+type Aggregate struct {
+	GroupBy []string
+	Aggs    []AggSpec
+}
+
+// Name implements Operator.
+func (o *Aggregate) Name() string { return "Aggregate" }
+
+// Execute implements Operator.
+func (o *Aggregate) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
+	fb, err := ensureFlat(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Observe(&core.Chunk{Flat: fb})
+	out, err := hashAggregate(fb, o.GroupBy, o.Aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Chunk{Flat: out}, nil
+}
+
+// aggState accumulates one group.
+type aggState struct {
+	groupVals []vector.Value
+	count     []int64
+	sumI      []int64
+	sumF      []float64
+	min       []vector.Value
+	max       []vector.Value
+	distinct  []map[string]struct{}
+}
+
+func newAggState(groupVals []vector.Value, n int) *aggState {
+	return &aggState{
+		groupVals: append([]vector.Value(nil), groupVals...),
+		count:     make([]int64, n),
+		sumI:      make([]int64, n),
+		sumF:      make([]float64, n),
+		min:       make([]vector.Value, n),
+		max:       make([]vector.Value, n),
+		distinct:  make([]map[string]struct{}, n),
+	}
+}
+
+// update folds one value (with multiplicity weight) into aggregate j.
+func (s *aggState) update(j int, spec AggSpec, v vector.Value, weight int64) {
+	switch spec.Func {
+	case Count:
+		s.count[j] += weight
+	case CountDistinct:
+		if s.distinct[j] == nil {
+			s.distinct[j] = make(map[string]struct{})
+		}
+		s.distinct[j][v.String()] = struct{}{}
+	case Sum, Avg:
+		s.count[j] += weight
+		if v.Kind == vector.KindFloat64 {
+			s.sumF[j] += v.F * float64(weight)
+		} else {
+			s.sumI[j] += v.I * weight
+		}
+	case Min:
+		if s.count[j] == 0 || vector.Compare(v, s.min[j]) < 0 {
+			s.min[j] = v
+		}
+		s.count[j]++
+	case Max:
+		if s.count[j] == 0 || vector.Compare(v, s.max[j]) > 0 {
+			s.max[j] = v
+		}
+		s.count[j]++
+	}
+}
+
+// result emits the final value of aggregate j.
+func (s *aggState) result(j int, spec AggSpec, argKind vector.Kind) vector.Value {
+	switch spec.Func {
+	case Count:
+		return vector.Int64(s.count[j])
+	case CountDistinct:
+		return vector.Int64(int64(len(s.distinct[j])))
+	case Sum:
+		if argKind == vector.KindFloat64 {
+			return vector.Float64(s.sumF[j])
+		}
+		return vector.Int64(s.sumI[j])
+	case Avg:
+		if s.count[j] == 0 {
+			return vector.Float64(0)
+		}
+		total := s.sumF[j]
+		if argKind != vector.KindFloat64 {
+			total = float64(s.sumI[j])
+		}
+		return vector.Float64(total / float64(s.count[j]))
+	case Min:
+		return s.min[j]
+	case Max:
+		return s.max[j]
+	}
+	return vector.Value{}
+}
+
+// aggOutputKind returns the result kind of an aggregate over argKind.
+func aggOutputKind(spec AggSpec, argKind vector.Kind) vector.Kind {
+	switch spec.Func {
+	case Count, CountDistinct:
+		return vector.KindInt64
+	case Avg:
+		return vector.KindFloat64
+	default:
+		return argKind
+	}
+}
+
+// hashAggregate is the shared flat-block grouping kernel. Groups are emitted
+// in ascending group-key order for determinism.
+func hashAggregate(fb *core.FlatBlock, groupBy []string, aggs []AggSpec) (*core.FlatBlock, error) {
+	groupIdx := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		if groupIdx[i] = fb.ColIndex(g); groupIdx[i] < 0 {
+			return nil, errNoColumn("aggregate", g)
+		}
+	}
+	argIdx := make([]int, len(aggs))
+	argKind := make([]vector.Kind, len(aggs))
+	for j, a := range aggs {
+		if a.Arg == "" {
+			if a.Func != Count {
+				return nil, fmt.Errorf("op: aggregate %s requires an argument", a.Func)
+			}
+			argIdx[j] = -1
+			argKind[j] = vector.KindInt64
+			continue
+		}
+		if argIdx[j] = fb.ColIndex(a.Arg); argIdx[j] < 0 {
+			return nil, errNoColumn("aggregate", a.Arg)
+		}
+		argKind[j] = fb.Kinds[argIdx[j]]
+	}
+
+	groups := make(map[string]*aggState)
+	groupVals := make([]vector.Value, len(groupBy))
+	for _, row := range fb.Rows {
+		for i, gi := range groupIdx {
+			groupVals[i] = row[gi]
+		}
+		key := rowKey(groupVals)
+		st, ok := groups[key]
+		if !ok {
+			st = newAggState(groupVals, len(aggs))
+			groups[key] = st
+		}
+		for j, a := range aggs {
+			var v vector.Value
+			if argIdx[j] >= 0 {
+				v = row[argIdx[j]]
+			}
+			st.update(j, a, v, 1)
+		}
+	}
+	return emitAggregates(fb, groupBy, groupIdx, aggs, argKind, groups)
+}
+
+// emitAggregates renders the group table.
+func emitAggregates(fb *core.FlatBlock, groupBy []string, groupIdx []int, aggs []AggSpec, argKind []vector.Kind, groups map[string]*aggState) (*core.FlatBlock, error) {
+	names := append([]string(nil), groupBy...)
+	kinds := make([]vector.Kind, 0, len(groupBy)+len(aggs))
+	for _, gi := range groupIdx {
+		kinds = append(kinds, fb.Kinds[gi])
+	}
+	for j, a := range aggs {
+		names = append(names, a.As)
+		kinds = append(kinds, aggOutputKind(a, argKind[j]))
+	}
+	out := core.NewFlatBlock(names, kinds)
+
+	// Global aggregation (no GROUP BY) over empty input yields one row of
+	// zero aggregates, per SQL/Cypher semantics.
+	if len(groupBy) == 0 && len(groups) == 0 {
+		groups[""] = newAggState(nil, len(aggs))
+	}
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := groups[k]
+		row := make([]vector.Value, 0, len(names))
+		row = append(row, st.groupVals...)
+		for j, a := range aggs {
+			row = append(row, st.result(j, a, argKind[j]))
+		}
+		out.AppendOwned(row)
+	}
+	return out, nil
+}
+
+// HashAggregateBlock exposes the flat grouping kernel for alternative
+// executors (volcano drains its child iterator into a block and reuses the
+// same aggregation semantics, keeping results comparable).
+func HashAggregateBlock(fb *core.FlatBlock, groupBy []string, aggs []AggSpec) (*core.FlatBlock, error) {
+	return hashAggregate(fb, groupBy, aggs)
+}

@@ -1,0 +1,234 @@
+package op
+
+import (
+	"fmt"
+
+	"ges/internal/catalog"
+	"ges/internal/core"
+	"ges/internal/storage"
+	"ges/internal/vector"
+)
+
+// EdgeProj projects one edge property onto the expansion output.
+type EdgeProj struct {
+	Prop string // edge-property name in the edge type's schema
+	As   string // output column name
+}
+
+// Expand is the paper's dominant operator (§3.1, §4.3): it extends the
+// vertices bound to From along one edge type to their neighbors, bound to
+// To.
+//
+// On the factorized path each execution adds exactly one f-Tree node under
+// From's node: neighbor IDs land in a new f-Block and the per-parent row
+// ranges form the index vector of the new edge. When no edge properties or
+// fused predicates are requested, the neighbor column stays *lazy* — it
+// records (pointer,length) references into the storage adjacency array, the
+// pointer-based join of §5.
+//
+// VertexPred / EdgePropPred implement the FilterPushDown (ExpandFilter)
+// fusion: predicates are applied while expanding so rejected neighbors are
+// never materialized at all.
+type Expand struct {
+	From, To string
+	Et       catalog.EdgeTypeID
+	Dir      catalog.Direction
+	DstLabel catalog.LabelID
+
+	EdgeProps []EdgeProj
+
+	// VertexPred filters candidate neighbors by their own vertex data.
+	VertexPred func(ctx *Ctx, v vector.VID) bool
+	// EdgePropPred filters candidates by the projected edge-property values
+	// (ordered per EdgeProps).
+	EdgePropPred func(props []vector.Value) bool
+
+	// NoLazy disables the pointer-based join (lazy neighbor segments) and
+	// forces materialized neighbor IDs — the ablation knob for §5's
+	// pointer-based-join claim.
+	NoLazy bool
+}
+
+// Name implements Operator.
+func (o *Expand) Name() string {
+	if o.VertexPred != nil || o.EdgePropPred != nil {
+		return "Expand(fused-filter)"
+	}
+	return "Expand"
+}
+
+// edgePropPlan resolves the requested edge properties against the catalog.
+type edgePropPlan struct {
+	idx  []int // position in the edge type's property schema
+	kind []vector.Kind
+}
+
+func (o *Expand) resolveEdgeProps(cat *catalog.Catalog) (edgePropPlan, error) {
+	var p edgePropPlan
+	for _, ep := range o.EdgeProps {
+		pid, kind, ok := cat.EdgePropIndex(o.Et, ep.Prop)
+		if !ok {
+			return p, fmt.Errorf("op: edge type %s has no property %q", cat.EdgeTypeName(o.Et), ep.Prop)
+		}
+		p.idx = append(p.idx, int(pid))
+		p.kind = append(p.kind, kind)
+	}
+	return p, nil
+}
+
+// Execute implements Operator.
+func (o *Expand) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
+	epp, err := o.resolveEdgeProps(ctx.View.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	if in.IsFlat() {
+		return o.executeFlat(ctx, in.Flat, epp)
+	}
+	return o.executeFactorized(ctx, in.FT, epp)
+}
+
+func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (*core.Chunk, error) {
+	parent, fromCol, err := vidColumn(ft, o.From)
+	if err != nil {
+		return nil, err
+	}
+	lazyOK := !o.NoLazy && len(o.EdgeProps) == 0 && o.VertexPred == nil && o.EdgePropPred == nil
+
+	index := make([]core.Range, parent.Block.NumRows())
+	var segBuf []storage.Segment
+
+	if lazyOK {
+		if ctx.Parallel > 1 && parent.Block.NumRows() >= parallelMinRows {
+			toCol, pidx := parallelLazyExpand(ctx, o.To, parent, fromCol, o.Et, o.Dir, o.DstLabel)
+			ft.AddChild(parent, core.NewFBlock(toCol), pidx)
+			return &core.Chunk{FT: ft}, nil
+		}
+		toCol := vector.NewLazyVIDColumn(o.To)
+		total := 0
+		for i := 0; i < parent.Block.NumRows(); i++ {
+			if !parent.Valid(i) {
+				index[i] = core.Range{Start: int32(total), End: int32(total)}
+				continue
+			}
+			src := fromCol.VIDAt(i)
+			segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, false)
+			start := total
+			for _, seg := range segBuf {
+				_, total = toCol.AppendSegment(seg.VIDs)
+			}
+			if len(segBuf) == 0 {
+				index[i] = core.Range{Start: int32(start), End: int32(start)}
+			} else {
+				index[i] = core.Range{Start: int32(start), End: int32(total)}
+			}
+		}
+		ft.AddChild(parent, core.NewFBlock(toCol), index)
+		return &core.Chunk{FT: ft}, nil
+	}
+
+	// Materializing path: edge properties or fused predicates requested.
+	toCol := vector.NewColumn(o.To, vector.KindVID)
+	propCols := make([]*vector.Column, len(o.EdgeProps))
+	for i, ep := range o.EdgeProps {
+		propCols[i] = vector.NewColumn(ep.As, epp.kind[i])
+	}
+	propVals := make([]vector.Value, len(o.EdgeProps))
+	total := 0
+	withProps := len(o.EdgeProps) > 0
+	for i := 0; i < parent.Block.NumRows(); i++ {
+		start := total
+		if !parent.Valid(i) {
+			index[i] = core.Range{Start: int32(start), End: int32(start)}
+			continue
+		}
+		src := fromCol.VIDAt(i)
+		segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, withProps)
+		for _, seg := range segBuf {
+			for k, v := range seg.VIDs {
+				if o.VertexPred != nil && !o.VertexPred(ctx, v) {
+					continue
+				}
+				for p := range o.EdgeProps {
+					propVals[p] = segPropValue(seg, epp, p, k)
+				}
+				if o.EdgePropPred != nil && !o.EdgePropPred(propVals) {
+					continue
+				}
+				toCol.AppendVID(v)
+				for p, pc := range propCols {
+					pc.Append(propVals[p])
+				}
+				total++
+			}
+		}
+		index[i] = core.Range{Start: int32(start), End: int32(total)}
+	}
+	block := core.NewFBlock(toCol)
+	for _, pc := range propCols {
+		block.AddColumn(pc)
+	}
+	ft.AddChild(parent, block, index)
+	return &core.Chunk{FT: ft}, nil
+}
+
+// segPropValue extracts edge property p (plan position) for neighbor k of a
+// segment.
+func segPropValue(seg storage.Segment, epp edgePropPlan, p, k int) vector.Value {
+	si := epp.idx[p]
+	switch epp.kind[p] {
+	case vector.KindInt64:
+		return vector.Int64(seg.PropI64[si][k])
+	case vector.KindDate:
+		return vector.Date(seg.PropI64[si][k])
+	case vector.KindFloat64:
+		return vector.Float64(seg.PropF64[si][k])
+	case vector.KindString:
+		return vector.String_(seg.PropStr[si][k])
+	default:
+		return vector.Value{}
+	}
+}
+
+func (o *Expand) executeFlat(ctx *Ctx, in *core.FlatBlock, epp edgePropPlan) (*core.Chunk, error) {
+	fromIdx := in.ColIndex(o.From)
+	if fromIdx < 0 {
+		return nil, errNoColumn("expand", o.From)
+	}
+	names := append(append([]string(nil), in.Names...), o.To)
+	kinds := append(append([]vector.Kind(nil), in.Kinds...), vector.KindVID)
+	for i, ep := range o.EdgeProps {
+		names = append(names, ep.As)
+		kinds = append(kinds, epp.kind[i])
+	}
+	out := core.NewFlatBlock(names, kinds)
+	var segBuf []storage.Segment
+	withProps := len(o.EdgeProps) > 0
+	propVals := make([]vector.Value, len(o.EdgeProps))
+	for _, row := range in.Rows {
+		src := row[fromIdx].AsVID()
+		segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, withProps)
+		for _, seg := range segBuf {
+			for k, v := range seg.VIDs {
+				if o.VertexPred != nil && !o.VertexPred(ctx, v) {
+					continue
+				}
+				for p := range o.EdgeProps {
+					propVals[p] = segPropValue(seg, epp, p, k)
+				}
+				if o.EdgePropPred != nil && !o.EdgePropPred(propVals) {
+					continue
+				}
+				nr := make([]vector.Value, 0, len(names))
+				nr = append(nr, row...)
+				nr = append(nr, vector.VIDValue(v))
+				nr = append(nr, propVals...)
+				out.AppendOwned(nr)
+				if ctx.MaxRows > 0 && out.NumRows() > ctx.MaxRows {
+					return nil, fmt.Errorf("op: flat expand exceeded row limit %d", ctx.MaxRows)
+				}
+			}
+		}
+	}
+	return &core.Chunk{Flat: out}, nil
+}

@@ -1,0 +1,193 @@
+package op
+
+import (
+	"ges/internal/core"
+	"ges/internal/expr"
+	"ges/internal/vector"
+)
+
+// Filter evaluates a predicate. On the factorized path the disjoint schema
+// partition property locates the single f-Tree node owning the predicate's
+// attributes and the selection vector is updated in place — no data moves
+// (§4.3, Filter). Predicates spanning several nodes force a de-factor.
+type Filter struct {
+	Pred expr.Expr
+	// NoPrune disables upward selection-vector pruning (used by ablation
+	// benchmarks; pruning is on by default).
+	NoPrune bool
+}
+
+// Name implements Operator.
+func (o *Filter) Name() string { return "Filter" }
+
+// Execute implements Operator.
+func (o *Filter) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
+	if !in.IsFlat() {
+		cols := o.Pred.Columns(nil)
+		if node := in.FT.NodeOfColumns(cols); node != nil {
+			if !vectorizedFilter(node, o.Pred) {
+				get, err := expr.BindBlock(o.Pred, node.Block)
+				if err != nil {
+					return nil, err
+				}
+				for i := 0; i < node.Block.NumRows(); i++ {
+					if node.Sel.Get(i) && !get(i).AsBool() {
+						node.Sel.Clear(i)
+					}
+				}
+			}
+			if !o.NoPrune {
+				in.FT.PruneUp(node)
+			}
+			return in, nil
+		}
+		fb, err := ensureFlat(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		in = &core.Chunk{Flat: fb}
+	}
+	get, err := expr.BindFlat(o.Pred, in.Flat)
+	if err != nil {
+		return nil, err
+	}
+	out := core.NewFlatBlock(in.Flat.Names, in.Flat.Kinds)
+	for i, row := range in.Flat.Rows {
+		if get(i).AsBool() {
+			out.AppendOwned(row)
+		}
+	}
+	return &core.Chunk{Flat: out}, nil
+}
+
+// Defactor explicitly converts a factorized chunk into a flat block holding
+// the named columns (all columns when Cols is nil). Plans insert it ahead of
+// blocking logic; it is a no-op on already-flat chunks unless Cols narrows
+// the schema.
+type Defactor struct {
+	Cols []string
+}
+
+// Name implements Operator.
+func (o *Defactor) Name() string { return "Defactor" }
+
+// Execute implements Operator.
+func (o *Defactor) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
+	if in.IsFlat() {
+		if o.Cols == nil {
+			return in, nil
+		}
+		fb, err := in.Flat.Project(o.Cols)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Chunk{Flat: fb}, nil
+	}
+	var (
+		fb  *core.FlatBlock
+		err error
+	)
+	if o.Cols == nil {
+		fb, err = in.FT.DefactorAll()
+	} else {
+		fb, err = in.FT.Defactor(o.Cols)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &core.Chunk{Flat: fb}, nil
+}
+
+// vectorizedFilter is the §5 vectorization fast path: single-column
+// comparisons against integer/date literals run as a tight loop over the
+// contiguous column slice — the pattern modern compilers auto-vectorize —
+// instead of through the compiled expression closure. It reports whether it
+// handled the predicate.
+func vectorizedFilter(node *core.Node, pred expr.Expr) bool {
+	cmp, ok := pred.(expr.Cmp)
+	if !ok {
+		return false
+	}
+	colRef, okL := cmp.L.(expr.Col)
+	lit, okR := cmp.R.(expr.Lit)
+	op := cmp.Op
+	if !okL || !okR {
+		// Try the mirrored form: literal <op> column.
+		lit, okL = cmp.L.(expr.Lit)
+		colRef, okR = cmp.R.(expr.Col)
+		if !okL || !okR {
+			return false
+		}
+		op = mirror(op)
+	}
+	col := node.Block.ColumnByName(colRef.Name)
+	if col == nil || col.Lazy() {
+		return false
+	}
+	if col.Kind != vector.KindInt64 && col.Kind != vector.KindDate {
+		return false
+	}
+	if lit.Val.Kind != vector.KindInt64 && lit.Val.Kind != vector.KindDate {
+		return false
+	}
+	vals := col.Int64s()
+	threshold := lit.Val.I
+	sel := node.Sel
+	switch op {
+	case expr.LT:
+		for i, v := range vals {
+			if v >= threshold {
+				sel.Clear(i)
+			}
+		}
+	case expr.LE:
+		for i, v := range vals {
+			if v > threshold {
+				sel.Clear(i)
+			}
+		}
+	case expr.GT:
+		for i, v := range vals {
+			if v <= threshold {
+				sel.Clear(i)
+			}
+		}
+	case expr.GE:
+		for i, v := range vals {
+			if v < threshold {
+				sel.Clear(i)
+			}
+		}
+	case expr.EQ:
+		for i, v := range vals {
+			if v != threshold {
+				sel.Clear(i)
+			}
+		}
+	case expr.NE:
+		for i, v := range vals {
+			if v == threshold {
+				sel.Clear(i)
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// mirror flips a comparison for the literal-first form.
+func mirror(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	default:
+		return op
+	}
+}

@@ -1,0 +1,85 @@
+package op_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ges/internal/core"
+	"ges/internal/expr"
+	"ges/internal/op"
+	"ges/internal/vector"
+)
+
+// TestVectorizedFilterMatchesClosure drives both filter evaluation paths —
+// the vectorized tight loop and the compiled-expression fallback — over
+// random columns and all comparison operators, in both operand orders.
+func TestVectorizedFilterMatchesClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	ops := []expr.CmpOp{expr.LT, expr.LE, expr.GT, expr.GE, expr.EQ, expr.NE}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		vals := make([]int64, n)
+		col := vector.NewColumn("x", vector.KindInt64)
+		// A second string column forces the closure path when referenced.
+		tag := vector.NewColumn("tag", vector.KindString)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(20))
+			col.AppendInt64(vals[i])
+			tag.AppendString("t")
+		}
+		threshold := int64(rng.Intn(20))
+		cmpOp := ops[rng.Intn(len(ops))]
+		mirrored := rng.Intn(2) == 0
+
+		build := func() *core.FTree {
+			ft := core.NewFTree(core.NewFBlock(col.Clone(), tag.Clone()))
+			for i := 0; i < n; i++ {
+				if rng := i % 7; rng == 0 {
+					ft.Root.Sel.Clear(i)
+				}
+			}
+			return ft
+		}
+
+		var pred expr.Expr
+		if mirrored {
+			pred = expr.Cmp{Op: cmpOp, L: expr.LInt(threshold), R: expr.C("x")}
+		} else {
+			pred = expr.Cmp{Op: cmpOp, L: expr.C("x"), R: expr.LInt(threshold)}
+		}
+		// Vectorized path: single int column comparison.
+		ftV := build()
+		if _, err := (&op.Filter{Pred: pred, NoPrune: true}).Execute(&op.Ctx{}, &core.Chunk{FT: ftV}); err != nil {
+			t.Fatal(err)
+		}
+		// Closure path: the same predicate AND a string predicate that is
+		// always true, which defeats the fast-path pattern match.
+		ftC := build()
+		closurePred := expr.And{L: pred, R: expr.StrPred{Op: expr.Contains, L: expr.C("tag"), R: ""}}
+		if _, err := (&op.Filter{Pred: closurePred, NoPrune: true}).Execute(&op.Ctx{}, &core.Chunk{FT: ftC}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if ftV.Root.Sel.Get(i) != ftC.Root.Sel.Get(i) {
+				t.Fatalf("trial %d: op %v mirrored=%v row %d (val %d, threshold %d): vectorized=%v closure=%v",
+					trial, cmpOp, mirrored, i, vals[i], threshold,
+					ftV.Root.Sel.Get(i), ftC.Root.Sel.Get(i))
+			}
+		}
+	}
+}
+
+// TestFilterLazyColumnFallsBack ensures lazy (pointer-based) VID columns
+// bypass the vectorized path without breaking.
+func TestFilterLazyColumnFallsBack(t *testing.T) {
+	lazy := vector.NewLazyVIDColumn("v")
+	lazy.AppendSegment([]vector.VID{1, 2, 3})
+	ft := core.NewFTree(core.NewFBlock(lazy))
+	_, err := (&op.Filter{Pred: expr.Gt(expr.C("v"), expr.LInt(1))}).Execute(&op.Ctx{}, &core.Chunk{FT: ft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ft.Root.Sel.Count(); got != 2 {
+		t.Fatalf("valid rows = %d, want 2", got)
+	}
+}

@@ -1,0 +1,170 @@
+package op_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ges/internal/catalog"
+	"ges/internal/core"
+	"ges/internal/exec"
+	"ges/internal/op"
+	"ges/internal/plan"
+	"ges/internal/testgraph"
+	"ges/internal/vector"
+)
+
+// randomAggTree builds a random f-Tree whose every block carries one int64
+// column, mirroring the shapes Expand produces (disjoint, ordered child
+// ranges).
+func randomAggTree(rng *rand.Rand) *core.FTree {
+	col := func(name string, rows int) *vector.Column {
+		c := vector.NewColumn(name, vector.KindInt64)
+		for i := 0; i < rows; i++ {
+			c.AppendInt64(int64(rng.Intn(5))) // few distinct values => real groups
+		}
+		return c
+	}
+	rootRows := 1 + rng.Intn(3)
+	ft := core.NewFTree(core.NewFBlock(col("c0", rootRows)))
+	nodes := []*core.Node{ft.Root}
+	nNodes := 2 + rng.Intn(3)
+	for id := 1; id < nNodes; id++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		pRows := parent.Block.NumRows()
+		index := make([]core.Range, pRows)
+		total := int32(0)
+		for i := 0; i < pRows; i++ {
+			span := int32(rng.Intn(4))
+			index[i] = core.Range{Start: total, End: total + span}
+			total += span
+		}
+		child := ft.AddChild(parent, core.NewFBlock(col(fmt.Sprintf("c%d", id), int(total))), index)
+		nodes = append(nodes, child)
+	}
+	for _, n := range ft.Nodes() {
+		for r := 0; r < n.Block.NumRows(); r++ {
+			if rng.Intn(5) == 0 {
+				n.Sel.Clear(r)
+			}
+		}
+	}
+	return ft
+}
+
+// TestWeightedAggregationMatchesFlat is the correctness property behind the
+// AggregateProjectTop fusion: for random trees, the weighted single-node
+// factorized aggregation must agree exactly with de-factoring followed by
+// flat hash aggregation — for every aggregate function.
+func TestWeightedAggregationMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for trial := 0; trial < 300; trial++ {
+		ft := randomAggTree(rng)
+		// Pick a node to aggregate on: group by its column, aggregate it too.
+		nodes := ft.Nodes()
+		target := nodes[rng.Intn(len(nodes))]
+		colName := target.Block.Column(0).Name
+
+		aggs := []op.AggSpec{
+			{Func: op.Count, As: "cnt"},
+			{Func: op.Sum, Arg: colName, As: "sum"},
+			{Func: op.Min, Arg: colName, As: "min"},
+			{Func: op.Max, Arg: colName, As: "max"},
+			{Func: op.Avg, Arg: colName, As: "avg"},
+			{Func: op.CountDistinct, Arg: colName, As: "cd"},
+		}
+
+		// Reference: full de-factor + flat hash aggregation.
+		flat, err := ft.DefactorAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := op.HashAggregateBlock(flat, []string{colName}, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Fused: the weighted factorized path (single-node condition holds
+		// by construction).
+		fused := &op.AggregateProjectTop{GroupBy: []string{colName}, Aggs: aggs}
+		got, err := fused.Execute(&op.Ctx{}, &core.Chunk{FT: ft})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !sameTable(got.Flat, want) {
+			t.Fatalf("trial %d: weighted aggregation diverges\n got: %s\nwant: %s\ntree:\n%s",
+				trial, got.Flat, want, ft)
+		}
+	}
+}
+
+// TestStreamingAggregationMatchesFlat covers the cross-node (streaming)
+// fused path with group-by and argument on different nodes.
+func TestStreamingAggregationMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	for trial := 0; trial < 200; trial++ {
+		ft := randomAggTree(rng)
+		nodes := ft.Nodes()
+		if len(nodes) < 2 {
+			continue
+		}
+		groupCol := nodes[0].Block.Column(0).Name
+		argCol := nodes[len(nodes)-1].Block.Column(0).Name
+		if groupCol == argCol {
+			continue
+		}
+		aggs := []op.AggSpec{
+			{Func: op.Count, As: "cnt"},
+			{Func: op.Sum, Arg: argCol, As: "sum"},
+		}
+		flat, err := ft.DefactorAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := op.HashAggregateBlock(flat, []string{groupCol}, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused := &op.AggregateProjectTop{GroupBy: []string{groupCol}, Aggs: aggs}
+		got, err := fused.Execute(&op.Ctx{}, &core.Chunk{FT: ft})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameTable(got.Flat, want) {
+			t.Fatalf("trial %d: streaming aggregation diverges\n got: %s\nwant: %s", trial, got.Flat, want)
+		}
+	}
+}
+
+func sameTable(a, b *core.FlatBlock) bool {
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		return false
+	}
+	return reflect.DeepEqual(rowsAsStrings(a), rowsAsStrings(b))
+}
+
+// TestSeekExpandMatchesSeekPlusExpand validates the VertexExpand fusion
+// directly on the fixture, including the missing-vertex edge case.
+func TestSeekExpandMatchesSeekPlusExpand(t *testing.T) {
+	f := testgraph.New()
+	s := f.Schema
+	for _, ext := range []int64{100, 102, 104, 999} {
+		fusedGot := run(t, f, exec.ModeFactorized, plan.Plan{
+			&op.SeekExpand{Label: s.Person, ExtID: ext, To: "f", Et: s.Knows,
+				Dir: catalog.Out, DstLabel: s.Person},
+			&op.ProjectProps{Specs: []op.ProjSpec{{Var: "f", As: "f.id", ExtID: true}}},
+			&op.Defactor{Cols: []string{"f.id"}},
+		})
+		plainGot := run(t, f, exec.ModeFactorized, plan.Plan{
+			&op.NodeByIdSeek{Var: "p", Label: s.Person, ExtID: ext},
+			&op.Expand{From: "p", To: "f", Et: s.Knows, Dir: catalog.Out, DstLabel: s.Person},
+			&op.ProjectProps{Specs: []op.ProjSpec{{Var: "f", As: "f.id", ExtID: true}}},
+			&op.Defactor{Cols: []string{"f.id"}},
+		})
+		if !reflect.DeepEqual(rowsAsStrings(fusedGot), rowsAsStrings(plainGot)) {
+			t.Fatalf("ext %d: fused %v != plain %v", ext, rowsAsStrings(fusedGot), rowsAsStrings(plainGot))
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package op
+
+import (
+	"fmt"
+
+	"ges/internal/core"
+	"ges/internal/vector"
+)
+
+// RunPlan executes a linear operator chain from scratch and returns its
+// final chunk. The executor package wraps this with per-operator timing; the
+// plain version serves sub-plans (hash-join build sides) and tests.
+func RunPlan(ctx *Ctx, plan []Operator) (*core.Chunk, error) {
+	var ch *core.Chunk
+	var err error
+	for _, o := range plan {
+		ch, err = o.Execute(ctx, ch)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", o.Name(), err)
+		}
+		ctx.Observe(ch)
+	}
+	return ch, nil
+}
+
+// JoinType selects hash-join semantics.
+type JoinType uint8
+
+// Join types.
+const (
+	Inner JoinType = iota
+	LeftSemi
+	LeftAnti
+	LeftOuter
+)
+
+func (t JoinType) String() string {
+	return [...]string{"inner", "left-semi", "left-anti", "left-outer"}[t]
+}
+
+// HashJoin joins the incoming chunk with the result of an independently
+// executed right-hand sub-plan. Joins correlate tuples across factorization
+// branches — cyclic query shapes — so both sides are materialized flat, the
+// case where "GES's executor reverts to the traditional flat-block-based
+// execution" (§4.3, Applicability and Trade-offs).
+type HashJoin struct {
+	Right     []Operator
+	LeftKeys  []string
+	RightKeys []string
+	Type      JoinType
+}
+
+// Name implements Operator.
+func (o *HashJoin) Name() string { return "HashJoin" }
+
+// Execute implements Operator.
+func (o *HashJoin) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
+	if len(o.LeftKeys) != len(o.RightKeys) {
+		return nil, fmt.Errorf("op: hash join key arity mismatch (%d vs %d)", len(o.LeftKeys), len(o.RightKeys))
+	}
+	left, err := ensureFlat(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	rightChunk, err := RunPlan(ctx, o.Right)
+	if err != nil {
+		return nil, fmt.Errorf("hash join right side: %w", err)
+	}
+	right, err := ensureFlat(ctx, rightChunk)
+	if err != nil {
+		return nil, err
+	}
+
+	lIdx, err := colIndices(left, o.LeftKeys, "hash-join left")
+	if err != nil {
+		return nil, err
+	}
+	rIdx, err := colIndices(right, o.RightKeys, "hash-join right")
+	if err != nil {
+		return nil, err
+	}
+
+	// Build on the right side.
+	table := make(map[string][]int, right.NumRows())
+	keyBuf := make([]vector.Value, len(rIdx))
+	for i, row := range right.Rows {
+		for k, ri := range rIdx {
+			keyBuf[k] = row[ri]
+		}
+		key := rowKey(keyBuf)
+		table[key] = append(table[key], i)
+	}
+
+	switch o.Type {
+	case LeftSemi, LeftAnti:
+		out := core.NewFlatBlock(left.Names, left.Kinds)
+		for _, row := range left.Rows {
+			for k, li := range lIdx {
+				keyBuf[k] = row[li]
+			}
+			_, hit := table[rowKey(keyBuf)]
+			if hit == (o.Type == LeftSemi) {
+				out.AppendOwned(row)
+			}
+		}
+		return &core.Chunk{Flat: out}, nil
+	}
+
+	names := append(append([]string(nil), left.Names...), right.Names...)
+	kinds := append(append([]vector.Kind(nil), left.Kinds...), right.Kinds...)
+	out := core.NewFlatBlock(names, kinds)
+	nullRight := make([]vector.Value, right.NumCols())
+	for i, k := range right.Kinds {
+		nullRight[i] = vector.Value{Kind: k}
+	}
+	for _, row := range left.Rows {
+		for k, li := range lIdx {
+			keyBuf[k] = row[li]
+		}
+		matches := table[rowKey(keyBuf)]
+		if len(matches) == 0 {
+			if o.Type == LeftOuter {
+				nr := append(append([]vector.Value(nil), row...), nullRight...)
+				out.AppendOwned(nr)
+			}
+			continue
+		}
+		for _, ri := range matches {
+			nr := append(append([]vector.Value(nil), row...), right.Rows[ri]...)
+			out.AppendOwned(nr)
+			if ctx.MaxRows > 0 && out.NumRows() > ctx.MaxRows {
+				return nil, fmt.Errorf("op: hash join exceeded row limit %d", ctx.MaxRows)
+			}
+		}
+	}
+	return &core.Chunk{Flat: out}, nil
+}
+
+func colIndices(fb *core.FlatBlock, names []string, where string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		if out[i] = fb.ColIndex(n); out[i] < 0 {
+			return nil, errNoColumn(where, n)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+// Package op implements the GES physical operators (§4.3) in both execution
+// styles the paper contrasts:
+//
+//   - the factorized path, where operators grow / annotate a shared f-Tree
+//     (Expand adds nodes, Projection appends columns, Filter updates
+//     selection vectors) and de-factor only when forced, and
+//   - the flat path, where every operator consumes and produces fully
+//     materialized row blocks — the classical engine the paper's baseline
+//     GES variant (and most graph databases) use.
+//
+// The executor picks the path per chunk: a factorized chunk runs the
+// factorized implementation until an operator with cross-node blocking logic
+// de-factors it, after which everything downstream runs block-based.
+package op
+
+import (
+	"fmt"
+
+	"ges/internal/catalog"
+	"ges/internal/core"
+	"ges/internal/storage"
+	"ges/internal/vector"
+)
+
+// Ctx carries the per-query execution environment: the storage view the
+// query reads (base graph or transaction snapshot), the shared memory pool,
+// and instrumentation sinks.
+type Ctx struct {
+	View storage.View
+	Pool *storage.Pool
+
+	// PeakMem records the largest chunk observed between operators; the
+	// executor samples it after every operator (Table 2).
+	PeakMem int
+
+	// Rows limits defensive materialization: a de-factor producing more than
+	// MaxRows rows aborts the query instead of exhausting memory. Zero means
+	// no limit.
+	MaxRows int
+
+	// Parallel is the intra-query parallelism degree (§2.1, Runtime): the
+	// expansion operators shard large parent blocks across this many worker
+	// goroutines. Values <= 1 run sequentially.
+	Parallel int
+}
+
+// Observe folds a chunk's size into the peak-memory statistic.
+func (c *Ctx) Observe(ch *core.Chunk) {
+	if ch == nil {
+		return
+	}
+	if m := ch.MemBytes(); m > c.PeakMem {
+		c.PeakMem = m
+	}
+}
+
+// Operator is one step of a physical plan. Execute receives the chunk
+// produced by the upstream operator (nil for source operators) and returns
+// the chunk for the downstream one.
+type Operator interface {
+	Name() string
+	Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error)
+}
+
+// errNoColumn standardizes missing-attribute errors.
+func errNoColumn(op, col string) error {
+	return fmt.Errorf("op: %s: no column %q in input", op, col)
+}
+
+// propGetter resolves a property name across every label that defines it,
+// returning a per-vertex accessor. Mixed-label columns (e.g. LDBC Message =
+// Post ∪ Comment) resolve the property ID per row through the vertex label.
+type propGetter struct {
+	name string
+	kind vector.Kind
+	pids []int32 // per label; -1 when the label lacks the property
+	view storage.View
+}
+
+func newPropGetter(view storage.View, name string) (*propGetter, error) {
+	cat := view.Catalog()
+	g := &propGetter{name: name, view: view, pids: make([]int32, cat.NumLabels())}
+	found := false
+	for l := 0; l < cat.NumLabels(); l++ {
+		pid, kind, ok := cat.PropIndex(catalog.LabelID(l), name)
+		if !ok {
+			g.pids[l] = -1
+			continue
+		}
+		if found && kind != g.kind {
+			return nil, fmt.Errorf("op: property %q has conflicting kinds across labels", name)
+		}
+		g.pids[l] = int32(pid)
+		g.kind = kind
+		found = true
+	}
+	if !found {
+		return nil, fmt.Errorf("op: property %q not defined by any label", name)
+	}
+	return g, nil
+}
+
+// get returns the property value of vertex v (typed zero when v's label
+// lacks the property).
+func (g *propGetter) get(v vector.VID) vector.Value {
+	pid := g.pids[g.view.LabelOf(v)]
+	if pid < 0 {
+		return vector.Value{Kind: g.kind}
+	}
+	return g.view.Prop(v, catalog.PropID(pid))
+}
+
+// ensureFlat returns the chunk's flat block, de-factoring the full tree when
+// necessary. Operators without a factorized implementation call this —
+// the paper's "ultimate solution".
+func ensureFlat(ctx *Ctx, in *core.Chunk) (*core.FlatBlock, error) {
+	if in.Flat != nil {
+		return in.Flat, nil
+	}
+	if in.FT == nil {
+		return nil, fmt.Errorf("op: empty chunk")
+	}
+	fb, err := in.FT.DefactorAll()
+	if err != nil {
+		return nil, err
+	}
+	if ctx.MaxRows > 0 && fb.NumRows() > ctx.MaxRows {
+		return nil, fmt.Errorf("op: de-factoring produced %d rows, over limit %d", fb.NumRows(), ctx.MaxRows)
+	}
+	return fb, nil
+}
+
+// vidColumn locates the f-Tree node and VID column for a variable name.
+func vidColumn(ft *core.FTree, name string) (*core.Node, *vector.Column, error) {
+	n, c := ft.FindColumn(name)
+	if c == nil {
+		return nil, nil, errNoColumn("expand", name)
+	}
+	if c.Kind != vector.KindVID {
+		return nil, nil, fmt.Errorf("op: column %q is %s, want vid", name, c.Kind)
+	}
+	return n, c, nil
+}
+
+// NewPropReader returns a per-vertex property accessor and its kind,
+// resolved across all labels defining the property. Alternative executors
+// (volcano) use it to interpret ProjectProps specs.
+func NewPropReader(view storage.View, prop string) (func(vector.VID) vector.Value, vector.Kind, error) {
+	g, err := newPropGetter(view, prop)
+	if err != nil {
+		return nil, vector.KindInvalid, err
+	}
+	return g.get, g.kind, nil
+}

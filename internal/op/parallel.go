@@ -1,0 +1,144 @@
+package op
+
+import (
+	"sync"
+
+	"ges/internal/catalog"
+	"ges/internal/core"
+	"ges/internal/storage"
+	"ges/internal/vector"
+)
+
+// Intra-query parallelism (§2.1, Runtime): the expansion operators split
+// their parent rows into morsels processed by worker goroutines, then merge
+// the shard outputs deterministically — results are byte-identical to the
+// sequential path regardless of worker count.
+//
+// Parallel execution engages when ctx.Parallel > 1 and the parent block is
+// large enough to amortize the fork/join (parallelMinRows).
+
+const parallelMinRows = 512
+
+// shardBounds splits n rows into at most p near-equal contiguous shards.
+func shardBounds(n, p int) [][2]int {
+	if p > n {
+		p = n
+	}
+	out := make([][2]int, 0, p)
+	chunk := (n + p - 1) / p
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// expandShard is one worker's output for a row range.
+type expandShard struct {
+	segs  [][]vector.VID // lazy path: per-append segments
+	index []core.Range   // ranges local to this shard (0-based)
+	rows  int            // total child rows produced
+}
+
+// parallelLazyExpand runs the pointer-based-join expansion across workers.
+// It returns the merged child column and index vector.
+func parallelLazyExpand(ctx *Ctx, name string, parent *core.Node, fromCol *vector.Column,
+	et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID) (*vector.Column, []core.Range) {
+
+	n := parent.Block.NumRows()
+	bounds := shardBounds(n, ctx.Parallel)
+	shards := make([]expandShard, len(bounds))
+
+	var wg sync.WaitGroup
+	wg.Add(len(bounds))
+	for si, b := range bounds {
+		go func(si int, lo, hi int) {
+			defer wg.Done()
+			sh := &shards[si]
+			sh.index = make([]core.Range, 0, hi-lo)
+			var segBuf []storage.Segment
+			total := 0
+			for i := lo; i < hi; i++ {
+				start := total
+				if parent.Valid(i) {
+					segBuf = ctx.View.Neighbors(segBuf[:0], fromCol.VIDAt(i), et, dir, dstLabel, false)
+					for _, seg := range segBuf {
+						sh.segs = append(sh.segs, seg.VIDs)
+						total += len(seg.VIDs)
+					}
+				}
+				sh.index = append(sh.index, core.Range{Start: int32(start), End: int32(total)})
+			}
+			sh.rows = total
+		}(si, b[0], b[1])
+	}
+	wg.Wait()
+
+	// Merge: append shard segments in order, offsetting ranges.
+	toCol := vector.NewLazyVIDColumn(name)
+	index := make([]core.Range, 0, n)
+	offset := int32(0)
+	for _, sh := range shards {
+		for _, seg := range sh.segs {
+			toCol.AppendSegment(seg)
+		}
+		for _, rg := range sh.index {
+			index = append(index, core.Range{Start: rg.Start + offset, End: rg.End + offset})
+		}
+		offset += int32(sh.rows)
+	}
+	return toCol, index
+}
+
+// traverseShard is one worker's var-length output.
+type traverseShard struct {
+	perRow [][]vector.VID // reachable vertices per parent row in the shard
+}
+
+// parallelTraverse runs the bounded BFS/DFS of VarLengthExpand across
+// workers, one morsel of source rows each.
+func parallelTraverse(ctx *Ctx, o *VarLengthExpand, parent *core.Node, fromCol *vector.Column) (*vector.Column, []core.Range) {
+	n := parent.Block.NumRows()
+	bounds := shardBounds(n, ctx.Parallel)
+	shards := make([]traverseShard, len(bounds))
+
+	var wg sync.WaitGroup
+	wg.Add(len(bounds))
+	for si, b := range bounds {
+		go func(si, lo, hi int) {
+			defer wg.Done()
+			sh := &shards[si]
+			sh.perRow = make([][]vector.VID, hi-lo)
+			// Each worker uses its own context view (the view itself is
+			// safe for concurrent reads) and scratch state.
+			for i := lo; i < hi; i++ {
+				if !parent.Valid(i) {
+					continue
+				}
+				row := i - lo
+				o.traverse(ctx, fromCol.VIDAt(i), func(v vector.VID) {
+					sh.perRow[row] = append(sh.perRow[row], v)
+				})
+			}
+		}(si, b[0], b[1])
+	}
+	wg.Wait()
+
+	toCol := vector.NewColumn(o.To, vector.KindVID)
+	index := make([]core.Range, 0, n)
+	total := int32(0)
+	for _, sh := range shards {
+		for _, vs := range sh.perRow {
+			start := total
+			for _, v := range vs {
+				toCol.AppendVID(v)
+				total++
+			}
+			index = append(index, core.Range{Start: start, End: total})
+		}
+	}
+	return toCol, index
+}

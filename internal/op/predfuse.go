@@ -1,0 +1,90 @@
+package op
+
+import (
+	"ges/internal/expr"
+	"ges/internal/vector"
+)
+
+// ExtIDProp is the pseudo-property name that VertexPropPred maps to a
+// vertex's external identifier.
+const ExtIDProp = "@id"
+
+// VertexPropPred compiles a predicate expression into an Expand vertex
+// predicate for the FilterPushDown fusion. propOf maps each column name
+// appearing in pred to the vertex property it denotes (or ExtIDProp). The
+// expression binds lazily on first call, when the execution context (and
+// thus the catalog) is available.
+func VertexPropPred(pred expr.Expr, propOf map[string]string) func(*Ctx, vector.VID) bool {
+	var (
+		compiled expr.Getter
+		initErr  error
+		cur      vector.VID
+	)
+	return func(ctx *Ctx, v vector.VID) bool {
+		if compiled == nil && initErr == nil {
+			compiled, initErr = expr.Bind(pred, vertexBinding{ctx: ctx, cur: &cur})
+		}
+		if initErr != nil {
+			// Surface binding failures as "reject everything"; the unfused
+			// plan path reports the same error loudly, and tests cover it.
+			return false
+		}
+		cur = v
+		return compiled(0).AsBool()
+	}
+
+}
+
+// vertexBinding resolves predicate column names to property reads of the
+// vertex currently pointed at by cur.
+type vertexBinding struct {
+	ctx *Ctx
+	cur *vector.VID
+}
+
+// Bind implements expr.Binding. The map-based indirection happens at
+// VertexPropPred construction: column names in the expression have already
+// been rewritten to property names by the planner, so Bind receives property
+// names (or ExtIDProp) directly.
+func (b vertexBinding) Bind(name string) (expr.Getter, error) {
+	if name == ExtIDProp {
+		view, cur := b.ctx.View, b.cur
+		return func(int) vector.Value {
+			return vector.Int64(view.ExtID(*cur))
+		}, nil
+	}
+	g, err := newPropGetter(b.ctx.View, name)
+	if err != nil {
+		return nil, err
+	}
+	cur := b.cur
+	return func(int) vector.Value { return g.get(*cur) }, nil
+}
+
+// RewriteCols returns a copy of e with every column reference renamed
+// through the mapping (identity when absent).
+func RewriteCols(e expr.Expr, rename map[string]string) expr.Expr {
+	switch n := e.(type) {
+	case expr.Col:
+		if to, ok := rename[n.Name]; ok {
+			return expr.Col{Name: to}
+		}
+		return n
+	case expr.Cmp:
+		return expr.Cmp{Op: n.Op, L: RewriteCols(n.L, rename), R: RewriteCols(n.R, rename)}
+	case expr.And:
+		return expr.And{L: RewriteCols(n.L, rename), R: RewriteCols(n.R, rename)}
+	case expr.Or:
+		return expr.Or{L: RewriteCols(n.L, rename), R: RewriteCols(n.R, rename)}
+	case expr.Not:
+		return expr.Not{X: RewriteCols(n.X, rename)}
+	case expr.Arith:
+		return expr.Arith{Op: n.Op, L: RewriteCols(n.L, rename), R: RewriteCols(n.R, rename)}
+	case expr.In:
+		return expr.In{X: RewriteCols(n.X, rename), List: n.List}
+	case expr.StrPred:
+		return expr.StrPred{Op: n.Op, L: RewriteCols(n.L, rename), R: n.R}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,186 @@
+package op
+
+import (
+	"fmt"
+
+	"ges/internal/core"
+	"ges/internal/expr"
+	"ges/internal/vector"
+)
+
+// ProjSpec projects one attribute of a bound vertex variable: either a
+// vertex property or the vertex's external identifier (ExtID).
+type ProjSpec struct {
+	Var   string
+	Prop  string // ignored when ExtID
+	As    string
+	ExtID bool
+}
+
+// ProjectProps fetches vertex properties (or external IDs) and appends them
+// as new columns. On the factorized path the column lands on the f-Tree node
+// owning the variable — columnar storage makes this a straight append
+// (§4.3, Projection) — and lazy neighbor columns are read through their
+// segment views without being materialized.
+type ProjectProps struct {
+	Specs []ProjSpec
+}
+
+// Name implements Operator.
+func (o *ProjectProps) Name() string { return "Project" }
+
+// Execute implements Operator.
+func (o *ProjectProps) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
+	if in.IsFlat() {
+		return o.executeFlat(ctx, in.Flat)
+	}
+	ft := in.FT
+	for _, spec := range o.Specs {
+		node, col, err := vidColumn(ft, spec.Var)
+		if err != nil {
+			return nil, err
+		}
+		var out *vector.Column
+		if spec.ExtID {
+			out = vector.NewColumn(spec.As, vector.KindInt64)
+			col.EachVID(func(_ int, v vector.VID) {
+				out.AppendInt64(ctx.View.ExtID(v))
+			})
+		} else {
+			g, err := newPropGetter(ctx.View, spec.Prop)
+			if err != nil {
+				return nil, err
+			}
+			out = vector.NewColumn(spec.As, g.kind)
+			col.EachVID(func(_ int, v vector.VID) {
+				out.Append(g.get(v))
+			})
+		}
+		node.Block.AddColumn(out)
+	}
+	return in, nil
+}
+
+func (o *ProjectProps) executeFlat(ctx *Ctx, in *core.FlatBlock) (*core.Chunk, error) {
+	names := append([]string(nil), in.Names...)
+	kinds := append([]vector.Kind(nil), in.Kinds...)
+	type colPlan struct {
+		varIdx int
+		extID  bool
+		g      *propGetter
+	}
+	plans := make([]colPlan, len(o.Specs))
+	for i, spec := range o.Specs {
+		vi := in.ColIndex(spec.Var)
+		if vi < 0 {
+			return nil, errNoColumn("project", spec.Var)
+		}
+		p := colPlan{varIdx: vi, extID: spec.ExtID}
+		if spec.ExtID {
+			kinds = append(kinds, vector.KindInt64)
+		} else {
+			g, err := newPropGetter(ctx.View, spec.Prop)
+			if err != nil {
+				return nil, err
+			}
+			p.g = g
+			kinds = append(kinds, g.kind)
+		}
+		names = append(names, spec.As)
+		plans[i] = p
+	}
+	out := core.NewFlatBlock(names, kinds)
+	out.Rows = in.Rows
+	// Flat pipelines are linear and each operator owns its input, so the
+	// projection extends rows in place instead of re-copying the table.
+	for i, row := range out.Rows {
+		for _, p := range plans {
+			v := row[p.varIdx].AsVID()
+			if p.extID {
+				row = append(row, vector.Int64(ctx.View.ExtID(v)))
+			} else {
+				row = append(row, p.g.get(v))
+			}
+		}
+		out.Rows[i] = row
+	}
+	return &core.Chunk{Flat: out}, nil
+}
+
+// ProjectExpr appends one computed column. On the factorized path the
+// expression must be confined to a single f-Tree node; otherwise the chunk
+// is de-factored first.
+type ProjectExpr struct {
+	Expr expr.Expr
+	As   string
+	Kind vector.Kind
+}
+
+// Name implements Operator.
+func (o *ProjectExpr) Name() string { return "ProjectExpr" }
+
+// Execute implements Operator.
+func (o *ProjectExpr) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
+	if !in.IsFlat() {
+		cols := o.Expr.Columns(nil)
+		if node := in.FT.NodeOfColumns(cols); node != nil {
+			get, err := expr.BindBlock(o.Expr, node.Block)
+			if err != nil {
+				return nil, err
+			}
+			out := vector.NewColumn(o.As, o.Kind)
+			for i := 0; i < node.Block.NumRows(); i++ {
+				out.Append(coerce(get(i), o.Kind))
+			}
+			node.Block.AddColumn(out)
+			return in, nil
+		}
+		fb, err := ensureFlat(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		in = &core.Chunk{Flat: fb}
+	}
+	get, err := expr.BindFlat(o.Expr, in.Flat)
+	if err != nil {
+		return nil, err
+	}
+	out := core.NewFlatBlock(
+		append(append([]string(nil), in.Flat.Names...), o.As),
+		append(append([]vector.Kind(nil), in.Flat.Kinds...), o.Kind),
+	)
+	for i, row := range in.Flat.Rows {
+		nr := make([]vector.Value, 0, len(row)+1)
+		nr = append(nr, row...)
+		nr = append(nr, coerce(get(i), o.Kind))
+		out.AppendOwned(nr)
+	}
+	return &core.Chunk{Flat: out}, nil
+}
+
+func coerce(v vector.Value, k vector.Kind) vector.Value {
+	if v.Kind == k {
+		return v
+	}
+	switch k {
+	case vector.KindFloat64:
+		if v.Kind != vector.KindString {
+			return vector.Float64(float64(v.I))
+		}
+	case vector.KindInt64, vector.KindDate, vector.KindBool:
+		if v.Kind == vector.KindFloat64 {
+			return vector.Value{Kind: k, I: int64(v.F)}
+		}
+		return vector.Value{Kind: k, I: v.I, S: v.S}
+	}
+	return v
+}
+
+// errIfNotVID asserts a flat value is a VID (defensive helper shared by flat
+// operator paths).
+func errIfNotVID(v vector.Value, where string) error {
+	if v.Kind != vector.KindVID {
+		return fmt.Errorf("op: %s: expected vid value, got %s", where, v.Kind)
+	}
+	return nil
+}

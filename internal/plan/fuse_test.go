@@ -1,0 +1,141 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"ges/internal/catalog"
+	"ges/internal/expr"
+	"ges/internal/op"
+)
+
+func TestFuseSeekExpand(t *testing.T) {
+	p := Plan{
+		&op.NodeByIdSeek{Var: "p", Label: 0, ExtID: 1},
+		&op.Expand{From: "p", To: "f", Et: 0, Dir: catalog.Out, DstLabel: 1},
+		&op.ProjectProps{Specs: []op.ProjSpec{{Var: "f", As: "f.id", ExtID: true}}},
+	}
+	fused := Fuse(p)
+	if len(fused) != 2 {
+		t.Fatalf("fused plan = %s", fused)
+	}
+	if _, ok := fused[0].(*op.SeekExpand); !ok {
+		t.Fatalf("first op = %T, want SeekExpand", fused[0])
+	}
+	// Original untouched.
+	if _, ok := p[0].(*op.NodeByIdSeek); !ok {
+		t.Fatal("Fuse mutated its input")
+	}
+}
+
+func TestFuseSeekExpandBlockedByLaterReference(t *testing.T) {
+	p := Plan{
+		&op.NodeByIdSeek{Var: "p", Label: 0, ExtID: 1},
+		&op.Expand{From: "p", To: "f", Et: 0, Dir: catalog.Out, DstLabel: 1},
+		// References the seek variable: fusion must not fire.
+		&op.ProjectProps{Specs: []op.ProjSpec{{Var: "p", As: "p.id", ExtID: true}}},
+	}
+	fused := Fuse(p)
+	if _, ok := fused[0].(*op.NodeByIdSeek); !ok {
+		t.Fatalf("fusion fired despite later reference: %s", fused)
+	}
+}
+
+func TestFuseSeekExpandBlockedByWildcard(t *testing.T) {
+	p := Plan{
+		&op.NodeByIdSeek{Var: "p", Label: 0, ExtID: 1},
+		&op.Expand{From: "p", To: "f", Et: 0, Dir: catalog.Out, DstLabel: 1},
+		&op.Defactor{}, // full-schema defactor keeps p in the output
+	}
+	fused := Fuse(p)
+	if _, ok := fused[0].(*op.NodeByIdSeek); !ok {
+		t.Fatalf("fusion fired under wildcard output: %s", fused)
+	}
+}
+
+func TestFuseAggregateProjectTop(t *testing.T) {
+	agg := &op.Aggregate{GroupBy: []string{"g"}, Aggs: []op.AggSpec{{Func: op.Count, As: "c"}}}
+	cases := []struct {
+		name string
+		tail Plan
+	}{
+		{"orderby-with-limit", Plan{agg, &op.OrderBy{Keys: []op.SortKey{{Col: "c", Desc: true}}, Limit: 5}}},
+		{"orderby-then-limit", Plan{agg, &op.OrderBy{Keys: []op.SortKey{{Col: "c", Desc: true}}}, &op.Limit{N: 5}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fused := Fuse(c.tail)
+			if len(fused) != 1 {
+				t.Fatalf("plan = %s", fused)
+			}
+			apt, ok := fused[0].(*op.AggregateProjectTop)
+			if !ok {
+				t.Fatalf("op = %T", fused[0])
+			}
+			if apt.Limit != 5 || len(apt.Keys) != 1 {
+				t.Fatalf("fused params = %+v", apt)
+			}
+		})
+	}
+}
+
+func TestFuseFilterPushDown(t *testing.T) {
+	p := Plan{
+		&op.NodeByIdSeek{Var: "p", Label: 0, ExtID: 1},
+		&op.Expand{From: "p", To: "f", Et: 0, Dir: catalog.Out, DstLabel: 0},
+		&op.ProjectProps{Specs: []op.ProjSpec{{Var: "f", Prop: "age", As: "f.age"}}},
+		&op.Filter{Pred: expr.Gt(expr.C("f.age"), expr.LInt(30))},
+		&op.Defactor{Cols: []string{"f.age"}},
+	}
+	fused := Fuse(p)
+	s := fused.String()
+	if strings.Contains(s, "Filter") {
+		t.Fatalf("filter survived fusion: %s", s)
+	}
+	if !strings.Contains(s, "Expand(fused-filter)") {
+		t.Fatalf("expand did not absorb the filter: %s", s)
+	}
+	// Projection output still referenced by Defactor: must survive.
+	if !strings.Contains(s, "Project") {
+		t.Fatalf("needed projection dropped: %s", s)
+	}
+}
+
+func TestFuseFilterPushDownDropsDeadProjection(t *testing.T) {
+	p := Plan{
+		&op.NodeByIdSeek{Var: "p", Label: 0, ExtID: 1},
+		&op.Expand{From: "p", To: "f", Et: 0, Dir: catalog.Out, DstLabel: 0},
+		&op.ProjectProps{Specs: []op.ProjSpec{{Var: "f", Prop: "age", As: "f.age"}}},
+		&op.Filter{Pred: expr.Gt(expr.C("f.age"), expr.LInt(30))},
+		&op.Defactor{Cols: []string{"f"}}, // projection output unused downstream
+	}
+	fused := Fuse(p)
+	s := fused.String()
+	if strings.Contains(s, "Project") {
+		t.Fatalf("dead projection survived: %s", s)
+	}
+}
+
+func TestFuseFilterPushDownBlockedByForeignColumn(t *testing.T) {
+	p := Plan{
+		&op.NodeByIdSeek{Var: "p", Label: 0, ExtID: 1},
+		&op.Expand{From: "p", To: "f", Et: 0, Dir: catalog.Out, DstLabel: 0},
+		&op.ProjectProps{Specs: []op.ProjSpec{{Var: "f", Prop: "age", As: "f.age"}}},
+		// Predicate touches a column the projection did not produce.
+		&op.Filter{Pred: expr.Gt(expr.C("other"), expr.LInt(30))},
+	}
+	fused := Fuse(p)
+	if !strings.Contains(fused.String(), "Filter") {
+		t.Fatalf("fusion fired on foreign column: %s", fused)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := Plan{
+		&op.NodeByIdSeek{Var: "p"},
+		&op.Limit{N: 1},
+	}
+	if got := p.String(); got != "NodeByIdSeek -> Limit" {
+		t.Fatalf("String = %q", got)
+	}
+}

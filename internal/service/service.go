@@ -1,0 +1,206 @@
+// Package service implements the Graph Engine Service's HTTP layer: a small
+// JSON API over the engine, serving ad-hoc Cypher queries, named LDBC
+// workload queries, and dataset statistics. cmd/gesd wires it to a listener.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"ges/internal/core"
+	"ges/internal/cypher"
+	"ges/internal/exec"
+	"ges/internal/ldbc"
+	"ges/internal/ldbc/queries"
+	"ges/internal/vector"
+)
+
+// Server serves one dataset through one engine.
+type Server struct {
+	ds     *ldbc.Dataset
+	runner *queries.Runner
+	engine *exec.Engine
+	// now is injectable for deterministic tests.
+	now func() time.Time
+}
+
+// New wires a server for a dataset in the given engine mode.
+func New(ds *ldbc.Dataset, mode exec.Mode) *Server {
+	return &Server{
+		ds:     ds,
+		runner: queries.NewRunner(ds, mode, nil),
+		engine: exec.New(mode),
+		now:    time.Now,
+	}
+}
+
+// Mux returns the HTTP handler.
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /ldbc", s.handleLDBC)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// Result is the JSON result table.
+type Result struct {
+	Columns []string       `json:"columns"`
+	Rows    [][]any        `json:"rows"`
+	Stats   map[string]any `json:"stats"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := cypher.Compile(req.Query, s.ds.H.Cat)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := s.now()
+	res, err := s.engine.Run(s.runner.Mgr.Snapshot(), p)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, toResult(res.Block, map[string]any{
+		"durationMs":            float64(s.now().Sub(start).Microseconds()) / 1000,
+		"peakIntermediateBytes": res.PeakMem,
+	}))
+}
+
+// LDBCRequest is the body of POST /ldbc. Params may be omitted to draw
+// parameters from the curated pools.
+type LDBCRequest struct {
+	Name   string         `json:"name"`
+	Params map[string]any `json:"params"`
+}
+
+func (s *Server) handleLDBC(w http.ResponseWriter, r *http.Request) {
+	var req LDBCRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := queries.ByName(strings.ToUpper(req.Name))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	params, err := s.bindParams(q, req.Params)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := s.now()
+	fb, _, err := s.runner.Execute(q, params)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, toResult(fb, map[string]any{
+		"durationMs": float64(s.now().Sub(start).Microseconds()) / 1000,
+		"params":     renderParams(params),
+	}))
+}
+
+func (s *Server) bindParams(q *queries.Query, raw map[string]any) (queries.Params, error) {
+	if raw == nil {
+		pg := s.ds.NewParamGen(s.now().UnixNano())
+		return q.GenParams(s.ds, pg), nil
+	}
+	params := make(queries.Params, len(raw))
+	for k, v := range raw {
+		switch x := v.(type) {
+		case float64:
+			if strings.Contains(strings.ToLower(k), "date") {
+				params[k] = vector.Date(int64(x))
+			} else {
+				params[k] = vector.Int64(int64(x))
+			}
+		case string:
+			params[k] = vector.String_(x)
+		case bool:
+			params[k] = vector.Bool(x)
+		default:
+			return nil, fmt.Errorf("parameter %q has unsupported type %T", k, v)
+		}
+	}
+	return params, nil
+}
+
+func renderParams(p queries.Params) map[string]any {
+	out := make(map[string]any, len(p))
+	for k, v := range p {
+		out[k] = v.String()
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.ds.Stats()
+	overlays, version := s.runner.Mgr.Stats()
+	writeJSON(w, map[string]any{
+		"simSF":           st.SF,
+		"persons":         st.Persons,
+		"vertices":        st.Vertices,
+		"edges":           st.Edges,
+		"bytes":           st.Bytes,
+		"overlayVertices": overlays,
+		"commitVersion":   version,
+	})
+}
+
+func toResult(fb *core.FlatBlock, stats map[string]any) Result {
+	resp := Result{Columns: []string{}, Rows: [][]any{}, Stats: stats}
+	if fb == nil {
+		return resp
+	}
+	resp.Columns = fb.Names
+	for _, row := range fb.Rows {
+		r := make([]any, len(row))
+		for j, v := range row {
+			switch v.Kind {
+			case vector.KindInt64, vector.KindDate, vector.KindVID:
+				r[j] = v.I
+			case vector.KindFloat64:
+				r[j] = v.F
+			case vector.KindString:
+				r[j] = v.S
+			case vector.KindBool:
+				r[j] = v.I != 0
+			}
+		}
+		resp.Rows = append(resp.Rows, r)
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("service: encode: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,166 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ges/internal/exec"
+	"ges/internal/ldbc"
+	"ges/internal/service"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ds, err := ldbc.Generate(ldbc.Config{SF: 0.03, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(ds, exec.ModeFused)
+	ts := httptest.NewServer(srv.Mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, out := post(t, ts, "/query", service.QueryRequest{
+		Query: `MATCH (p:Person)-[:KNOWS]->(f) WHERE id(p) = 1
+		        RETURN COUNT(*) AS friends`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %v", resp.StatusCode, out)
+	}
+	cols := out["columns"].([]any)
+	if len(cols) != 1 || cols[0] != "friends" {
+		t.Fatalf("columns = %v", cols)
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	stats := out["stats"].(map[string]any)
+	if _, ok := stats["peakIntermediateBytes"]; !ok {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	ts := testServer(t)
+	// Parse error.
+	resp, out := post(t, ts, "/query", service.QueryRequest{Query: "MATCH bogus"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("parse error status = %d: %v", resp.StatusCode, out)
+	}
+	if !strings.Contains(out["error"].(string), "cypher") {
+		t.Fatalf("error = %v", out["error"])
+	}
+	// Malformed JSON body.
+	r2, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json status = %d", r2.StatusCode)
+	}
+}
+
+func TestLDBCEndpointWithExplicitParams(t *testing.T) {
+	ts := testServer(t)
+	resp, out := post(t, ts, "/ldbc", service.LDBCRequest{
+		Name:   "is1",
+		Params: map[string]any{"personId": 1},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %v", resp.StatusCode, out)
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != 1 {
+		t.Fatalf("IS1 rows = %v", rows)
+	}
+}
+
+func TestLDBCEndpointAutoParams(t *testing.T) {
+	ts := testServer(t)
+	resp, out := post(t, ts, "/ldbc", service.LDBCRequest{Name: "IC9"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %v", resp.StatusCode, out)
+	}
+	stats := out["stats"].(map[string]any)
+	if _, ok := stats["params"]; !ok {
+		t.Fatal("auto-drawn params not echoed")
+	}
+}
+
+func TestLDBCEndpointUpdateAndStats(t *testing.T) {
+	ts := testServer(t)
+	resp, out := post(t, ts, "/ldbc", service.LDBCRequest{Name: "IU8"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("IU8 status = %d: %v", resp.StatusCode, out)
+	}
+	r, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["commitVersion"].(float64) < 1 {
+		t.Fatalf("update did not commit: %v", st)
+	}
+}
+
+func TestLDBCEndpointUnknownQuery(t *testing.T) {
+	ts := testServer(t)
+	resp, _ := post(t, ts, "/ldbc", service.LDBCRequest{Name: "IC99"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestLDBCEndpointBadParamType(t *testing.T) {
+	ts := testServer(t)
+	resp, _ := post(t, ts, "/ldbc", service.LDBCRequest{
+		Name:   "IS1",
+		Params: map[string]any{"personId": []any{1, 2}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,238 @@
+// Package storage implements the GES graph storage layer (§5): adjacency
+// lists held as an array-of-arrays (adjMeta indexing segments of a large
+// adjArray), columnar vertex property tables, edge property arrays aligned
+// with the adjacency array, dense internal vertex IDs with external-ID maps,
+// and a size-classed memory pool supporting the copy-on-write transaction
+// layer.
+//
+// The store is optimized for the read-dominant workloads the paper targets:
+// Neighbors hands out (pointer,length) views of adjArray segments that the
+// executor's pointer-based join consumes without copying. Topology updates
+// use the paper's "allocate larger space once insertions take all slots"
+// scheme: a full slot is relocated to the tail of adjArray with doubled
+// capacity and the old region is marked dead.
+package storage
+
+import (
+	"ges/internal/catalog"
+	"ges/internal/vector"
+)
+
+// AdjKey identifies one adjacency list family, exactly as in §5: the hash
+// table key is the tuple (srcLabel, edgeLabel, dstLabel, direction).
+type AdjKey struct {
+	Src catalog.LabelID
+	Et  catalog.EdgeTypeID
+	Dst catalog.LabelID
+	Dir catalog.Direction
+}
+
+// adjMeta is the per-vertex slot descriptor: where the vertex's neighbor
+// segment lives in adjArray and how much of it is used.
+type adjMeta struct {
+	off uint32 // start index in arr
+	len uint32 // used entries
+	cap uint32 // allocated entries (len <= cap)
+}
+
+// AdjList is one adjacency family. meta is indexed by *global* VID (the
+// paper's adjMeta of size |V|); arr is the shared neighbor array; per-edge
+// property columns run parallel to arr.
+type AdjList struct {
+	meta []adjMeta
+	arr  []vector.VID
+
+	// Edge properties, aligned with arr. propKinds comes from the catalog
+	// schema of the edge type; each present kind uses the matching slice.
+	propKinds []vector.Kind
+	propI64   [][]int64
+	propF64   [][]float64
+	propStr   [][]string
+
+	deadSlots int // entries abandoned by slot relocation
+}
+
+func newAdjList(propDefs []catalog.PropDef) *AdjList {
+	a := &AdjList{}
+	for _, p := range propDefs {
+		a.propKinds = append(a.propKinds, p.Kind)
+		a.propI64 = append(a.propI64, nil)
+		a.propF64 = append(a.propF64, nil)
+		a.propStr = append(a.propStr, nil)
+	}
+	return a
+}
+
+// ensure makes meta addressable for vid.
+func (a *AdjList) ensure(vid vector.VID) {
+	for int(vid) >= len(a.meta) {
+		a.meta = append(a.meta, adjMeta{})
+	}
+}
+
+// growProps extends every edge-property array to match len(a.arr).
+func (a *AdjList) growProps(n int) {
+	for i, k := range a.propKinds {
+		switch k {
+		case vector.KindInt64, vector.KindDate:
+			for len(a.propI64[i]) < n {
+				a.propI64[i] = append(a.propI64[i], 0)
+			}
+		case vector.KindFloat64:
+			for len(a.propF64[i]) < n {
+				a.propF64[i] = append(a.propF64[i], 0)
+			}
+		case vector.KindString:
+			for len(a.propStr[i]) < n {
+				a.propStr[i] = append(a.propStr[i], "")
+			}
+		}
+	}
+}
+
+// append adds dst (with optional edge property values) to src's slot,
+// relocating the slot with doubled capacity when full.
+func (a *AdjList) append(src, dst vector.VID, props []vector.Value) {
+	a.ensure(src)
+	m := &a.meta[src]
+	if m.len == m.cap {
+		// Relocate to tail with doubled capacity (min 4).
+		newCap := m.cap * 2
+		if newCap < 4 {
+			newCap = 4
+		}
+		newOff := uint32(len(a.arr))
+		a.arr = append(a.arr, make([]vector.VID, newCap)...)
+		a.growProps(len(a.arr))
+		copy(a.arr[newOff:], a.arr[m.off:m.off+m.len])
+		for i, k := range a.propKinds {
+			switch k {
+			case vector.KindInt64, vector.KindDate:
+				copy(a.propI64[i][newOff:], a.propI64[i][m.off:m.off+m.len])
+			case vector.KindFloat64:
+				copy(a.propF64[i][newOff:], a.propF64[i][m.off:m.off+m.len])
+			case vector.KindString:
+				copy(a.propStr[i][newOff:], a.propStr[i][m.off:m.off+m.len])
+			}
+		}
+		a.deadSlots += int(m.cap)
+		m.off, m.cap = newOff, newCap
+	}
+	pos := m.off + m.len
+	a.arr[pos] = dst
+	for i, k := range a.propKinds {
+		var v vector.Value
+		if i < len(props) {
+			v = props[i]
+		}
+		switch k {
+		case vector.KindInt64, vector.KindDate:
+			a.propI64[i][pos] = v.I
+		case vector.KindFloat64:
+			a.propF64[i][pos] = v.F
+		case vector.KindString:
+			a.propStr[i][pos] = v.S
+		}
+	}
+	m.len++
+}
+
+// remove deletes the first occurrence of dst in src's slot by shifting the
+// last live entry into its place (compacting mark-for-deletion).
+func (a *AdjList) remove(src, dst vector.VID) bool {
+	if int(src) >= len(a.meta) {
+		return false
+	}
+	m := &a.meta[src]
+	for i := m.off; i < m.off+m.len; i++ {
+		if a.arr[i] != dst {
+			continue
+		}
+		last := m.off + m.len - 1
+		a.arr[i] = a.arr[last]
+		for p, k := range a.propKinds {
+			switch k {
+			case vector.KindInt64, vector.KindDate:
+				a.propI64[p][i] = a.propI64[p][last]
+			case vector.KindFloat64:
+				a.propF64[p][i] = a.propF64[p][last]
+			case vector.KindString:
+				a.propStr[p][i] = a.propStr[p][last]
+			}
+		}
+		m.len--
+		return true
+	}
+	return false
+}
+
+// neighbors returns the live segment of src's slot as a view into arr.
+func (a *AdjList) neighbors(src vector.VID) []vector.VID {
+	if int(src) >= len(a.meta) {
+		return nil
+	}
+	m := a.meta[src]
+	return a.arr[m.off : m.off+m.len : m.off+m.len]
+}
+
+// degree returns the number of live neighbors of src.
+func (a *AdjList) degree(src vector.VID) int {
+	if int(src) >= len(a.meta) {
+		return 0
+	}
+	return int(a.meta[src].len)
+}
+
+// edgePropI64 returns the int64/date edge-property segment aligned with
+// neighbors(src) for property index p.
+func (a *AdjList) edgePropI64(src vector.VID, p int) []int64 {
+	if int(src) >= len(a.meta) {
+		return nil
+	}
+	m := a.meta[src]
+	return a.propI64[p][m.off : m.off+m.len : m.off+m.len]
+}
+
+func (a *AdjList) edgePropF64(src vector.VID, p int) []float64 {
+	if int(src) >= len(a.meta) {
+		return nil
+	}
+	m := a.meta[src]
+	return a.propF64[p][m.off : m.off+m.len : m.off+m.len]
+}
+
+func (a *AdjList) edgePropStr(src vector.VID, p int) []string {
+	if int(src) >= len(a.meta) {
+		return nil
+	}
+	m := a.meta[src]
+	return a.propStr[p][m.off : m.off+m.len : m.off+m.len]
+}
+
+// memBytes returns the approximate resident size of the adjacency family.
+func (a *AdjList) memBytes() int {
+	n := len(a.meta)*12 + len(a.arr)*4
+	for i, k := range a.propKinds {
+		switch k {
+		case vector.KindInt64, vector.KindDate:
+			n += len(a.propI64[i]) * 8
+		case vector.KindFloat64:
+			n += len(a.propF64[i]) * 8
+		case vector.KindString:
+			n += len(a.propStr[i]) * 16
+			for _, s := range a.propStr[i] {
+				n += len(s)
+			}
+		}
+	}
+	return n
+}
+
+// edgeCount returns the number of live edges in the family.
+func (a *AdjList) edgeCount() int {
+	n := 0
+	for i := range a.meta {
+		n += int(a.meta[i].len)
+	}
+	return n
+}

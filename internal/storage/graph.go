@@ -1,0 +1,299 @@
+package storage
+
+import (
+	"fmt"
+
+	"ges/internal/catalog"
+	"ges/internal/vector"
+)
+
+// AnyLabel is the wildcard destination label: Neighbors probes every
+// adjacency family of the (srcLabel, edgeType, direction) prefix. Queries
+// over supertypes (e.g. LDBC "Message" = Post ∪ Comment) rely on this.
+const AnyLabel = catalog.LabelID(0xFFFF)
+
+// Segment is one contiguous run of neighbors handed to the executor's
+// pointer-based join: VIDs is a view into storage-owned memory (never copy,
+// never mutate), and the Prop* slices — populated only when requested — are
+// the edge-property runs aligned element-for-element with VIDs.
+type Segment struct {
+	VIDs    []vector.VID
+	PropI64 [][]int64
+	PropF64 [][]float64
+	PropStr [][]string
+}
+
+// View is the read interface the executor runs against. The base *Graph
+// implements it directly; transactional snapshots implement it by merging
+// the immutable base with committed overlays (§5, Concurrency Control).
+type View interface {
+	// Catalog returns the shared name catalog.
+	Catalog() *catalog.Catalog
+	// LabelOf returns the label of vertex v.
+	LabelOf(v vector.VID) catalog.LabelID
+	// ExtID returns the external 64-bit identifier of vertex v.
+	ExtID(v vector.VID) int64
+	// VertexByExt resolves an external identifier within a label.
+	VertexByExt(label catalog.LabelID, ext int64) (vector.VID, bool)
+	// Prop returns property p of vertex v, where p indexes the schema of
+	// v's label.
+	Prop(v vector.VID, p catalog.PropID) vector.Value
+	// Neighbors appends the neighbor segments of src over edge type et in
+	// direction dir toward dstLabel (or AnyLabel) to buf and returns it.
+	// withProps populates the aligned edge-property runs.
+	Neighbors(buf []Segment, src vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool) []Segment
+	// Degree returns the total neighbor count that Neighbors would yield.
+	Degree(src vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID) int
+	// ScanLabel returns all vertices of a label. The result is shared and
+	// must not be mutated.
+	ScanLabel(label catalog.LabelID) []vector.VID
+	// NumVertices returns the number of vertices visible in this view.
+	NumVertices() int
+}
+
+// Graph is the immutable-after-load base storage. Bulk loading (AddVertex /
+// AddEdge) is single-writer; once queries start, the base is read-only and
+// all mutation flows through the transaction layer's overlays.
+type Graph struct {
+	cat *catalog.Catalog
+
+	labelOf []catalog.LabelID
+	rowOf   []uint32
+	extOf   []int64
+
+	tables []*propTable // per label
+
+	adj map[AdjKey]*AdjList
+	// famIdx indexes adjacency families by (src,et,dir) for AnyLabel probes.
+	famIdx map[famKey][]famEntry
+
+	edgeCount int
+}
+
+type famKey struct {
+	src catalog.LabelID
+	et  catalog.EdgeTypeID
+	dir catalog.Direction
+}
+
+type famEntry struct {
+	dst  catalog.LabelID
+	list *AdjList
+}
+
+// NewGraph returns an empty base graph over the catalog.
+func NewGraph(cat *catalog.Catalog) *Graph {
+	return &Graph{
+		cat:    cat,
+		adj:    make(map[AdjKey]*AdjList),
+		famIdx: make(map[famKey][]famEntry),
+	}
+}
+
+// Catalog returns the graph's catalog.
+func (g *Graph) Catalog() *catalog.Catalog { return g.cat }
+
+// AddVertex inserts a vertex with an external identifier and property values
+// ordered per the label's schema, returning its dense VID.
+func (g *Graph) AddVertex(label catalog.LabelID, extID int64, props ...vector.Value) (vector.VID, error) {
+	if int(label) >= g.cat.NumLabels() {
+		return vector.NilVID, fmt.Errorf("storage: unknown label %d", label)
+	}
+	for len(g.tables) <= int(label) {
+		g.tables = append(g.tables, newPropTable(g.cat.LabelProps(catalog.LabelID(len(g.tables)))))
+	}
+	t := g.tables[label]
+	if _, dup := t.byExt[extID]; dup {
+		return vector.NilVID, fmt.Errorf("storage: duplicate external id %d for label %s", extID, g.cat.LabelName(label))
+	}
+	vid := vector.VID(len(g.labelOf))
+	row := t.addRow(vid, extID, props)
+	g.labelOf = append(g.labelOf, label)
+	g.rowOf = append(g.rowOf, row)
+	g.extOf = append(g.extOf, extID)
+	return vid, nil
+}
+
+// AddEdge inserts a directed edge src→dst of type et with edge-property
+// values ordered per the edge type's schema. Both the forward (Out) and
+// reverse (In) adjacency families are maintained.
+func (g *Graph) AddEdge(et catalog.EdgeTypeID, src, dst vector.VID, props ...vector.Value) error {
+	if int(src) >= len(g.labelOf) || int(dst) >= len(g.labelOf) {
+		return fmt.Errorf("storage: AddEdge with unknown vertex (src=%d dst=%d)", src, dst)
+	}
+	sl, dl := g.labelOf[src], g.labelOf[dst]
+	g.family(AdjKey{Src: sl, Et: et, Dst: dl, Dir: catalog.Out}).append(src, dst, props)
+	g.family(AdjKey{Src: dl, Et: et, Dst: sl, Dir: catalog.In}).append(dst, src, props)
+	g.edgeCount++
+	return nil
+}
+
+// DeleteEdge removes the edge src→dst of type et from both directions.
+func (g *Graph) DeleteEdge(et catalog.EdgeTypeID, src, dst vector.VID) bool {
+	if int(src) >= len(g.labelOf) || int(dst) >= len(g.labelOf) {
+		return false
+	}
+	sl, dl := g.labelOf[src], g.labelOf[dst]
+	okOut := g.family(AdjKey{Src: sl, Et: et, Dst: dl, Dir: catalog.Out}).remove(src, dst)
+	okIn := g.family(AdjKey{Src: dl, Et: et, Dst: sl, Dir: catalog.In}).remove(dst, src)
+	if okOut && okIn {
+		g.edgeCount--
+		return true
+	}
+	return false
+}
+
+// family returns (creating on demand) the adjacency family for key.
+func (g *Graph) family(key AdjKey) *AdjList {
+	if l, ok := g.adj[key]; ok {
+		return l
+	}
+	l := newAdjList(g.cat.EdgeTypeProps(key.Et))
+	g.adj[key] = l
+	fk := famKey{src: key.Src, et: key.Et, dir: key.Dir}
+	g.famIdx[fk] = append(g.famIdx[fk], famEntry{dst: key.Dst, list: l})
+	return l
+}
+
+// LabelOf implements View.
+func (g *Graph) LabelOf(v vector.VID) catalog.LabelID { return g.labelOf[v] }
+
+// ExtID implements View.
+func (g *Graph) ExtID(v vector.VID) int64 { return g.extOf[v] }
+
+// VertexByExt implements View.
+func (g *Graph) VertexByExt(label catalog.LabelID, ext int64) (vector.VID, bool) {
+	if int(label) >= len(g.tables) || g.tables[label] == nil {
+		return vector.NilVID, false
+	}
+	vid, ok := g.tables[label].byExt[ext]
+	return vid, ok
+}
+
+// Prop implements View.
+func (g *Graph) Prop(v vector.VID, p catalog.PropID) vector.Value {
+	return g.tables[g.labelOf[v]].get(g.rowOf[v], p)
+}
+
+// SetProp overwrites a vertex property in the base store. It is part of the
+// single-writer bulk path; transactional updates go through overlays.
+func (g *Graph) SetProp(v vector.VID, p catalog.PropID, val vector.Value) {
+	g.tables[g.labelOf[v]].set(g.rowOf[v], p, val)
+}
+
+// fillSegment populates a Segment (with optional edge props) for src in l.
+func fillSegment(l *AdjList, src vector.VID, withProps bool) (Segment, bool) {
+	ns := l.neighbors(src)
+	if len(ns) == 0 {
+		return Segment{}, false
+	}
+	seg := Segment{VIDs: ns}
+	if withProps {
+		for p, k := range l.propKinds {
+			switch k {
+			case vector.KindInt64, vector.KindDate:
+				seg.PropI64 = append(seg.PropI64, l.edgePropI64(src, p))
+				seg.PropF64 = append(seg.PropF64, nil)
+				seg.PropStr = append(seg.PropStr, nil)
+			case vector.KindFloat64:
+				seg.PropI64 = append(seg.PropI64, nil)
+				seg.PropF64 = append(seg.PropF64, l.edgePropF64(src, p))
+				seg.PropStr = append(seg.PropStr, nil)
+			case vector.KindString:
+				seg.PropI64 = append(seg.PropI64, nil)
+				seg.PropF64 = append(seg.PropF64, nil)
+				seg.PropStr = append(seg.PropStr, l.edgePropStr(src, p))
+			}
+		}
+	}
+	return seg, true
+}
+
+// Neighbors implements View.
+func (g *Graph) Neighbors(buf []Segment, src vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool) []Segment {
+	if dir == catalog.Both {
+		buf = g.Neighbors(buf, src, et, catalog.Out, dstLabel, withProps)
+		return g.Neighbors(buf, src, et, catalog.In, dstLabel, withProps)
+	}
+	srcLabel := g.labelOf[src]
+	if dstLabel != AnyLabel {
+		if l, ok := g.adj[AdjKey{Src: srcLabel, Et: et, Dst: dstLabel, Dir: dir}]; ok {
+			if seg, ok := fillSegment(l, src, withProps); ok {
+				buf = append(buf, seg)
+			}
+		}
+		return buf
+	}
+	for _, fe := range g.famIdx[famKey{src: srcLabel, et: et, dir: dir}] {
+		if seg, ok := fillSegment(fe.list, src, withProps); ok {
+			buf = append(buf, seg)
+		}
+	}
+	return buf
+}
+
+// Degree implements View.
+func (g *Graph) Degree(src vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID) int {
+	if dir == catalog.Both {
+		return g.Degree(src, et, catalog.Out, dstLabel) + g.Degree(src, et, catalog.In, dstLabel)
+	}
+	srcLabel := g.labelOf[src]
+	if dstLabel != AnyLabel {
+		if l, ok := g.adj[AdjKey{Src: srcLabel, Et: et, Dst: dstLabel, Dir: dir}]; ok {
+			return l.degree(src)
+		}
+		return 0
+	}
+	n := 0
+	for _, fe := range g.famIdx[famKey{src: srcLabel, et: et, dir: dir}] {
+		n += fe.list.degree(src)
+	}
+	return n
+}
+
+// ScanLabel implements View.
+func (g *Graph) ScanLabel(label catalog.LabelID) []vector.VID {
+	if int(label) >= len(g.tables) || g.tables[label] == nil {
+		return nil
+	}
+	return g.tables[label].vids
+}
+
+// NumVertices implements View.
+func (g *Graph) NumVertices() int { return len(g.labelOf) }
+
+// NumEdges returns the number of live directed edges in the base graph.
+func (g *Graph) NumEdges() int { return g.edgeCount }
+
+// CountLabel returns how many vertices carry the given label.
+func (g *Graph) CountLabel(label catalog.LabelID) int {
+	if int(label) >= len(g.tables) || g.tables[label] == nil {
+		return 0
+	}
+	return len(g.tables[label].vids)
+}
+
+// MemBytes returns the approximate resident size of the base graph,
+// including topology and properties — the paper's "graph size" (Table 1).
+func (g *Graph) MemBytes() int {
+	n := len(g.labelOf)*2 + len(g.rowOf)*4 + len(g.extOf)*8
+	for _, t := range g.tables {
+		if t != nil {
+			n += t.memBytes()
+		}
+	}
+	for _, l := range g.adj {
+		n += l.memBytes()
+	}
+	return n
+}
+
+// DeadSlots reports adjacency entries abandoned by slot relocation across
+// all families — the cost of the regrow-on-full update strategy.
+func (g *Graph) DeadSlots() int {
+	n := 0
+	for _, l := range g.adj {
+		n += l.deadSlots
+	}
+	return n
+}

@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ges/internal/vector"
+)
+
+// Pool is the size-classed memory pool of §5: the copy-on-write transaction
+// path and snapshot merging frequently need short-lived neighbor buffers,
+// and routing them through the pool avoids hammering the allocator.
+type Pool struct {
+	classes [numClasses]sync.Pool
+	gets    atomic.Int64
+	puts    atomic.Int64
+}
+
+const numClasses = 16 // class i holds buffers of capacity 8<<i, up to 256Ki
+
+// NewPool returns a ready memory pool.
+func NewPool() *Pool { return &Pool{} }
+
+// classFor returns the smallest size class whose capacity fits n, or -1 when
+// n exceeds the largest class (callers then allocate directly).
+func classFor(n int) int {
+	c, capa := 0, 8
+	for capa < n {
+		capa <<= 1
+		c++
+	}
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// GetVIDs returns a zero-length VID buffer with capacity at least n.
+func (p *Pool) GetVIDs(n int) []vector.VID {
+	p.gets.Add(1)
+	c := classFor(n)
+	if c < 0 {
+		return make([]vector.VID, 0, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		return v.(*vidBuf).s[:0]
+	}
+	return make([]vector.VID, 0, 8<<uint(c))
+}
+
+// PutVIDs returns a buffer obtained from GetVIDs to the pool.
+func (p *Pool) PutVIDs(buf []vector.VID) {
+	p.puts.Add(1)
+	c := classFor(cap(buf))
+	if c < 0 {
+		return
+	}
+	// Append growth may leave the capacity between classes; demote the
+	// buffer to the class it fully satisfies.
+	if cap(buf) < 8<<uint(c) {
+		c--
+		if c < 0 {
+			return
+		}
+	}
+	p.classes[c].Put(&vidBuf{s: buf[:0]})
+}
+
+// vidBuf boxes a slice so sync.Pool stores a pointer-shaped value.
+type vidBuf struct{ s []vector.VID }
+
+// Stats returns cumulative Get/Put counts (instrumentation for tests).
+func (p *Pool) Stats() (gets, puts int64) { return p.gets.Load(), p.puts.Load() }

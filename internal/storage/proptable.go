@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"ges/internal/catalog"
+	"ges/internal/vector"
+)
+
+// propTable is the columnar vertex property table of one label (§5): each
+// row corresponds to a vertex of that label, each column to a property.
+type propTable struct {
+	defs  []catalog.PropDef
+	cols  []*vector.Column
+	vids  []vector.VID // row -> global VID
+	ext   []int64      // row -> external identifier
+	byExt map[int64]vector.VID
+}
+
+func newPropTable(defs []catalog.PropDef) *propTable {
+	t := &propTable{defs: defs, byExt: make(map[int64]vector.VID)}
+	for _, d := range defs {
+		t.cols = append(t.cols, vector.NewColumn(d.Name, d.Kind))
+	}
+	return t
+}
+
+// addRow appends a vertex row and returns its per-label row index.
+func (t *propTable) addRow(vid vector.VID, extID int64, props []vector.Value) uint32 {
+	row := uint32(len(t.vids))
+	t.vids = append(t.vids, vid)
+	t.ext = append(t.ext, extID)
+	t.byExt[extID] = vid
+	for i := range t.cols {
+		var v vector.Value
+		if i < len(props) {
+			v = props[i]
+		}
+		t.cols[i].Append(normalize(v, t.defs[i].Kind))
+	}
+	return row
+}
+
+// normalize coerces the zero Value into the column's kind so missing
+// properties store as typed zeros.
+func normalize(v vector.Value, k vector.Kind) vector.Value {
+	if v.Kind == vector.KindInvalid {
+		return vector.Value{Kind: k}
+	}
+	return v
+}
+
+// get returns the value of property p at row.
+func (t *propTable) get(row uint32, p catalog.PropID) vector.Value {
+	return t.cols[p].Get(int(row))
+}
+
+// set overwrites property p at row (used by the single-writer path and by
+// transaction commit application).
+func (t *propTable) set(row uint32, p catalog.PropID, v vector.Value) {
+	c := t.cols[p]
+	switch c.Kind {
+	case vector.KindInt64, vector.KindDate:
+		c.Int64s()[row] = v.I
+	case vector.KindVID:
+		c.VIDs()[row] = vector.VID(v.I)
+	case vector.KindFloat64:
+		c.Float64s()[row] = v.F
+	case vector.KindString:
+		c.Strings()[row] = v.S
+	case vector.KindBool:
+		c.Bools()[row] = v.I != 0
+	}
+}
+
+func (t *propTable) memBytes() int {
+	n := len(t.vids)*4 + len(t.ext)*8 + len(t.byExt)*16
+	for _, c := range t.cols {
+		n += c.MemBytes()
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package txn
+
+import "sort"
+
+// Version-chain garbage collection. Long-running GES instances accumulate
+// property versions on hot vertices; GC folds every chain prefix at or below
+// a horizon version into its newest entry. Snapshots at versions older than
+// the horizon must no longer be read — the standard MVCC GC contract — so
+// the manager tracks pinned snapshot versions and exposes the safe horizon.
+
+// pin tracking ------------------------------------------------------------
+
+// AcquireSnapshot returns a snapshot whose version is pinned until Release
+// is called; GC never advances past a pinned version.
+func (m *Manager) AcquireSnapshot() *Snapshot {
+	s := m.Snapshot()
+	m.pinMu.Lock()
+	m.pins[s.ver]++
+	m.pinMu.Unlock()
+	s.pinned = true
+	return s
+}
+
+// Release unpins a snapshot obtained from AcquireSnapshot. It is idempotent
+// per snapshot.
+func (m *Manager) Release(s *Snapshot) {
+	if s == nil || !s.pinned {
+		return
+	}
+	s.pinned = false
+	m.pinMu.Lock()
+	if m.pins[s.ver] > 1 {
+		m.pins[s.ver]--
+	} else {
+		delete(m.pins, s.ver)
+	}
+	m.pinMu.Unlock()
+}
+
+// GCHorizon returns the newest version that is safe to collect up to: the
+// smallest pinned snapshot version (or the current version when nothing is
+// pinned).
+func (m *Manager) GCHorizon() uint64 {
+	cur := m.version.Load()
+	m.pinMu.Lock()
+	defer m.pinMu.Unlock()
+	min := cur
+	for v := range m.pins {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// GC compacts every vertex overlay's property version chain below the safe
+// horizon: for each property, versions at or below the horizon collapse
+// into the single newest one. It returns the number of property versions
+// dropped. Edge overlay entries are pure inserts and are never dropped.
+func (m *Manager) GC() int {
+	horizon := m.GCHorizon()
+	m.mu.RLock()
+	overlays := make([]*vertexOverlay, 0, len(m.overlays))
+	for _, vo := range m.overlays {
+		overlays = append(overlays, vo)
+	}
+	m.mu.RUnlock()
+
+	dropped := 0
+	for _, vo := range overlays {
+		vo.mu.Lock()
+		dropped += compactProps(vo, horizon)
+		vo.mu.Unlock()
+	}
+	m.gcRuns.Add(1)
+	return dropped
+}
+
+// compactProps rewrites the chain, keeping for each property only the
+// newest entry at or below horizon, plus everything above it. The caller
+// holds vo.mu.
+func compactProps(vo *vertexOverlay, horizon uint64) int {
+	if len(vo.props) == 0 {
+		return 0
+	}
+	// Newest survivor per pid at or below the horizon.
+	survivors := map[uint16]int{}
+	for i, pv := range vo.props {
+		if pv.version > horizon {
+			continue
+		}
+		if cur, ok := survivors[uint16(pv.pid)]; !ok || vo.props[cur].version < pv.version {
+			survivors[uint16(pv.pid)] = i
+		}
+	}
+	keep := make([]int, 0, len(vo.props))
+	for i, pv := range vo.props {
+		if pv.version > horizon || survivors[uint16(pv.pid)] == i {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == len(vo.props) {
+		return 0
+	}
+	sort.Ints(keep)
+	next := make([]propVersion, len(keep))
+	for j, i := range keep {
+		next[j] = vo.props[i]
+	}
+	dropped := len(vo.props) - len(next)
+	vo.props = next
+	return dropped
+}
+
+// GCRuns reports how many GC passes have completed.
+func (m *Manager) GCRuns() int64 { return m.gcRuns.Load() }

@@ -1,0 +1,122 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+
+	"ges/internal/testgraph"
+	"ges/internal/vector"
+)
+
+func TestGCCompactsPropertyChains(t *testing.T) {
+	f := testgraph.New()
+	m := NewManager(f.Graph)
+	s := f.Schema
+	p0 := f.Persons[0]
+
+	const writes = 50
+	for i := 0; i < writes; i++ {
+		tx := m.Begin([]vector.VID{p0})
+		if err := tx.SetProp(p0, s.PFirstName, vector.String_(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped := m.GC()
+	if dropped != writes-1 {
+		t.Fatalf("GC dropped %d versions, want %d", dropped, writes-1)
+	}
+	if got := m.Snapshot().Prop(p0, s.PFirstName).S; got != fmt.Sprintf("v%d", writes-1) {
+		t.Fatalf("latest value after GC = %q", got)
+	}
+	if m.GCRuns() != 1 {
+		t.Fatalf("gc runs = %d", m.GCRuns())
+	}
+	// Second GC finds nothing.
+	if dropped := m.GC(); dropped != 0 {
+		t.Fatalf("second GC dropped %d", dropped)
+	}
+}
+
+func TestGCRespectsPinnedSnapshots(t *testing.T) {
+	f := testgraph.New()
+	m := NewManager(f.Graph)
+	s := f.Schema
+	p0 := f.Persons[0]
+
+	write := func(val string) {
+		tx := m.Begin([]vector.VID{p0})
+		if err := tx.SetProp(p0, s.PFirstName, vector.String_(val)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a")
+	write("b")
+	pinned := m.AcquireSnapshot() // pins version 2
+	write("c")
+	write("d")
+
+	if got := m.GCHorizon(); got != 2 {
+		t.Fatalf("horizon = %d, want pinned version 2", got)
+	}
+	dropped := m.GC()
+	// Versions 1 and 2 collapse into 2 → exactly one version dropped.
+	if dropped != 1 {
+		t.Fatalf("GC dropped %d, want 1", dropped)
+	}
+	// The pinned snapshot still reads its value.
+	if got := pinned.Prop(p0, s.PFirstName).S; got != "b" {
+		t.Fatalf("pinned snapshot reads %q, want b", got)
+	}
+	// Later versions intact.
+	if got := m.SnapshotAt(3).Prop(p0, s.PFirstName).S; got != "c" {
+		t.Fatalf("version 3 reads %q", got)
+	}
+	m.Release(pinned)
+	m.Release(pinned) // idempotent
+	if got := m.GCHorizon(); got != 4 {
+		t.Fatalf("horizon after release = %d, want 4", got)
+	}
+	if dropped := m.GC(); dropped != 2 {
+		t.Fatalf("post-release GC dropped %d, want 2", dropped)
+	}
+	if got := m.Snapshot().Prop(p0, s.PFirstName).S; got != "d" {
+		t.Fatalf("latest after full GC = %q", got)
+	}
+}
+
+func TestGCMultiplePropsAndVertices(t *testing.T) {
+	f := testgraph.New()
+	m := NewManager(f.Graph)
+	s := f.Schema
+	for round := 0; round < 10; round++ {
+		for _, p := range f.Persons[:3] {
+			tx := m.Begin([]vector.VID{p})
+			if err := tx.SetProp(p, s.PFirstName, vector.String_(fmt.Sprintf("fn%d", round))); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.SetProp(p, s.PLastName, vector.String_(fmt.Sprintf("ln%d", round))); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// 3 vertices × 2 props × 10 rounds = 60 entries; GC keeps 1 per
+	// (vertex, prop) = 6.
+	if dropped := m.GC(); dropped != 54 {
+		t.Fatalf("GC dropped %d, want 54", dropped)
+	}
+	snap := m.Snapshot()
+	for _, p := range f.Persons[:3] {
+		if snap.Prop(p, s.PFirstName).S != "fn9" || snap.Prop(p, s.PLastName).S != "ln9" {
+			t.Fatal("latest values lost by GC")
+		}
+	}
+}

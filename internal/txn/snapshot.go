@@ -1,0 +1,198 @@
+package txn
+
+import (
+	"sort"
+
+	"ges/internal/catalog"
+	"ges/internal/storage"
+	"ges/internal/vector"
+)
+
+// Snapshot is a non-blocking, immutable read view at one version: the base
+// graph plus every overlay entry committed at or below that version. It
+// implements storage.View, so the executor runs against it exactly as it
+// runs against the base graph.
+type Snapshot struct {
+	m           *Manager
+	ver         uint64
+	hasOverlays bool
+	pinned      bool
+}
+
+// Version returns the snapshot's version.
+func (s *Snapshot) Version() uint64 { return s.ver }
+
+// Catalog implements storage.View.
+func (s *Snapshot) Catalog() *catalog.Catalog { return s.m.graph.Catalog() }
+
+// baseCount is the number of vertices in the immutable base.
+func (s *Snapshot) baseCount() int { return s.m.graph.NumVertices() }
+
+// LabelOf implements storage.View.
+func (s *Snapshot) LabelOf(v vector.VID) catalog.LabelID {
+	if int(v) < s.baseCount() {
+		return s.m.graph.LabelOf(v)
+	}
+	vo := s.m.overlayOf(v)
+	if vo == nil {
+		return 0
+	}
+	vo.mu.RLock()
+	defer vo.mu.RUnlock()
+	return vo.label
+}
+
+// ExtID implements storage.View.
+func (s *Snapshot) ExtID(v vector.VID) int64 {
+	if int(v) < s.baseCount() {
+		return s.m.graph.ExtID(v)
+	}
+	vo := s.m.overlayOf(v)
+	if vo == nil {
+		return 0
+	}
+	vo.mu.RLock()
+	defer vo.mu.RUnlock()
+	return vo.ext
+}
+
+// VertexByExt implements storage.View.
+func (s *Snapshot) VertexByExt(label catalog.LabelID, ext int64) (vector.VID, bool) {
+	if vid, ok := s.m.graph.VertexByExt(label, ext); ok {
+		return vid, true
+	}
+	if !s.hasOverlays {
+		return vector.NilVID, false
+	}
+	s.m.mu.RLock()
+	e, ok := s.m.byExt[extKey{label: label, ext: ext}]
+	s.m.mu.RUnlock()
+	if !ok || e.ver > s.ver {
+		return vector.NilVID, false
+	}
+	return e.vid, true
+}
+
+// Prop implements storage.View.
+func (s *Snapshot) Prop(v vector.VID, p catalog.PropID) vector.Value {
+	if s.hasOverlays {
+		if vo := s.m.overlayOf(v); vo != nil {
+			vo.mu.RLock()
+			if val, ok := vo.propAt(p, s.ver); ok {
+				vo.mu.RUnlock()
+				return val
+			}
+			if vo.isNew && vo.createdVer <= s.ver {
+				var val vector.Value
+				if int(p) < len(vo.baseProps) {
+					val = vo.baseProps[p]
+				}
+				kind := vector.KindInvalid
+				defs := s.Catalog().LabelProps(vo.label)
+				if int(p) < len(defs) {
+					kind = defs[p].Kind
+				}
+				vo.mu.RUnlock()
+				if val.Kind == vector.KindInvalid {
+					val = vector.Value{Kind: kind}
+				}
+				return val
+			}
+			vo.mu.RUnlock()
+		}
+	}
+	if int(v) < s.baseCount() {
+		return s.m.graph.Prop(v, p)
+	}
+	return vector.Value{}
+}
+
+// Neighbors implements storage.View: base segments first, then the visible
+// prefix of each matching overlay list.
+func (s *Snapshot) Neighbors(buf []storage.Segment, src vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool) []storage.Segment {
+	if dir == catalog.Both {
+		buf = s.Neighbors(buf, src, et, catalog.Out, dstLabel, withProps)
+		return s.Neighbors(buf, src, et, catalog.In, dstLabel, withProps)
+	}
+	if int(src) < s.baseCount() {
+		buf = s.m.graph.Neighbors(buf, src, et, dir, dstLabel, withProps)
+	}
+	if !s.hasOverlays {
+		return buf
+	}
+	vo := s.m.overlayOf(src)
+	if vo == nil {
+		return buf
+	}
+	vo.mu.RLock()
+	defer vo.mu.RUnlock()
+	if vo.isNew && vo.createdVer > s.ver {
+		return buf
+	}
+	if dstLabel != storage.AnyLabel {
+		if a, ok := vo.adj[adjKey{et: et, dir: dir, dst: dstLabel}]; ok {
+			if seg, ok := a.segment(a.visiblePrefix(s.ver), withProps); ok {
+				buf = append(buf, seg)
+			}
+		}
+		return buf
+	}
+	for key, a := range vo.adj {
+		if key.et != et || key.dir != dir {
+			continue
+		}
+		if seg, ok := a.segment(a.visiblePrefix(s.ver), withProps); ok {
+			buf = append(buf, seg)
+		}
+	}
+	return buf
+}
+
+// Degree implements storage.View.
+func (s *Snapshot) Degree(src vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID) int {
+	n := 0
+	for _, seg := range s.Neighbors(nil, src, et, dir, dstLabel, false) {
+		n += len(seg.VIDs)
+	}
+	return n
+}
+
+// ScanLabel implements storage.View. With no visible created vertices the
+// base slice is returned as-is (zero copy).
+func (s *Snapshot) ScanLabel(label catalog.LabelID) []vector.VID {
+	base := s.m.graph.ScanLabel(label)
+	if !s.hasOverlays {
+		return base
+	}
+	s.m.mu.RLock()
+	createdList := s.m.byLabel[label]
+	// Visible prefix: created lists are version-ascending.
+	n := sort.Search(len(createdList), func(i int) bool { return createdList[i].ver > s.ver })
+	var extra []vector.VID
+	if n > 0 {
+		extra = make([]vector.VID, n)
+		for i := 0; i < n; i++ {
+			extra[i] = createdList[i].vid
+		}
+	}
+	s.m.mu.RUnlock()
+	if len(extra) == 0 {
+		return base
+	}
+	out := make([]vector.VID, 0, len(base)+len(extra))
+	out = append(out, base...)
+	return append(out, extra...)
+}
+
+// NumVertices implements storage.View.
+func (s *Snapshot) NumVertices() int {
+	n := s.baseCount()
+	if !s.hasOverlays {
+		return n
+	}
+	s.m.mu.RLock()
+	created := s.m.created
+	n += sort.Search(len(created), func(i int) bool { return created[i].ver > s.ver })
+	s.m.mu.RUnlock()
+	return n
+}

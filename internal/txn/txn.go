@@ -1,0 +1,211 @@
+package txn
+
+import (
+	"fmt"
+
+	"ges/internal/catalog"
+	"ges/internal/vector"
+)
+
+// Txn is a write transaction. All writes buffer locally and publish
+// atomically at Commit under a single new version; the declared write-set
+// locks are held throughout (2PL) and released at the end.
+type Txn struct {
+	m       *Manager
+	locked  []vector.VID
+	readVer uint64
+	done    bool
+
+	newVerts   []pendingVertex
+	newLabels  map[vector.VID]catalog.LabelID
+	propWrites []pendingProp
+	edgeWrites []pendingEdge
+}
+
+type pendingVertex struct {
+	vid   vector.VID
+	label catalog.LabelID
+	ext   int64
+	props []vector.Value
+}
+
+type pendingProp struct {
+	vid vector.VID
+	pid catalog.PropID
+	val vector.Value
+}
+
+type pendingEdge struct {
+	et       catalog.EdgeTypeID
+	src, dst vector.VID
+	props    []vector.Value
+}
+
+// ReadVersion returns the version the transaction started at.
+func (t *Txn) ReadVersion() uint64 { return t.readVer }
+
+// AddVertex buffers a new vertex with properties in the label's schema
+// order and returns its provisional VID, usable immediately as an edge
+// endpoint within this transaction.
+func (t *Txn) AddVertex(label catalog.LabelID, ext int64, props ...vector.Value) (vector.VID, error) {
+	if t.done {
+		return vector.NilVID, errTxnDone
+	}
+	vid := vector.VID(t.m.nextVID.Add(1) - 1)
+	t.newVerts = append(t.newVerts, pendingVertex{
+		vid: vid, label: label, ext: ext,
+		props: append([]vector.Value(nil), props...),
+	})
+	if t.newLabels == nil {
+		t.newLabels = make(map[vector.VID]catalog.LabelID)
+	}
+	t.newLabels[vid] = label
+	return vid, nil
+}
+
+// SetProp buffers a property update on a vertex in the write set (or one
+// created by this transaction).
+func (t *Txn) SetProp(v vector.VID, pid catalog.PropID, val vector.Value) error {
+	if t.done {
+		return errTxnDone
+	}
+	if err := t.requireWritable(v); err != nil {
+		return err
+	}
+	t.propWrites = append(t.propWrites, pendingProp{vid: v, pid: pid, val: val})
+	return nil
+}
+
+// AddEdge buffers a directed edge between two vertices, each of which must
+// be in the declared write set or created by this transaction.
+func (t *Txn) AddEdge(et catalog.EdgeTypeID, src, dst vector.VID, props ...vector.Value) error {
+	if t.done {
+		return errTxnDone
+	}
+	if err := t.requireWritable(src); err != nil {
+		return err
+	}
+	if err := t.requireWritable(dst); err != nil {
+		return err
+	}
+	t.edgeWrites = append(t.edgeWrites, pendingEdge{
+		et: et, src: src, dst: dst,
+		props: append([]vector.Value(nil), props...),
+	})
+	return nil
+}
+
+// requireWritable enforces the declared-write-set discipline.
+func (t *Txn) requireWritable(v vector.VID) error {
+	if _, created := t.newLabels[v]; created {
+		return nil
+	}
+	for _, l := range t.locked {
+		if l == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("txn: vertex %d is not in the declared write set", v)
+}
+
+// labelOfAny resolves a vertex label from the base graph, committed
+// overlays, or this transaction's pending vertices.
+func (t *Txn) labelOfAny(v vector.VID) (catalog.LabelID, error) {
+	if l, ok := t.newLabels[v]; ok {
+		return l, nil
+	}
+	if int(v) < t.m.graph.NumVertices() {
+		return t.m.graph.LabelOf(v), nil
+	}
+	if vo := t.m.overlayOf(v); vo != nil && vo.isNew {
+		return vo.label, nil
+	}
+	return 0, fmt.Errorf("txn: unknown vertex %d", v)
+}
+
+// Commit atomically publishes all buffered writes under a fresh version and
+// releases the locks.
+func (t *Txn) Commit() error {
+	if t.done {
+		return errTxnDone
+	}
+	t.done = true
+	defer t.m.locks.release(t.locked)
+
+	// Resolve edge endpoint labels before publication.
+	type resolvedEdge struct {
+		pendingEdge
+		srcLabel, dstLabel catalog.LabelID
+	}
+	edges := make([]resolvedEdge, len(t.edgeWrites))
+	for i, e := range t.edgeWrites {
+		sl, err := t.labelOfAny(e.src)
+		if err != nil {
+			return err
+		}
+		dl, err := t.labelOfAny(e.dst)
+		if err != nil {
+			return err
+		}
+		edges[i] = resolvedEdge{pendingEdge: e, srcLabel: sl, dstLabel: dl}
+	}
+
+	m := t.m
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	ver := m.version.Load() + 1
+
+	// Publish created vertices.
+	for _, nv := range t.newVerts {
+		vo := m.ensureOverlay(nv.vid)
+		vo.mu.Lock()
+		vo.isNew = true
+		vo.createdVer = ver
+		vo.label = nv.label
+		vo.ext = nv.ext
+		vo.baseProps = nv.props
+		vo.mu.Unlock()
+
+		m.mu.Lock()
+		entry := extEntry{vid: nv.vid, ver: ver}
+		m.byExt[extKey{label: nv.label, ext: nv.ext}] = entry
+		m.byLabel[nv.label] = append(m.byLabel[nv.label], entry)
+		m.created = append(m.created, entry)
+		m.mu.Unlock()
+	}
+	// Publish property versions.
+	for _, pw := range t.propWrites {
+		vo := m.ensureOverlay(pw.vid)
+		vo.mu.Lock()
+		vo.props = append(vo.props, propVersion{version: ver, pid: pw.pid, val: pw.val})
+		vo.mu.Unlock()
+	}
+	// Publish edges in both directions.
+	cat := m.graph.Catalog()
+	for _, e := range edges {
+		defs := cat.EdgeTypeProps(e.et)
+		fwd := m.ensureOverlay(e.src)
+		fwd.mu.Lock()
+		fwdAdj := fwd.adjFor(adjKey{et: e.et, dir: catalog.Out, dst: e.dstLabel}, defs)
+		fwdAdj.append(e.dst, ver, e.props)
+		fwd.mu.Unlock()
+
+		rev := m.ensureOverlay(e.dst)
+		rev.mu.Lock()
+		revAdj := rev.adjFor(adjKey{et: e.et, dir: catalog.In, dst: e.srcLabel}, defs)
+		revAdj.append(e.src, ver, e.props)
+		rev.mu.Unlock()
+	}
+	// Release point: snapshots taken after this see version ver.
+	m.version.Store(ver)
+	return nil
+}
+
+// Abort discards buffered writes and releases locks.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.m.locks.release(t.locked)
+}

@@ -1,0 +1,194 @@
+package vector
+
+import "math/bits"
+
+// Bitset is a word-packed validity bitmap used as the selection vector S of
+// every f-Tree node (§4.2). Index i is valid when bit i is set.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns a bitset of n bits, all set (all rows valid), matching
+// the paper's convention that freshly produced f-Block rows are valid.
+func NewBitset(n int) *Bitset {
+	b := &Bitset{words: make([]uint64, (n+63)/64), n: n}
+	b.SetAll()
+	return b
+}
+
+// NewBitsetEmpty returns a bitset of n bits, all clear.
+func NewBitsetEmpty(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Get reports whether bit i is set.
+func (b *Bitset) Get(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// SetTo sets bit i to v.
+func (b *Bitset) SetTo(i int, v bool) {
+	if v {
+		b.Set(i)
+	} else {
+		b.Clear(i)
+	}
+}
+
+// SetAll sets every bit in [0, Len()).
+func (b *Bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trim()
+}
+
+// ClearAll clears every bit.
+func (b *Bitset) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// trim zeroes the bits beyond n in the last word so Count stays exact.
+func (b *Bitset) trim() {
+	if rem := uint(b.n) & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyInRange reports whether any bit in [lo, hi) is set.
+func (b *Bitset) AnyInRange(lo, hi int) bool {
+	if lo >= hi {
+		return false
+	}
+	wLo, wHi := lo>>6, (hi-1)>>6
+	if wLo == wHi {
+		mask := rangeMask(uint(lo)&63, uint(hi-1)&63+1)
+		return b.words[wLo]&mask != 0
+	}
+	if b.words[wLo]&^((1<<(uint(lo)&63))-1) != 0 {
+		return true
+	}
+	for w := wLo + 1; w < wHi; w++ {
+		if b.words[w] != 0 {
+			return true
+		}
+	}
+	return b.words[wHi]&rangeMask(0, uint(hi-1)&63+1) != 0
+}
+
+// CountInRange returns the number of set bits in [lo, hi).
+func (b *Bitset) CountInRange(lo, hi int) int {
+	c := 0
+	for i := lo; i < hi; i++ { // ranges are short (per-parent fan-out)
+		if b.Get(i) {
+			c++
+		}
+	}
+	return c
+}
+
+func rangeMask(lo, hi uint) uint64 {
+	// bits [lo, hi) set, hi <= 64, hi > lo.
+	if hi >= 64 {
+		return ^uint64(0) &^ ((1 << lo) - 1)
+	}
+	return ((1 << hi) - 1) &^ ((1 << lo) - 1)
+}
+
+// And intersects b with other in place. Both must have the same length.
+func (b *Bitset) And(other *Bitset) {
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1.
+func (b *Bitset) NextSet(i int) int {
+	if i >= b.n {
+		return -1
+	}
+	w := i >> 6
+	word := b.words[w] &^ ((1 << (uint(i) & 63)) - 1)
+	for {
+		if word != 0 {
+			idx := w<<6 + bits.TrailingZeros64(word)
+			if idx >= b.n {
+				return -1
+			}
+			return idx
+		}
+		w++
+		if w >= len(b.words) {
+			return -1
+		}
+		word = b.words[w]
+	}
+}
+
+// Clone returns a deep copy of the bitset.
+func (b *Bitset) Clone() *Bitset {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &Bitset{words: w, n: b.n}
+}
+
+// Append extends the bitset by one bit with the given value.
+func (b *Bitset) Append(v bool) {
+	if b.n&63 == 0 {
+		b.words = append(b.words, 0)
+	}
+	b.n++
+	b.SetTo(b.n-1, v)
+}
+
+// Resize grows (or shrinks) the bitset to n bits; newly added bits are set
+// when valid is true.
+func (b *Bitset) Resize(n int, valid bool) {
+	old := b.n
+	need := (n + 63) / 64
+	for len(b.words) < need {
+		b.words = append(b.words, 0)
+	}
+	b.words = b.words[:need]
+	b.n = n
+	if n > old && valid {
+		for i := old; i < n; i++ {
+			b.Set(i)
+		}
+	}
+	b.trim()
+}
+
+// MemBytes returns the accounted memory of the bitset.
+func (b *Bitset) MemBytes() int { return len(b.words)*8 + 16 }

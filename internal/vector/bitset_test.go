@@ -1,0 +1,218 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	if got := b.Count(); got != 130 {
+		t.Fatalf("fresh bitset Count = %d, want 130 (all valid)", got)
+	}
+	b.Clear(0)
+	b.Clear(64)
+	b.Clear(129)
+	if got := b.Count(); got != 127 {
+		t.Fatalf("Count after 3 clears = %d, want 127", got)
+	}
+	if b.Get(0) || b.Get(64) || b.Get(129) {
+		t.Fatal("cleared bits still read as set")
+	}
+	b.Set(64)
+	if !b.Get(64) {
+		t.Fatal("Set(64) did not stick")
+	}
+}
+
+func TestBitsetEmptyAndSetAll(t *testing.T) {
+	b := NewBitsetEmpty(77)
+	if b.Any() {
+		t.Fatal("empty bitset reports Any")
+	}
+	b.SetAll()
+	if b.Count() != 77 {
+		t.Fatalf("Count after SetAll = %d, want 77", b.Count())
+	}
+	b.ClearAll()
+	if b.Count() != 0 {
+		t.Fatalf("Count after ClearAll = %d, want 0", b.Count())
+	}
+}
+
+func TestBitsetNextSet(t *testing.T) {
+	b := NewBitsetEmpty(200)
+	for _, i := range []int{3, 64, 65, 130, 199} {
+		b.Set(i)
+	}
+	var got []int
+	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	want := []int{3, 64, 65, 130, 199}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextSet walk = %v, want %v", got, want)
+		}
+	}
+	if b.NextSet(200) != -1 {
+		t.Fatal("NextSet past end should be -1")
+	}
+}
+
+func TestBitsetAnyInRange(t *testing.T) {
+	b := NewBitsetEmpty(256)
+	b.Set(100)
+	cases := []struct {
+		lo, hi int
+		want   bool
+	}{
+		{0, 100, false},
+		{0, 101, true},
+		{100, 101, true},
+		{101, 256, false},
+		{64, 128, true},
+		{0, 0, false},
+		{100, 100, false},
+	}
+	for _, c := range cases {
+		if got := b.AnyInRange(c.lo, c.hi); got != c.want {
+			t.Errorf("AnyInRange(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestBitsetAppendResize(t *testing.T) {
+	b := NewBitsetEmpty(0)
+	for i := 0; i < 100; i++ {
+		b.Append(i%3 == 0)
+	}
+	if b.Len() != 100 {
+		t.Fatalf("Len after appends = %d", b.Len())
+	}
+	want := 0
+	for i := 0; i < 100; i++ {
+		if i%3 == 0 {
+			want++
+		}
+		if b.Get(i) != (i%3 == 0) {
+			t.Fatalf("bit %d wrong after Append", i)
+		}
+	}
+	if b.Count() != want {
+		t.Fatalf("Count = %d, want %d", b.Count(), want)
+	}
+	b.Resize(150, true)
+	if b.Count() != want+50 {
+		t.Fatalf("Count after Resize(valid) = %d, want %d", b.Count(), want+50)
+	}
+	b.Resize(10, false)
+	if b.Len() != 10 {
+		t.Fatalf("Len after shrink = %d", b.Len())
+	}
+}
+
+// Property: Count equals a naive per-bit count after arbitrary operations.
+func TestBitsetCountProperty(t *testing.T) {
+	f := func(n uint8, ops []uint16) bool {
+		size := int(n) + 1
+		b := NewBitsetEmpty(size)
+		ref := make([]bool, size)
+		for _, o := range ops {
+			i := int(o) % size
+			switch (o / 256) % 3 {
+			case 0:
+				b.Set(i)
+				ref[i] = true
+			case 1:
+				b.Clear(i)
+				ref[i] = false
+			case 2:
+				b.SetTo(i, o%2 == 0)
+				ref[i] = o%2 == 0
+			}
+		}
+		want := 0
+		for i, v := range ref {
+			if v != b.Get(i) {
+				return false
+			}
+			if v {
+				want++
+			}
+		}
+		return b.Count() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextSet visits exactly the set bits in order.
+func TestBitsetNextSetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		size := 1 + rng.Intn(300)
+		b := NewBitsetEmpty(size)
+		var want []int
+		for i := 0; i < size; i++ {
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+				want = append(want, i)
+			}
+		}
+		var got []int
+		for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+			got = append(got, i)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d set bits, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: walk mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestBitsetAnd(t *testing.T) {
+	a := NewBitsetEmpty(128)
+	b := NewBitsetEmpty(128)
+	for i := 0; i < 128; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 128; i += 3 {
+		b.Set(i)
+	}
+	a.And(b)
+	for i := 0; i < 128; i++ {
+		want := i%2 == 0 && i%3 == 0
+		if a.Get(i) != want {
+			t.Fatalf("And: bit %d = %v, want %v", i, a.Get(i), want)
+		}
+	}
+}
+
+func TestBitsetCountInRange(t *testing.T) {
+	b := NewBitsetEmpty(100)
+	for i := 10; i < 20; i++ {
+		b.Set(i)
+	}
+	if got := b.CountInRange(0, 100); got != 10 {
+		t.Fatalf("CountInRange full = %d", got)
+	}
+	if got := b.CountInRange(15, 18); got != 3 {
+		t.Fatalf("CountInRange(15,18) = %d", got)
+	}
+	if got := b.CountInRange(20, 30); got != 0 {
+		t.Fatalf("CountInRange(20,30) = %d", got)
+	}
+}

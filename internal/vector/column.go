@@ -1,0 +1,278 @@
+package vector
+
+import "fmt"
+
+// Column is a typed, contiguous column of singletons — one column of an
+// f-Block (§4.2). Exactly one backing slice is in use, selected by Kind.
+//
+// A VID column may additionally be *lazy*: instead of holding materialized
+// vertex IDs it holds (pointer,length) references into storage-owned
+// adjacency arrays. This is the paper's pointer-based join (§5): Expand
+// appends one segment per source vertex and neighbor IDs are only copied if
+// someone actually needs random access or de-factoring forces it.
+type Column struct {
+	Name string
+	Kind Kind
+
+	i64 []int64
+	f64 []float64
+	str []string
+	bl  []bool
+	vid []VID
+
+	// Lazy segmented representation (KindVID only).
+	lazy   bool
+	segs   [][]VID // storage-owned; never mutated through the column
+	segOff []int   // segOff[i] = logical offset of segs[i]; ascending
+	segLen int     // total logical length of all segments
+}
+
+// NewColumn returns an empty column of the given kind.
+func NewColumn(name string, kind Kind) *Column {
+	return &Column{Name: name, Kind: kind}
+}
+
+// NewLazyVIDColumn returns an empty lazy VID column for pointer-based joins.
+func NewLazyVIDColumn(name string) *Column {
+	return &Column{Name: name, Kind: KindVID, lazy: true}
+}
+
+// Lazy reports whether the column is in the lazy segmented representation.
+func (c *Column) Lazy() bool { return c.lazy }
+
+// Len returns the logical number of rows.
+func (c *Column) Len() int {
+	if c.lazy {
+		return c.segLen
+	}
+	switch c.Kind {
+	case KindInt64, KindDate:
+		return len(c.i64)
+	case KindVID:
+		return len(c.vid)
+	case KindFloat64:
+		return len(c.f64)
+	case KindString:
+		return len(c.str)
+	case KindBool:
+		return len(c.bl)
+	default:
+		return 0
+	}
+}
+
+// AppendSegment appends a storage-owned adjacency segment to a lazy column
+// and returns the logical [start,end) range the segment now occupies.
+func (c *Column) AppendSegment(seg []VID) (start, end int) {
+	if !c.lazy {
+		panic("vector: AppendSegment on a non-lazy column")
+	}
+	start = c.segLen
+	c.segs = append(c.segs, seg)
+	c.segOff = append(c.segOff, start)
+	c.segLen += len(seg)
+	return start, c.segLen
+}
+
+// Materialize converts a lazy column into a materialized VID column by
+// copying every segment. It is a no-op on already-materialized columns.
+func (c *Column) Materialize() {
+	if !c.lazy {
+		return
+	}
+	out := make([]VID, 0, c.segLen)
+	for _, s := range c.segs {
+		out = append(out, s...)
+	}
+	c.vid = out
+	c.lazy = false
+	c.segs, c.segOff, c.segLen = nil, nil, 0
+}
+
+// segAt locates the segment containing logical row i via binary search.
+func (c *Column) segAt(i int) (seg []VID, local int) {
+	lo, hi := 0, len(c.segOff)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.segOff[mid] <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return c.segs[lo], i - c.segOff[lo]
+}
+
+// VIDAt returns the VID at row i; the column must be of KindVID.
+func (c *Column) VIDAt(i int) VID {
+	if c.lazy {
+		seg, local := c.segAt(i)
+		return seg[local]
+	}
+	return c.vid[i]
+}
+
+// Int64At returns the int64 at row i for KindInt64/KindDate columns.
+func (c *Column) Int64At(i int) int64 { return c.i64[i] }
+
+// Float64At returns the float64 at row i.
+func (c *Column) Float64At(i int) float64 { return c.f64[i] }
+
+// StringAt returns the string at row i.
+func (c *Column) StringAt(i int) string { return c.str[i] }
+
+// BoolAt returns the bool at row i.
+func (c *Column) BoolAt(i int) bool { return c.bl[i] }
+
+// Get returns the boxed value at row i.
+func (c *Column) Get(i int) Value {
+	switch c.Kind {
+	case KindInt64:
+		return Int64(c.i64[i])
+	case KindDate:
+		return Date(c.i64[i])
+	case KindVID:
+		return VIDValue(c.VIDAt(i))
+	case KindFloat64:
+		return Float64(c.f64[i])
+	case KindString:
+		return String_(c.str[i])
+	case KindBool:
+		return Bool(c.bl[i])
+	default:
+		return Value{}
+	}
+}
+
+// Append appends a boxed value; its kind must match the column kind (date
+// and int64 interconvert).
+func (c *Column) Append(v Value) {
+	switch c.Kind {
+	case KindInt64, KindDate:
+		c.i64 = append(c.i64, v.I)
+	case KindVID:
+		if c.lazy {
+			panic("vector: scalar Append on a lazy column")
+		}
+		c.vid = append(c.vid, VID(v.I))
+	case KindFloat64:
+		c.f64 = append(c.f64, v.F)
+	case KindString:
+		c.str = append(c.str, v.S)
+	case KindBool:
+		c.bl = append(c.bl, v.I != 0)
+	default:
+		panic(fmt.Sprintf("vector: Append on invalid column %q", c.Name))
+	}
+}
+
+// AppendInt64 appends a raw int64 (KindInt64/KindDate).
+func (c *Column) AppendInt64(v int64) { c.i64 = append(c.i64, v) }
+
+// AppendVID appends a materialized VID.
+func (c *Column) AppendVID(v VID) { c.vid = append(c.vid, v) }
+
+// AppendFloat64 appends a raw float64.
+func (c *Column) AppendFloat64(v float64) { c.f64 = append(c.f64, v) }
+
+// AppendString appends a raw string.
+func (c *Column) AppendString(v string) { c.str = append(c.str, v) }
+
+// AppendBool appends a raw bool.
+func (c *Column) AppendBool(v bool) { c.bl = append(c.bl, v) }
+
+// Int64s exposes the raw backing slice of an int64/date column for
+// vectorized loops.
+func (c *Column) Int64s() []int64 { return c.i64 }
+
+// Float64s exposes the raw float64 backing slice.
+func (c *Column) Float64s() []float64 { return c.f64 }
+
+// Strings exposes the raw string backing slice.
+func (c *Column) Strings() []string { return c.str }
+
+// Bools exposes the raw bool backing slice.
+func (c *Column) Bools() []bool { return c.bl }
+
+// VIDs exposes the raw materialized VID slice; it panics for lazy columns
+// (callers must Materialize first or iterate via VIDAt/EachVID).
+func (c *Column) VIDs() []VID {
+	if c.lazy {
+		panic("vector: VIDs on a lazy column")
+	}
+	return c.vid
+}
+
+// EachVID calls fn for every logical row of a VID column in order without
+// materializing lazy segments.
+func (c *Column) EachVID(fn func(i int, v VID)) {
+	if c.lazy {
+		i := 0
+		for _, seg := range c.segs {
+			for _, v := range seg {
+				fn(i, v)
+				i++
+			}
+		}
+		return
+	}
+	for i, v := range c.vid {
+		fn(i, v)
+	}
+}
+
+// Reset truncates the column to zero rows, retaining capacity. This backs
+// the paper's pre-allocated, reusable f-Trees (§5, Vectorization).
+func (c *Column) Reset() {
+	c.i64 = c.i64[:0]
+	c.f64 = c.f64[:0]
+	c.str = c.str[:0]
+	c.bl = c.bl[:0]
+	c.vid = c.vid[:0]
+	c.segs = c.segs[:0]
+	c.segOff = c.segOff[:0]
+	c.segLen = 0
+}
+
+// MemBytes returns the accounted intermediate-result memory of the column.
+// Lazy columns account only their segment headers and offsets — the payload
+// belongs to graph storage, which is precisely the saving of pointer-based
+// joins.
+func (c *Column) MemBytes() int {
+	const base = 64
+	if c.lazy {
+		return base + len(c.segs)*24 + len(c.segOff)*8
+	}
+	switch c.Kind {
+	case KindInt64, KindDate:
+		return base + len(c.i64)*8
+	case KindVID:
+		return base + len(c.vid)*4
+	case KindFloat64:
+		return base + len(c.f64)*8
+	case KindString:
+		n := base + len(c.str)*16
+		for _, s := range c.str {
+			n += len(s)
+		}
+		return n
+	case KindBool:
+		return base + len(c.bl)
+	default:
+		return base
+	}
+}
+
+// Clone returns a deep copy of the column (lazy columns stay lazy; segment
+// payloads are shared with storage, as they are storage-owned).
+func (c *Column) Clone() *Column {
+	out := &Column{Name: c.Name, Kind: c.Kind, lazy: c.lazy, segLen: c.segLen}
+	out.i64 = append([]int64(nil), c.i64...)
+	out.f64 = append([]float64(nil), c.f64...)
+	out.str = append([]string(nil), c.str...)
+	out.bl = append([]bool(nil), c.bl...)
+	out.vid = append([]VID(nil), c.vid...)
+	out.segs = append([][]VID(nil), c.segs...)
+	out.segOff = append([]int(nil), c.segOff...)
+	return out
+}

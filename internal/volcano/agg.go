@@ -1,0 +1,166 @@
+package volcano
+
+import (
+	"sort"
+
+	"ges/internal/core"
+	"ges/internal/op"
+	"ges/internal/storage"
+	"ges/internal/vector"
+)
+
+// newAggIter drains the child and groups it; with keys/limit set it also
+// applies the top-k (interpreting a fused AggregateProjectTop plan).
+func newAggIter(e *Engine, in iter, groupBy []string, aggs []op.AggSpec, keys []op.SortKey, limit int) (iter, error) {
+	fb := core.NewFlatBlock(in.schema(), in.kinds())
+	for {
+		row, ok, err := in.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		fb.Append(row)
+	}
+	grouped, err := op.HashAggregateBlock(fb, groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	rows := grouped.Rows
+	if len(keys) > 0 {
+		idx := make([]sortKeyed, len(keys))
+		for i, k := range keys {
+			pos := grouped.ColIndex(k.Col)
+			if pos < 0 {
+				return nil, &opError{msg: "no sort column " + k.Col}
+			}
+			idx[i] = sortKeyed{pos: pos, desc: k.Desc}
+		}
+		sort.SliceStable(rows, func(a, b int) bool {
+			for _, k := range idx {
+				c := vector.Compare(rows[a][k.pos], rows[b][k.pos])
+				if c == 0 {
+					continue
+				}
+				if k.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	return &sliceIter{names: grouped.Names, ks: grouped.Kinds, rows: rows}, nil
+}
+
+// newJoinIter builds the right side with a recursive volcano run, hashes it,
+// and streams the probe side.
+func newJoinIter(e *Engine, view storage.View, in iter, spec *op.HashJoin) (iter, error) {
+	rightIt, err := e.build(view, spec.Right)
+	if err != nil {
+		return nil, err
+	}
+	rIdx := make([]int, len(spec.RightKeys))
+	for i, k := range spec.RightKeys {
+		if rIdx[i], err = colIndex(rightIt, k); err != nil {
+			return nil, err
+		}
+	}
+	table := map[string][][]vector.Value{}
+	for {
+		row, ok, err := rightIt.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		key := make([]vector.Value, len(rIdx))
+		for i, j := range rIdx {
+			key[i] = row[j]
+		}
+		k := volKey(key)
+		table[k] = append(table[k], row)
+	}
+	lIdx := make([]int, len(spec.LeftKeys))
+	for i, k := range spec.LeftKeys {
+		if lIdx[i], err = colIndex(in, k); err != nil {
+			return nil, err
+		}
+	}
+
+	names := in.schema()
+	ks := in.kinds()
+	if spec.Type == op.Inner || spec.Type == op.LeftOuter {
+		names = append(append([]string(nil), names...), rightIt.schema()...)
+		ks = append(append([]vector.Kind(nil), ks...), rightIt.kinds()...)
+	}
+	nullRight := make([]vector.Value, len(rightIt.schema()))
+	for i, k := range rightIt.kinds() {
+		nullRight[i] = vector.Value{Kind: k}
+	}
+	return &joinIter{
+		in: in, names: names, ks: ks, table: table, lIdx: lIdx,
+		jt: spec.Type, nullRight: nullRight,
+	}, nil
+}
+
+type joinIter struct {
+	in        iter
+	names     []string
+	ks        []vector.Kind
+	table     map[string][][]vector.Value
+	lIdx      []int
+	jt        op.JoinType
+	nullRight []vector.Value
+
+	curLeft []vector.Value
+	matches [][]vector.Value
+	pos     int
+}
+
+func (it *joinIter) schema() []string     { return it.names }
+func (it *joinIter) kinds() []vector.Kind { return it.ks }
+
+func (it *joinIter) next() ([]vector.Value, bool, error) {
+	for {
+		if it.curLeft != nil && it.pos < len(it.matches) {
+			r := it.matches[it.pos]
+			it.pos++
+			out := make([]vector.Value, 0, len(it.names))
+			out = append(out, it.curLeft...)
+			out = append(out, r...)
+			return out, true, nil
+		}
+		row, ok, err := it.in.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := make([]vector.Value, len(it.lIdx))
+		for i, j := range it.lIdx {
+			key[i] = row[j]
+		}
+		matches := it.table[volKey(key)]
+		switch it.jt {
+		case op.LeftSemi:
+			if len(matches) > 0 {
+				return row, true, nil
+			}
+		case op.LeftAnti:
+			if len(matches) == 0 {
+				return row, true, nil
+			}
+		case op.Inner:
+			it.curLeft, it.matches, it.pos = row, matches, 0
+		case op.LeftOuter:
+			if len(matches) == 0 {
+				matches = [][]vector.Value{it.nullRight}
+			}
+			it.curLeft, it.matches, it.pos = row, matches, 0
+		}
+	}
+}

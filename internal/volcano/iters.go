@@ -1,0 +1,463 @@
+package volcano
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"ges/internal/catalog"
+	"ges/internal/expr"
+	"ges/internal/op"
+	"ges/internal/storage"
+	"ges/internal/vector"
+)
+
+// expandIter streams (row × neighbor) pairs one at a time — the canonical
+// tuple-at-a-time Expand.
+type expandIter struct {
+	view storage.View
+	in   iter
+	spec *op.Expand
+
+	names []string
+	ks    []vector.Kind
+
+	fromIdx int
+	epIdx   []int
+	epKind  []vector.Kind
+	ctx     *op.Ctx
+
+	curRow []vector.Value
+	segs   []storage.Segment
+	segPos int
+	offPos int
+}
+
+func newExpandIter(view storage.View, in iter, spec *op.Expand) (iter, error) {
+	fromIdx, err := colIndex(in, spec.From)
+	if err != nil {
+		return nil, err
+	}
+	it := &expandIter{view: view, in: in, spec: spec, fromIdx: fromIdx,
+		ctx: &op.Ctx{View: view}}
+	it.names = append(append([]string(nil), in.schema()...), spec.To)
+	it.ks = append(append([]vector.Kind(nil), in.kinds()...), vector.KindVID)
+	cat := view.Catalog()
+	for _, ep := range spec.EdgeProps {
+		pid, kind, ok := cat.EdgePropIndex(spec.Et, ep.Prop)
+		if !ok {
+			return nil, errNoEdgeProp(cat, spec.Et, ep.Prop)
+		}
+		it.epIdx = append(it.epIdx, int(pid))
+		it.epKind = append(it.epKind, kind)
+		it.names = append(it.names, ep.As)
+		it.ks = append(it.ks, kind)
+	}
+	return it, nil
+}
+
+func errNoEdgeProp(cat *catalog.Catalog, et catalog.EdgeTypeID, prop string) error {
+	return &opError{msg: "edge type " + cat.EdgeTypeName(et) + " has no property " + prop}
+}
+
+type opError struct{ msg string }
+
+func (e *opError) Error() string { return "volcano: " + e.msg }
+
+func (it *expandIter) schema() []string     { return it.names }
+func (it *expandIter) kinds() []vector.Kind { return it.ks }
+
+func (it *expandIter) next() ([]vector.Value, bool, error) {
+	for {
+		// Advance within the current row's neighbor stream.
+		for it.curRow != nil && it.segPos < len(it.segs) {
+			seg := it.segs[it.segPos]
+			if it.offPos >= len(seg.VIDs) {
+				it.segPos++
+				it.offPos = 0
+				continue
+			}
+			k := it.offPos
+			it.offPos++
+			v := seg.VIDs[k]
+			if it.spec.VertexPred != nil && !it.spec.VertexPred(it.ctx, v) {
+				continue
+			}
+			props := make([]vector.Value, len(it.epIdx))
+			for p, si := range it.epIdx {
+				switch it.epKind[p] {
+				case vector.KindInt64:
+					props[p] = vector.Int64(seg.PropI64[si][k])
+				case vector.KindDate:
+					props[p] = vector.Date(seg.PropI64[si][k])
+				case vector.KindFloat64:
+					props[p] = vector.Float64(seg.PropF64[si][k])
+				case vector.KindString:
+					props[p] = vector.String_(seg.PropStr[si][k])
+				}
+			}
+			if it.spec.EdgePropPred != nil && !it.spec.EdgePropPred(props) {
+				continue
+			}
+			out := make([]vector.Value, 0, len(it.names))
+			out = append(out, it.curRow...)
+			out = append(out, vector.VIDValue(v))
+			out = append(out, props...)
+			return out, true, nil
+		}
+		// Pull the next input row.
+		row, ok, err := it.in.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.curRow = row
+		src := row[it.fromIdx].AsVID()
+		it.segs = it.view.Neighbors(it.segs[:0], src, it.spec.Et, it.spec.Dir,
+			it.spec.DstLabel, len(it.epIdx) > 0)
+		it.segPos, it.offPos = 0, 0
+	}
+}
+
+// varExpandIter runs the bounded traversal per input row, buffering that
+// row's frontier (tuple-at-a-time across rows).
+type varExpandIter struct {
+	view storage.View
+	in   iter
+	spec *op.VarLengthExpand
+
+	names   []string
+	ks      []vector.Kind
+	fromIdx int
+	ctx     *op.Ctx
+
+	curRow []vector.Value
+	queue  []vector.VID
+	pos    int
+}
+
+func newVarExpandIter(view storage.View, in iter, spec *op.VarLengthExpand) (iter, error) {
+	fromIdx, err := colIndex(in, spec.From)
+	if err != nil {
+		return nil, err
+	}
+	return &varExpandIter{
+		view: view, in: in, spec: spec, fromIdx: fromIdx,
+		ctx:   &op.Ctx{View: view},
+		names: append(append([]string(nil), in.schema()...), spec.To),
+		ks:    append(append([]vector.Kind(nil), in.kinds()...), vector.KindVID),
+	}, nil
+}
+
+func (it *varExpandIter) schema() []string     { return it.names }
+func (it *varExpandIter) kinds() []vector.Kind { return it.ks }
+
+func (it *varExpandIter) next() ([]vector.Value, bool, error) {
+	for {
+		if it.curRow != nil && it.pos < len(it.queue) {
+			v := it.queue[it.pos]
+			it.pos++
+			out := make([]vector.Value, 0, len(it.names))
+			out = append(out, it.curRow...)
+			out = append(out, vector.VIDValue(v))
+			return out, true, nil
+		}
+		row, ok, err := it.in.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.curRow = row
+		it.queue = it.queue[:0]
+		it.pos = 0
+		spec := *it.spec
+		collect := &op.VarLengthExpand{
+			From: spec.From, To: spec.To, Et: spec.Et, Dir: spec.Dir,
+			DstLabel: spec.DstLabel, MinHops: spec.MinHops, MaxHops: spec.MaxHops,
+			Distinct: spec.Distinct, VertexPred: spec.VertexPred,
+		}
+		collect.Traverse(it.ctx, row[it.fromIdx].AsVID(), func(v vector.VID) {
+			it.queue = append(it.queue, v)
+		})
+	}
+}
+
+// projectIter appends fetched vertex properties per row.
+type projectIter struct {
+	in    iter
+	names []string
+	ks    []vector.Kind
+	plans []projPlan
+}
+
+type projPlan struct {
+	varIdx int
+	extID  bool
+	get    func(vector.VID) vector.Value
+}
+
+func newProjectIter(view storage.View, in iter, spec *op.ProjectProps) (iter, error) {
+	it := &projectIter{in: in,
+		names: append([]string(nil), in.schema()...),
+		ks:    append([]vector.Kind(nil), in.kinds()...),
+	}
+	for _, s := range spec.Specs {
+		vi, err := colIndex(in, s.Var)
+		if err != nil {
+			return nil, err
+		}
+		p := projPlan{varIdx: vi, extID: s.ExtID}
+		if s.ExtID {
+			p.get = func(v vector.VID) vector.Value { return vector.Int64(view.ExtID(v)) }
+			it.ks = append(it.ks, vector.KindInt64)
+		} else {
+			g, kind, err := op.NewPropReader(view, s.Prop)
+			if err != nil {
+				return nil, err
+			}
+			p.get = g
+			it.ks = append(it.ks, kind)
+		}
+		it.names = append(it.names, s.As)
+		it.plans = append(it.plans, p)
+	}
+	return it, nil
+}
+
+func (it *projectIter) schema() []string     { return it.names }
+func (it *projectIter) kinds() []vector.Kind { return it.ks }
+
+func (it *projectIter) next() ([]vector.Value, bool, error) {
+	row, ok, err := it.in.next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make([]vector.Value, 0, len(it.names))
+	out = append(out, row...)
+	for _, p := range it.plans {
+		out = append(out, p.get(row[p.varIdx].AsVID()))
+	}
+	return out, true, nil
+}
+
+// newProjectExprIter appends one computed column per row.
+func newProjectExprIter(in iter, spec *op.ProjectExpr) (iter, error) {
+	cur := new([]vector.Value)
+	get, err := bindRow(spec.Expr, in, cur)
+	if err != nil {
+		return nil, err
+	}
+	return &mapIter{
+		in:    in,
+		names: append(append([]string(nil), in.schema()...), spec.As),
+		ks:    append(append([]vector.Kind(nil), in.kinds()...), spec.Kind),
+		fn: func(row []vector.Value) ([]vector.Value, bool) {
+			*cur = row
+			out := make([]vector.Value, 0, len(row)+1)
+			out = append(out, row...)
+			out = append(out, get(0))
+			return out, true
+		},
+	}, nil
+}
+
+// newFilterIter drops rows failing the predicate.
+func newFilterIter(in iter, pred expr.Expr) (iter, error) {
+	cur := new([]vector.Value)
+	get, err := bindRow(pred, in, cur)
+	if err != nil {
+		return nil, err
+	}
+	return &mapIter{
+		in: in, names: in.schema(), ks: in.kinds(),
+		fn: func(row []vector.Value) ([]vector.Value, bool) {
+			*cur = row
+			if !get(0).AsBool() {
+				return nil, false
+			}
+			return row, true
+		},
+	}, nil
+}
+
+// mapIter applies a per-row transform/filter.
+type mapIter struct {
+	in    iter
+	names []string
+	ks    []vector.Kind
+	fn    func([]vector.Value) ([]vector.Value, bool)
+}
+
+func (it *mapIter) schema() []string     { return it.names }
+func (it *mapIter) kinds() []vector.Kind { return it.ks }
+func (it *mapIter) next() ([]vector.Value, bool, error) {
+	for {
+		row, ok, err := it.in.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if out, keep := it.fn(row); keep {
+			return out, true, nil
+		}
+	}
+}
+
+// limitIter implements LIMIT/SKIP.
+type limitIter struct {
+	in      iter
+	skip, n int
+	skipped int
+	emitted int
+}
+
+func (it *limitIter) schema() []string     { return it.in.schema() }
+func (it *limitIter) kinds() []vector.Kind { return it.in.kinds() }
+func (it *limitIter) next() ([]vector.Value, bool, error) {
+	for it.skipped < it.skip {
+		_, ok, err := it.in.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.skipped++
+	}
+	if it.emitted >= it.n {
+		return nil, false, nil
+	}
+	row, ok, err := it.in.next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	it.emitted++
+	return row, true, nil
+}
+
+// newDistinctIter streams rows, dropping duplicates over the key columns.
+func newDistinctIter(in iter, cols []string) (iter, error) {
+	idx := make([]int, 0, len(cols))
+	names, ks := in.schema(), in.kinds()
+	if cols != nil {
+		names = append([]string(nil), cols...)
+		var kk []vector.Kind
+		for _, c := range cols {
+			i, err := colIndex(in, c)
+			if err != nil {
+				return nil, err
+			}
+			idx = append(idx, i)
+			kk = append(kk, in.kinds()[i])
+		}
+		ks = kk
+	}
+	seen := map[string]bool{}
+	return &mapIter{
+		in: in, names: names, ks: ks,
+		fn: func(row []vector.Value) ([]vector.Value, bool) {
+			out := row
+			if cols != nil {
+				out = make([]vector.Value, len(idx))
+				for k, i := range idx {
+					out[k] = row[i]
+				}
+			}
+			key := volKey(out)
+			if seen[key] {
+				return nil, false
+			}
+			seen[key] = true
+			return out, true
+		},
+	}, nil
+}
+
+// newNarrowIter projects the schema down to the named columns.
+func newNarrowIter(in iter, cols []string) (iter, error) {
+	idx := make([]int, len(cols))
+	ks := make([]vector.Kind, len(cols))
+	for k, c := range cols {
+		i, err := colIndex(in, c)
+		if err != nil {
+			return nil, err
+		}
+		idx[k] = i
+		ks[k] = in.kinds()[i]
+	}
+	return &mapIter{
+		in: in, names: append([]string(nil), cols...), ks: ks,
+		fn: func(row []vector.Value) ([]vector.Value, bool) {
+			out := make([]vector.Value, len(idx))
+			for k, i := range idx {
+				out[k] = row[i]
+			}
+			return out, true
+		},
+	}, nil
+}
+
+// volKey builds a collision-safe key for a row.
+func volKey(row []vector.Value) string {
+	var sb strings.Builder
+	for _, v := range row {
+		s := v.String()
+		sb.WriteString(strconv.Itoa(len(s)))
+		sb.WriteByte(':')
+		sb.WriteString(s)
+	}
+	return sb.String()
+}
+
+// sortHeapRow pairs a row with sort keys for the bounded heap.
+type sortKeyed struct {
+	pos  int
+	desc bool
+}
+
+// newSortIter drains the child, sorts (optionally bounded top-k), then
+// streams.
+func newSortIter(e *Engine, in iter, spec *op.OrderBy) (iter, error) {
+	names, ks := in.schema(), in.kinds()
+	keys := make([]sortKeyed, len(spec.Keys))
+	for i, k := range spec.Keys {
+		idx, err := colIndex(in, k.Col)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = sortKeyed{pos: idx, desc: k.Desc}
+	}
+	var rows [][]vector.Value
+	for {
+		row, ok, err := in.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, row)
+	}
+	less := func(a, b []vector.Value) bool {
+		for _, k := range keys {
+			c := vector.Compare(a[k.pos], b[k.pos])
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+	if spec.Limit > 0 && len(rows) > spec.Limit {
+		rows = rows[:spec.Limit]
+	}
+	out := &sliceIter{names: names, ks: ks, rows: rows}
+	if spec.Cols != nil {
+		return newNarrowIter(out, spec.Cols)
+	}
+	return out, nil
+}
+
+// bindRow compiles an expression against the iterator's schema, reading
+// from the row currently pointed at by cur.
+func bindRow(e expr.Expr, in iter, cur *[]vector.Value) (expr.Getter, error) {
+	return expr.Bind(e, rowBinding{names: in.schema(), cur: cur})
+}

@@ -1,0 +1,135 @@
+package volcano_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ges/internal/core"
+	"ges/internal/cypher"
+	"ges/internal/exec"
+	"ges/internal/ldbc"
+	"ges/internal/ldbc/queries"
+	"ges/internal/plan"
+	"ges/internal/volcano"
+)
+
+func rows(fb *core.FlatBlock) []string {
+	if fb == nil {
+		return nil
+	}
+	out := make([]string, fb.NumRows())
+	for i, row := range fb.Rows {
+		var sb strings.Builder
+		for _, v := range row {
+			sb.WriteString(v.String())
+			sb.WriteByte('|')
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// TestVolcanoAgreesWithGES runs every read query on both the tuple-at-a-time
+// interpreter and the fused GES engine; identical plans must yield identical
+// results. This validates the cross-system comparison's fairness claim: the
+// engines differ only in execution architecture.
+func TestVolcanoAgreesWithGES(t *testing.T) {
+	ds, err := ldbc.Generate(ldbc.Config{SF: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ges := queries.NewRunner(ds, exec.ModeFused, nil)
+	vol := queries.NewRunnerWith(ds, volcano.New(), nil)
+
+	for _, q := range queries.All() {
+		if q.Kind == queries.IU {
+			continue
+		}
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			pg1 := ds.NewParamGen(9)
+			pg2 := ds.NewParamGen(9)
+			for trial := 0; trial < 5; trial++ {
+				params := q.GenParams(ds, pg1)
+				params2 := q.GenParams(ds, pg2)
+				a, _, err := ges.Execute(q, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, _, err := vol.Execute(q, params2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Unordered queries may legally emit different orders only
+				// when no ORDER BY is present; all our read plans are
+				// ordered or tiny, so compare directly.
+				if !reflect.DeepEqual(rows(a), rows(b)) {
+					t.Fatalf("trial %d: volcano disagrees:\n ges %v\n vol %v", trial, rows(a), rows(b))
+				}
+			}
+		})
+	}
+}
+
+// TestVolcanoIsSlowerOnHeavyQueries sanity-checks the performance ordering
+// the cross-system experiment depends on, using IC9 which fans out widely.
+func TestVolcanoIsSlowerOnHeavyQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short")
+	}
+	ds, err := ldbc.Generate(ldbc.Config{SF: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ges := queries.NewRunner(ds, exec.ModeFused, nil)
+	vol := queries.NewRunnerWith(ds, volcano.New(), nil)
+	q, _ := queries.ByName("IC9")
+
+	timeOf := func(r *queries.Runner) (total int64) {
+		pg := ds.NewParamGen(21)
+		for trial := 0; trial < 10; trial++ {
+			params := q.GenParams(ds, pg)
+			_, res, err := r.Execute(q, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Duration.Nanoseconds()
+		}
+		return total
+	}
+	g := timeOf(ges)
+	v := timeOf(vol)
+	if v <= g {
+		t.Logf("note: volcano (%d ns) not slower than fused GES (%d ns) on this tiny dataset", v, g)
+	}
+}
+
+// TestVolcanoRunsFusedPlans checks the interpreter also accepts fused
+// operator shapes (SeekExpand, AggregateProjectTop, Rename), matching the
+// fused GES engine's results on compiled Cypher.
+func TestVolcanoRunsFusedPlans(t *testing.T) {
+	ds, err := ldbc.Generate(ldbc.Config{SF: 0.03, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `MATCH (p:Person)-[:KNOWS]->(f)
+	        WHERE id(p) = 3
+	        RETURN COUNT(*) AS n ORDER BY n DESC LIMIT 1`
+	p, err := cypher.Compile(src, ds.H.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := plan.Fuse(p)
+	a, err := volcano.New().Run(ds.Graph, fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exec.New(exec.ModeFused).Run(ds.Graph, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows(a.Block), rows(b.Block)) {
+		t.Fatalf("volcano on fused plan diverges: %v vs %v", rows(a.Block), rows(b.Block))
+	}
+}
