@@ -13,9 +13,14 @@
 package ges_test
 
 import (
+	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ges/internal/bench"
@@ -27,6 +32,7 @@ import (
 	"ges/internal/ldbc/queries"
 	"ges/internal/op"
 	"ges/internal/plan"
+	"ges/internal/service"
 	"ges/internal/storage"
 	"ges/internal/txn"
 )
@@ -181,6 +187,91 @@ func BenchmarkAblation_SelectionPruning_Off(b *testing.B) { benchPrune(b, true) 
 // benchFilterPred is a selective friend filter (small external ids are the
 // zipf-popular persons).
 func benchFilterPred() expr.Expr { return expr.Le(expr.C("f.id"), expr.LInt(20)) }
+
+// ---------------------------------------------------------------------------
+// Morsel-runtime benchmarks (parallel expansion and service plan cache).
+// ---------------------------------------------------------------------------
+
+// fusedExpandScalePlan is the morsel-runtime workload: a full-scan two-hop
+// expansion whose second hop carries a fused vertex predicate keeping roughly
+// half the neighbors, then a parallel property gather and defactorization.
+// Rebuilt per iteration so fused predicate state never leaks across runs.
+func fusedExpandScalePlan(ds *ldbc.Dataset) plan.Plan {
+	h := ds.H
+	mid := int64(ds.Stats().Persons / 2)
+	return plan.Plan{
+		&op.NodeScan{Var: "p", Label: h.Person},
+		&op.Expand{From: "p", To: "f", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.Expand{From: "f", To: "g", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person,
+			VertexPred: op.VertexPropPred(expr.Le(expr.C(op.ExtIDProp), expr.LInt(mid)), nil)},
+		&op.ProjectProps{Specs: []op.ProjSpec{{Var: "g", As: "g.id", ExtID: true}}},
+		&op.Defactor{Cols: []string{"g.id"}},
+	}
+}
+
+// BenchmarkExpandFusedParallel sweeps the intra-query worker count over the
+// fused-predicate expansion. Speedup is visible only with real cores; on a
+// single-core host the curve is flat (the scheduler caps helpers at
+// GOMAXPROCS and the caller does all the work).
+func BenchmarkExpandFusedParallel(b *testing.B) {
+	ds := dataset(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := exec.New(exec.ModeFactorized)
+			eng.Parallel = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ds.Graph, fusedExpandScalePlan(ds)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServicePlanCache drives POST /query through the service mux with
+// 1/2/4/8 concurrent clients repeating one query text, so every request
+// after the first hits the compiled-plan cache.
+func BenchmarkServicePlanCache(b *testing.B) {
+	ds := dataset(b)
+	srv := service.NewWith(ds, exec.ModeFused, service.Options{})
+	mux := srv.Mux()
+	const body = `{"query":"MATCH (p:Person)-[:KNOWS]->(f) WHERE id(p) = 1 RETURN COUNT(*) AS friends"}`
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			var failed atomic.Bool
+			per, extra := b.N/clients, b.N%clients
+			for c := 0; c < clients; c++ {
+				n := per
+				if c < extra {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+						rec := httptest.NewRecorder()
+						mux.ServeHTTP(rec, req)
+						if rec.Code != http.StatusOK {
+							failed.Store(true)
+							return
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if failed.Load() {
+				b.Fatal("non-200 response from POST /query")
+			}
+		})
+	}
+}
 
 // BenchmarkAblation_MV2PLOverhead compares reads on the raw base graph with
 // reads through a snapshot carrying committed overlays.

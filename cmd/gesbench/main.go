@@ -7,6 +7,8 @@
 //	gesbench -exp all               # the whole evaluation section
 //	gesbench -exp fig11 -quick      # CI-sized configuration
 //	gesbench -list                  # enumerate experiment IDs
+//	gesbench -exp parallel -quick -json BENCH_parallel.json
+//	                                # morsel-runtime scaling + JSON artifact
 package main
 
 import (
@@ -29,6 +31,7 @@ func main() {
 		runs    = flag.Int("runs", 0, "parameter draws per query measurement (overrides preset)")
 		workers = flag.Int("workers", 0, "workers for throughput runs (overrides preset)")
 		ops     = flag.Int("ops", 0, "operations per throughput run (overrides preset)")
+		jsonOut = flag.String("json", "", "path for machine-readable output (e.g. BENCH_parallel.json for -exp parallel)")
 	)
 	flag.Parse()
 
@@ -62,6 +65,7 @@ func main() {
 	if *ops > 0 {
 		cfg.MixOps = *ops
 	}
+	cfg.JSONPath = *jsonOut
 
 	exps := bench.All()
 	if *exp != "all" {

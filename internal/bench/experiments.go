@@ -33,6 +33,9 @@ type Config struct {
 	TraceFor    time.Duration
 	TraceBucket time.Duration
 	Seed        int64
+	// JSONPath, when non-empty, is where experiments that produce a
+	// machine-readable artifact (currently "parallel") write it.
+	JSONPath string
 }
 
 // Quick returns a configuration sized for CI / `go test -bench`.

@@ -74,6 +74,10 @@ type Catalog struct {
 	edgeTypes     []string
 	edgeTypeByStr map[string]EdgeTypeID
 	edgeProps     [][]PropDef
+
+	// version counts schema mutations; plan caches key on it so compiled
+	// plans never outlive the schema they were bound against.
+	version uint64
 }
 
 // New returns an empty catalog.
@@ -97,6 +101,7 @@ func (c *Catalog) AddLabel(name string, props ...PropDef) (LabelID, error) {
 	c.labels = append(c.labels, name)
 	c.labelProps = append(c.labelProps, append([]PropDef(nil), props...))
 	c.labelByStr[name] = id
+	c.version++
 	return id, nil
 }
 
@@ -112,7 +117,16 @@ func (c *Catalog) AddEdgeType(name string, props ...PropDef) (EdgeTypeID, error)
 	c.edgeTypes = append(c.edgeTypes, name)
 	c.edgeProps = append(c.edgeProps, append([]PropDef(nil), props...))
 	c.edgeTypeByStr[name] = id
+	c.version++
 	return id, nil
+}
+
+// Version returns the schema version: a counter bumped by every successful
+// label or edge-type registration. Cached compiled plans are keyed on it.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
 }
 
 // Label resolves a label name; ok is false when undefined.

@@ -41,8 +41,16 @@ func (t *FTree) Resolve(names []string) ([]ColRef, error) {
 // iterator ranges over the index-vector interval selected by its parent's
 // current row, so the work per emitted tuple is O(|schema|).
 func (t *FTree) Enumerate(refs []ColRef, fn func(row []vector.Value) bool) {
+	t.EnumerateRange(refs, 0, t.Root.Block.NumRows(), fn)
+}
+
+// EnumerateRange is Enumerate restricted to root rows [lo,hi). Tuples are
+// produced in the same order Enumerate would produce them, so enumerating
+// consecutive ranges and concatenating yields exactly the full enumeration —
+// the property the morsel-parallel de-factoring relies on.
+func (t *FTree) EnumerateRange(refs []ColRef, lo, hi int, fn func(row []vector.Value) bool) {
 	n := len(t.nodes)
-	if n == 0 || t.Root.Block.NumRows() == 0 {
+	if n == 0 || t.Root.Block.NumRows() == 0 || lo >= hi {
 		return
 	}
 	// Per-node projected columns, grouped for cheap buffer filling.
@@ -63,7 +71,7 @@ func (t *FTree) Enumerate(refs []ColRef, fn func(row []vector.Value) bool) {
 	cur := make([]int, n)
 	end := make([]int, n)
 
-	cur[0], end[0] = 0, t.Root.Block.NumRows()
+	cur[0], end[0] = lo, hi
 	d := 0
 	for d >= 0 {
 		// Advance node d's iterator to its next valid row.
@@ -105,6 +113,14 @@ func (t *FTree) Enumerate(refs []ColRef, fn func(row []vector.Value) bool) {
 // row-oriented FlatBlock — the "ultimate solution" the executor reverts to
 // for complex blocking logic (§4.2, Flat-Block).
 func (t *FTree) Defactor(names []string) (*FlatBlock, error) {
+	return t.DefactorRange(names, 0, t.Root.Block.NumRows())
+}
+
+// DefactorRange materializes the named attributes of every valid tuple whose
+// root row falls in [lo,hi). Concatenating the blocks of consecutive ranges
+// reproduces Defactor exactly (see EnumerateRange) — the building block of
+// morsel-parallel de-factoring.
+func (t *FTree) DefactorRange(names []string, lo, hi int) (*FlatBlock, error) {
 	refs, err := t.Resolve(names)
 	if err != nil {
 		return nil, err
@@ -114,7 +130,7 @@ func (t *FTree) Defactor(names []string) (*FlatBlock, error) {
 		kinds[i] = t.nodes[r.Node].Block.Column(r.Col).Kind
 	}
 	out := NewFlatBlock(append([]string(nil), names...), kinds)
-	t.Enumerate(refs, func(row []vector.Value) bool {
+	t.EnumerateRange(refs, lo, hi, func(row []vector.Value) bool {
 		out.Append(row)
 		return true
 	})

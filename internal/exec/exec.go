@@ -13,6 +13,7 @@ import (
 	"ges/internal/core"
 	"ges/internal/op"
 	"ges/internal/plan"
+	"ges/internal/sched"
 	"ges/internal/storage"
 )
 
@@ -75,6 +76,9 @@ type Engine struct {
 	// Parallel sets the intra-query parallelism degree for expansion
 	// operators (<= 1 = sequential).
 	Parallel int
+	// Sched is the worker pool intra-query morsels run on; nil uses the
+	// process-wide scheduler.
+	Sched *sched.Scheduler
 }
 
 // New returns an engine in the given mode with a fresh memory pool.
@@ -87,7 +91,7 @@ func (e *Engine) Run(view storage.View, p plan.Plan) (*Result, error) {
 	if e.Mode == ModeFused {
 		p = plan.Fuse(p)
 	}
-	ctx := &op.Ctx{View: view, Pool: e.Pool, MaxRows: e.MaxRows, Parallel: e.Parallel}
+	ctx := &op.Ctx{View: view, Pool: e.Pool, MaxRows: e.MaxRows, Parallel: e.Parallel, Sched: e.Sched}
 	start := time.Now()
 
 	var ch *core.Chunk
@@ -139,7 +143,7 @@ func (e *Engine) Run(view storage.View, p plan.Plan) (*Result, error) {
 }
 
 func flatten(ctx *op.Ctx, ch *core.Chunk) (*core.FlatBlock, error) {
-	fb, err := ch.FT.DefactorAll()
+	fb, err := op.DefactorAll(ctx, ch.FT)
 	if err != nil {
 		return nil, err
 	}

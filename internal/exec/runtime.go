@@ -1,46 +1,29 @@
 package exec
 
-import "sync"
+import "ges/internal/sched"
 
-// Runtime manages query workload parallelism (§2.1, Runtime): a fixed pool
-// of workers drains a task queue, giving inter-query parallel execution with
-// a configurable degree — the knob behind the paper's scalability experiment
-// (Figure 13). Workers=1 degenerates to sequential execution.
+// Runtime manages query workload parallelism (§2.1, Runtime): submitted
+// tasks run on the process-wide morsel scheduler with a bounded in-flight
+// degree — the knob behind the paper's scalability experiment (Figure 13).
+// Inter-query tasks and intra-query morsels draw from one worker budget, so
+// stacking drivers never over-subscribes the machine. Workers=1 degenerates
+// to sequential execution.
 type Runtime struct {
-	queue chan func()
-	wg    sync.WaitGroup
-	once  sync.Once
+	g *sched.Group
 }
 
-// NewRuntime starts a runtime with the given worker count (minimum 1) and
-// queue depth.
+// NewRuntime returns a runtime admitting up to workers concurrent tasks
+// (minimum 1). depth is retained for compatibility; admission is bounded by
+// the in-flight limit.
 func NewRuntime(workers, depth int) *Runtime {
-	if workers < 1 {
-		workers = 1
-	}
-	if depth < 1 {
-		depth = workers * 2
-	}
-	r := &Runtime{queue: make(chan func(), depth)}
-	r.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go func() {
-			defer r.wg.Done()
-			for task := range r.queue {
-				task()
-			}
-		}()
-	}
-	return r
+	_ = depth
+	return &Runtime{g: sched.Global().NewGroup(workers)}
 }
 
-// Submit enqueues a task, blocking while the queue is full (closed-loop
-// admission control).
-func (r *Runtime) Submit(task func()) { r.queue <- task }
+// Submit enqueues a task, blocking while the in-flight limit is reached
+// (closed-loop admission control).
+func (r *Runtime) Submit(task func()) { r.g.Go(task) }
 
-// Close stops admission and waits for all queued tasks to finish. It is
-// idempotent.
-func (r *Runtime) Close() {
-	r.once.Do(func() { close(r.queue) })
-	r.wg.Wait()
-}
+// Close waits for all submitted tasks to finish. It is idempotent; the
+// underlying worker pool is process-wide and keeps running.
+func (r *Runtime) Close() { r.g.Wait() }

@@ -38,7 +38,7 @@ type Expand struct {
 	EdgeProps []EdgeProj
 
 	// VertexPred filters candidate neighbors by their own vertex data.
-	VertexPred func(ctx *Ctx, v vector.VID) bool
+	VertexPred VertexPred
 	// EdgePropPred filters candidates by the projected edge-property values
 	// (ordered per EdgeProps).
 	EdgePropPred func(props []vector.Value) bool
@@ -128,25 +128,48 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 	}
 
 	// Materializing path: edge properties or fused predicates requested.
+	if ctx.Parallel > 1 && parent.Block.NumRows() >= parallelMinRows {
+		block, pidx := parallelMaterialExpand(ctx, o, parent, fromCol, epp)
+		ft.AddChild(parent, block, pidx)
+		return &core.Chunk{FT: ft}, nil
+	}
 	toCol := vector.NewColumn(o.To, vector.KindVID)
 	propCols := make([]*vector.Column, len(o.EdgeProps))
 	for i, ep := range o.EdgeProps {
 		propCols[i] = vector.NewColumn(ep.As, epp.kind[i])
 	}
+	index = o.expandRows(ctx, o.VertexPred, parent, fromCol, epp, 0, parent.Block.NumRows(), toCol, propCols, index[:0])
+	block := core.NewFBlock(toCol)
+	for _, pc := range propCols {
+		block.AddColumn(pc)
+	}
+	ft.AddChild(parent, block, index)
+	return &core.Chunk{FT: ft}, nil
+}
+
+// expandRows runs the materializing expansion for parent rows [lo,hi),
+// appending neighbors to toCol/propCols and one range per parent row to
+// index (ranges are relative to toCol's state at entry). It is the single
+// implementation behind both the sequential path and each parallel morsel,
+// which keeps parallel output byte-identical to sequential execution.
+func (o *Expand) expandRows(ctx *Ctx, pred VertexPred, parent *core.Node, fromCol *vector.Column,
+	epp edgePropPlan, lo, hi int, toCol *vector.Column, propCols []*vector.Column, index []core.Range) []core.Range {
+
+	var segBuf []storage.Segment
 	propVals := make([]vector.Value, len(o.EdgeProps))
-	total := 0
 	withProps := len(o.EdgeProps) > 0
-	for i := 0; i < parent.Block.NumRows(); i++ {
+	total := toCol.Len()
+	for i := lo; i < hi; i++ {
 		start := total
 		if !parent.Valid(i) {
-			index[i] = core.Range{Start: int32(start), End: int32(start)}
+			index = append(index, core.Range{Start: int32(start), End: int32(start)})
 			continue
 		}
 		src := fromCol.VIDAt(i)
 		segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, withProps)
 		for _, seg := range segBuf {
 			for k, v := range seg.VIDs {
-				if o.VertexPred != nil && !o.VertexPred(ctx, v) {
+				if pred != nil && !pred.Test(ctx, v) {
 					continue
 				}
 				for p := range o.EdgeProps {
@@ -162,14 +185,9 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 				total++
 			}
 		}
-		index[i] = core.Range{Start: int32(start), End: int32(total)}
+		index = append(index, core.Range{Start: int32(start), End: int32(total)})
 	}
-	block := core.NewFBlock(toCol)
-	for _, pc := range propCols {
-		block.AddColumn(pc)
-	}
-	ft.AddChild(parent, block, index)
-	return &core.Chunk{FT: ft}, nil
+	return index
 }
 
 // segPropValue extracts edge property p (plan position) for neighbor k of a
@@ -201,6 +219,13 @@ func (o *Expand) executeFlat(ctx *Ctx, in *core.FlatBlock, epp edgePropPlan) (*c
 		names = append(names, ep.As)
 		kinds = append(kinds, epp.kind[i])
 	}
+	if ctx.Parallel > 1 && len(in.Rows) >= parallelMinRows {
+		fb, err := parallelFlatExpand(ctx, o, in, fromIdx, names, kinds, epp)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Chunk{Flat: fb}, nil
+	}
 	out := core.NewFlatBlock(names, kinds)
 	var segBuf []storage.Segment
 	withProps := len(o.EdgeProps) > 0
@@ -210,7 +235,7 @@ func (o *Expand) executeFlat(ctx *Ctx, in *core.FlatBlock, epp edgePropPlan) (*c
 		segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, withProps)
 		for _, seg := range segBuf {
 			for k, v := range seg.VIDs {
-				if o.VertexPred != nil && !o.VertexPred(ctx, v) {
+				if o.VertexPred != nil && !o.VertexPred.Test(ctx, v) {
 					continue
 				}
 				for p := range o.EdgeProps {
@@ -225,7 +250,7 @@ func (o *Expand) executeFlat(ctx *Ctx, in *core.FlatBlock, epp edgePropPlan) (*c
 				nr = append(nr, propVals...)
 				out.AppendOwned(nr)
 				if ctx.MaxRows > 0 && out.NumRows() > ctx.MaxRows {
-					return nil, fmt.Errorf("op: flat expand exceeded row limit %d", ctx.MaxRows)
+					return nil, errRowLimit("flat expand", out.NumRows(), ctx.MaxRows)
 				}
 			}
 		}

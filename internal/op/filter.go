@@ -3,6 +3,7 @@ package op
 import (
 	"ges/internal/core"
 	"ges/internal/expr"
+	"ges/internal/sched"
 	"ges/internal/vector"
 )
 
@@ -25,16 +26,12 @@ func (o *Filter) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 	if !in.IsFlat() {
 		cols := o.Pred.Columns(nil)
 		if node := in.FT.NodeOfColumns(cols); node != nil {
-			if !vectorizedFilter(node, o.Pred) {
+			if !vectorizedFilter(ctx, node, o.Pred) {
 				get, err := expr.BindBlock(o.Pred, node.Block)
 				if err != nil {
 					return nil, err
 				}
-				for i := 0; i < node.Block.NumRows(); i++ {
-					if node.Sel.Get(i) && !get(i).AsBool() {
-						node.Sel.Clear(i)
-					}
-				}
+				applySelFilter(ctx, node, get)
 			}
 			if !o.NoPrune {
 				in.FT.PruneUp(node)
@@ -51,13 +48,55 @@ func (o *Filter) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
+	rows := in.Flat.Rows
 	out := core.NewFlatBlock(in.Flat.Names, in.Flat.Kinds)
-	for i, row := range in.Flat.Rows {
+	if ctx.Parallel > 1 && len(rows) >= parallelMinRows {
+		// Per-morsel keep lists, concatenated in morsel order — same row
+		// order as the sequential loop. BindFlat getters are pure, so one
+		// getter serves all morsels.
+		shards := make([][][]vector.Value, sched.NumMorsels(len(rows), filterMorselSize))
+		ctx.RunMorsels(len(rows), filterMorselSize, func(m sched.Morsel) {
+			var keep [][]vector.Value
+			for i := m.Start; i < m.End; i++ {
+				if get(i).AsBool() {
+					keep = append(keep, rows[i])
+				}
+			}
+			shards[m.Index] = keep
+		})
+		for _, sh := range shards {
+			out.Rows = append(out.Rows, sh...)
+		}
+		return &core.Chunk{Flat: out}, nil
+	}
+	for i, row := range rows {
 		if get(i).AsBool() {
 			out.AppendOwned(row)
 		}
 	}
 	return &core.Chunk{Flat: out}, nil
+}
+
+// applySelFilter clears the selection bit of every selected row failing the
+// compiled predicate, sharding rows into word-aligned morsels when the
+// context allows parallel execution. Compiled getters read block state by
+// row index only, so one getter serves all morsels; filterMorselSize is a
+// multiple of 64, so concurrent morsels never write the same selection-vector
+// word.
+func applySelFilter(ctx *Ctx, node *core.Node, get expr.Getter) {
+	n := node.Block.NumRows()
+	apply := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if node.Sel.Get(i) && !get(i).AsBool() {
+				node.Sel.Clear(i)
+			}
+		}
+	}
+	if ctx.Parallel > 1 && n >= parallelMinRows {
+		ctx.RunMorsels(n, filterMorselSize, func(m sched.Morsel) { apply(m.Start, m.End) })
+		return
+	}
+	apply(0, n)
 }
 
 // Defactor explicitly converts a factorized chunk into a flat block holding
@@ -83,15 +122,7 @@ func (o *Defactor) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		}
 		return &core.Chunk{Flat: fb}, nil
 	}
-	var (
-		fb  *core.FlatBlock
-		err error
-	)
-	if o.Cols == nil {
-		fb, err = in.FT.DefactorAll()
-	} else {
-		fb, err = in.FT.Defactor(o.Cols)
-	}
+	fb, err := DefactorNames(ctx, in.FT, o.Cols)
 	if err != nil {
 		return nil, err
 	}
@@ -101,9 +132,10 @@ func (o *Defactor) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 // vectorizedFilter is the §5 vectorization fast path: single-column
 // comparisons against integer/date literals run as a tight loop over the
 // contiguous column slice — the pattern modern compilers auto-vectorize —
-// instead of through the compiled expression closure. It reports whether it
-// handled the predicate.
-func vectorizedFilter(node *core.Node, pred expr.Expr) bool {
+// instead of through the compiled expression closure. Large blocks shard the
+// loop into word-aligned morsels. It reports whether it handled the
+// predicate.
+func vectorizedFilter(ctx *Ctx, node *core.Node, pred expr.Expr) bool {
 	cmp, ok := pred.(expr.Cmp)
 	if !ok {
 		return false
@@ -133,45 +165,63 @@ func vectorizedFilter(node *core.Node, pred expr.Expr) bool {
 	vals := col.Int64s()
 	threshold := lit.Val.I
 	sel := node.Sel
+	var apply func(lo, hi int)
 	switch op {
 	case expr.LT:
-		for i, v := range vals {
-			if v >= threshold {
-				sel.Clear(i)
+		apply = func(lo, hi int) {
+			for i, v := range vals[lo:hi] {
+				if v >= threshold {
+					sel.Clear(lo + i)
+				}
 			}
 		}
 	case expr.LE:
-		for i, v := range vals {
-			if v > threshold {
-				sel.Clear(i)
+		apply = func(lo, hi int) {
+			for i, v := range vals[lo:hi] {
+				if v > threshold {
+					sel.Clear(lo + i)
+				}
 			}
 		}
 	case expr.GT:
-		for i, v := range vals {
-			if v <= threshold {
-				sel.Clear(i)
+		apply = func(lo, hi int) {
+			for i, v := range vals[lo:hi] {
+				if v <= threshold {
+					sel.Clear(lo + i)
+				}
 			}
 		}
 	case expr.GE:
-		for i, v := range vals {
-			if v < threshold {
-				sel.Clear(i)
+		apply = func(lo, hi int) {
+			for i, v := range vals[lo:hi] {
+				if v < threshold {
+					sel.Clear(lo + i)
+				}
 			}
 		}
 	case expr.EQ:
-		for i, v := range vals {
-			if v != threshold {
-				sel.Clear(i)
+		apply = func(lo, hi int) {
+			for i, v := range vals[lo:hi] {
+				if v != threshold {
+					sel.Clear(lo + i)
+				}
 			}
 		}
 	case expr.NE:
-		for i, v := range vals {
-			if v == threshold {
-				sel.Clear(i)
+		apply = func(lo, hi int) {
+			for i, v := range vals[lo:hi] {
+				if v == threshold {
+					sel.Clear(lo + i)
+				}
 			}
 		}
 	default:
 		return false
+	}
+	if ctx.Parallel > 1 && len(vals) >= parallelMinRows {
+		ctx.RunMorsels(len(vals), filterMorselSize, func(m sched.Morsel) { apply(m.Start, m.End) })
+	} else {
+		apply(0, len(vals))
 	}
 	return true
 }

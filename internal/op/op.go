@@ -18,6 +18,7 @@ import (
 
 	"ges/internal/catalog"
 	"ges/internal/core"
+	"ges/internal/sched"
 	"ges/internal/storage"
 	"ges/internal/vector"
 )
@@ -39,9 +40,26 @@ type Ctx struct {
 	MaxRows int
 
 	// Parallel is the intra-query parallelism degree (§2.1, Runtime): the
-	// expansion operators shard large parent blocks across this many worker
-	// goroutines. Values <= 1 run sequentially.
+	// expansion, filter, projection and de-factoring operators shard large
+	// parent blocks into morsels claimed by up to this many workers. Values
+	// <= 1 run sequentially.
 	Parallel int
+
+	// Sched is the worker pool morsels are scheduled on; nil uses the
+	// process-wide scheduler. Intra-query morsels and inter-query tasks
+	// draw from the same budget.
+	Sched *sched.Scheduler
+}
+
+// RunMorsels shards [0,n) into size-row morsels executed on the shared
+// worker pool with up to Parallel claimants (the caller participates; see
+// sched.Scheduler.RunMorsels for the determinism contract).
+func (c *Ctx) RunMorsels(n, size int, fn func(m sched.Morsel)) {
+	s := c.Sched
+	if s == nil {
+		s = sched.Global()
+	}
+	s.RunMorsels(c.Parallel, n, size, fn)
 }
 
 // Observe folds a chunk's size into the peak-memory statistic.
@@ -65,6 +83,11 @@ type Operator interface {
 // errNoColumn standardizes missing-attribute errors.
 func errNoColumn(op, col string) error {
 	return fmt.Errorf("op: %s: no column %q in input", op, col)
+}
+
+// errRowLimit standardizes MaxRows violations.
+func errRowLimit(op string, rows, limit int) error {
+	return fmt.Errorf("op: %s exceeded row limit: %d > %d", op, rows, limit)
 }
 
 // propGetter resolves a property name across every label that defines it,
@@ -120,7 +143,7 @@ func ensureFlat(ctx *Ctx, in *core.Chunk) (*core.FlatBlock, error) {
 	if in.FT == nil {
 		return nil, fmt.Errorf("op: empty chunk")
 	}
-	fb, err := in.FT.DefactorAll()
+	fb, err := DefactorAll(ctx, in.FT)
 	if err != nil {
 		return nil, err
 	}

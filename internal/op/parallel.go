@@ -1,83 +1,72 @@
 package op
 
 import (
-	"sync"
-
 	"ges/internal/catalog"
 	"ges/internal/core"
+	"ges/internal/sched"
 	"ges/internal/storage"
 	"ges/internal/vector"
 )
 
-// Intra-query parallelism (§2.1, Runtime): the expansion operators split
-// their parent rows into morsels processed by worker goroutines, then merge
-// the shard outputs deterministically — results are byte-identical to the
-// sequential path regardless of worker count.
+// Intra-query parallelism (§2.1, Runtime): the operators shard their parent
+// rows into fixed-size morsels claimed off the shared worker pool
+// (internal/sched), then merge the per-morsel outputs in morsel order —
+// results are byte-identical to the sequential path regardless of worker
+// count or scheduling. Stateful fused predicates are forked once per morsel
+// so no predicate state crosses goroutines.
 //
 // Parallel execution engages when ctx.Parallel > 1 and the parent block is
 // large enough to amortize the fork/join (parallelMinRows).
 
-const parallelMinRows = 512
+const (
+	parallelMinRows = 512
 
-// shardBounds splits n rows into at most p near-equal contiguous shards.
-func shardBounds(n, p int) [][2]int {
-	if p > n {
-		p = n
-	}
-	out := make([][2]int, 0, p)
-	chunk := (n + p - 1) / p
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		out = append(out, [2]int{lo, hi})
-	}
-	return out
-}
+	// expandMorselSize shards parent rows for the expansion, traversal, and
+	// de-factoring operators, whose per-row work (neighbor lookups, BFS,
+	// enumeration) is substantial.
+	expandMorselSize = 256
 
-// expandShard is one worker's output for a row range.
+	// filterMorselSize shards rows for cheap per-row work (predicate
+	// evaluation, property gathers). It is a multiple of 64, so concurrent
+	// morsels never write the same selection-vector word.
+	filterMorselSize = 4096
+)
+
+// expandShard is one morsel's output for the lazy (pointer-join) path.
 type expandShard struct {
-	segs  [][]vector.VID // lazy path: per-append segments
+	segs  [][]vector.VID // per-append storage-owned segments
 	index []core.Range   // ranges local to this shard (0-based)
 	rows  int            // total child rows produced
 }
 
-// parallelLazyExpand runs the pointer-based-join expansion across workers.
+// parallelLazyExpand runs the pointer-based-join expansion across morsels.
 // It returns the merged child column and index vector.
 func parallelLazyExpand(ctx *Ctx, name string, parent *core.Node, fromCol *vector.Column,
 	et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID) (*vector.Column, []core.Range) {
 
 	n := parent.Block.NumRows()
-	bounds := shardBounds(n, ctx.Parallel)
-	shards := make([]expandShard, len(bounds))
-
-	var wg sync.WaitGroup
-	wg.Add(len(bounds))
-	for si, b := range bounds {
-		go func(si int, lo, hi int) {
-			defer wg.Done()
-			sh := &shards[si]
-			sh.index = make([]core.Range, 0, hi-lo)
-			var segBuf []storage.Segment
-			total := 0
-			for i := lo; i < hi; i++ {
-				start := total
-				if parent.Valid(i) {
-					segBuf = ctx.View.Neighbors(segBuf[:0], fromCol.VIDAt(i), et, dir, dstLabel, false)
-					for _, seg := range segBuf {
-						sh.segs = append(sh.segs, seg.VIDs)
-						total += len(seg.VIDs)
-					}
+	shards := make([]expandShard, sched.NumMorsels(n, expandMorselSize))
+	ctx.RunMorsels(n, expandMorselSize, func(m sched.Morsel) {
+		sh := &shards[m.Index]
+		sh.index = make([]core.Range, 0, m.End-m.Start)
+		var segBuf []storage.Segment
+		total := 0
+		for i := m.Start; i < m.End; i++ {
+			start := total
+			if parent.Valid(i) {
+				segBuf = ctx.View.Neighbors(segBuf[:0], fromCol.VIDAt(i), et, dir, dstLabel, false)
+				for _, seg := range segBuf {
+					sh.segs = append(sh.segs, seg.VIDs)
+					total += len(seg.VIDs)
 				}
-				sh.index = append(sh.index, core.Range{Start: int32(start), End: int32(total)})
 			}
-			sh.rows = total
-		}(si, b[0], b[1])
-	}
-	wg.Wait()
+			sh.index = append(sh.index, core.Range{Start: int32(start), End: int32(total)})
+		}
+		sh.rows = total
+	})
 
-	// Merge: append shard segments in order, offsetting ranges.
+	// Deterministic merge: append shard segments in morsel order, offsetting
+	// ranges.
 	toCol := vector.NewLazyVIDColumn(name)
 	index := make([]core.Range, 0, n)
 	offset := int32(0)
@@ -93,39 +82,144 @@ func parallelLazyExpand(ctx *Ctx, name string, parent *core.Node, fromCol *vecto
 	return toCol, index
 }
 
-// traverseShard is one worker's var-length output.
+// matShard is one morsel's output for the materializing/fused-predicate
+// expansion path.
+type matShard struct {
+	toCol    *vector.Column
+	propCols []*vector.Column
+	index    []core.Range
+}
+
+// parallelMaterialExpand runs the materializing expansion (edge properties
+// and/or fused predicates) across morsels and merges the shard outputs in
+// morsel order.
+func parallelMaterialExpand(ctx *Ctx, o *Expand, parent *core.Node, fromCol *vector.Column,
+	epp edgePropPlan) (*core.FBlock, []core.Range) {
+
+	n := parent.Block.NumRows()
+	shards := make([]matShard, sched.NumMorsels(n, expandMorselSize))
+	ctx.RunMorsels(n, expandMorselSize, func(m sched.Morsel) {
+		sh := &shards[m.Index]
+		pred := o.VertexPred
+		if pred != nil {
+			pred = pred.Fork()
+		}
+		sh.toCol = vector.NewColumn(o.To, vector.KindVID)
+		sh.propCols = make([]*vector.Column, len(o.EdgeProps))
+		for p, ep := range o.EdgeProps {
+			sh.propCols[p] = vector.NewColumn(ep.As, epp.kind[p])
+		}
+		sh.index = o.expandRows(ctx, pred, parent, fromCol, epp, m.Start, m.End,
+			sh.toCol, sh.propCols, make([]core.Range, 0, m.End-m.Start))
+	})
+
+	toCol := vector.NewColumn(o.To, vector.KindVID)
+	propCols := make([]*vector.Column, len(o.EdgeProps))
+	for p, ep := range o.EdgeProps {
+		propCols[p] = vector.NewColumn(ep.As, epp.kind[p])
+	}
+	index := make([]core.Range, 0, n)
+	offset := int32(0)
+	for si := range shards {
+		sh := &shards[si]
+		toCol.Extend(sh.toCol)
+		for p := range propCols {
+			propCols[p].Extend(sh.propCols[p])
+		}
+		for _, rg := range sh.index {
+			index = append(index, core.Range{Start: rg.Start + offset, End: rg.End + offset})
+		}
+		offset += int32(sh.toCol.Len())
+	}
+	block := core.NewFBlock(toCol)
+	for _, pc := range propCols {
+		block.AddColumn(pc)
+	}
+	return block, index
+}
+
+// parallelFlatExpand runs the flat-path expansion across morsels of input
+// rows, merging per-morsel row blocks in morsel order.
+func parallelFlatExpand(ctx *Ctx, o *Expand, in *core.FlatBlock, fromIdx int,
+	names []string, kinds []vector.Kind, epp edgePropPlan) (*core.FlatBlock, error) {
+
+	n := len(in.Rows)
+	shards := make([][][]vector.Value, sched.NumMorsels(n, expandMorselSize))
+	withProps := len(o.EdgeProps) > 0
+	ctx.RunMorsels(n, expandMorselSize, func(m sched.Morsel) {
+		pred := o.VertexPred
+		if pred != nil {
+			pred = pred.Fork()
+		}
+		var rows [][]vector.Value
+		var segBuf []storage.Segment
+		propVals := make([]vector.Value, len(o.EdgeProps))
+		for ri := m.Start; ri < m.End; ri++ {
+			row := in.Rows[ri]
+			src := row[fromIdx].AsVID()
+			segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, withProps)
+			for _, seg := range segBuf {
+				for k, v := range seg.VIDs {
+					if pred != nil && !pred.Test(ctx, v) {
+						continue
+					}
+					for p := range o.EdgeProps {
+						propVals[p] = segPropValue(seg, epp, p, k)
+					}
+					if o.EdgePropPred != nil && !o.EdgePropPred(propVals) {
+						continue
+					}
+					nr := make([]vector.Value, 0, len(names))
+					nr = append(nr, row...)
+					nr = append(nr, vector.VIDValue(v))
+					nr = append(nr, propVals...)
+					rows = append(rows, nr)
+				}
+			}
+		}
+		shards[m.Index] = rows
+	})
+
+	out := core.NewFlatBlock(names, kinds)
+	for _, rows := range shards {
+		out.Rows = append(out.Rows, rows...)
+	}
+	if ctx.MaxRows > 0 && out.NumRows() > ctx.MaxRows {
+		return nil, errRowLimit("flat expand", out.NumRows(), ctx.MaxRows)
+	}
+	return out, nil
+}
+
+// traverseShard is one morsel's var-length output.
 type traverseShard struct {
 	perRow [][]vector.VID // reachable vertices per parent row in the shard
 }
 
 // parallelTraverse runs the bounded BFS/DFS of VarLengthExpand across
-// workers, one morsel of source rows each.
+// morsels of source rows. Fused vertex predicates are forked per morsel, so
+// predicate-carrying var-expands parallelize like plain ones.
 func parallelTraverse(ctx *Ctx, o *VarLengthExpand, parent *core.Node, fromCol *vector.Column) (*vector.Column, []core.Range) {
 	n := parent.Block.NumRows()
-	bounds := shardBounds(n, ctx.Parallel)
-	shards := make([]traverseShard, len(bounds))
-
-	var wg sync.WaitGroup
-	wg.Add(len(bounds))
-	for si, b := range bounds {
-		go func(si, lo, hi int) {
-			defer wg.Done()
-			sh := &shards[si]
-			sh.perRow = make([][]vector.VID, hi-lo)
-			// Each worker uses its own context view (the view itself is
-			// safe for concurrent reads) and scratch state.
-			for i := lo; i < hi; i++ {
-				if !parent.Valid(i) {
-					continue
-				}
-				row := i - lo
-				o.traverse(ctx, fromCol.VIDAt(i), func(v vector.VID) {
-					sh.perRow[row] = append(sh.perRow[row], v)
-				})
+	shards := make([]traverseShard, sched.NumMorsels(n, expandMorselSize))
+	ctx.RunMorsels(n, expandMorselSize, func(m sched.Morsel) {
+		sh := &shards[m.Index]
+		pred := o.VertexPred
+		if pred != nil {
+			pred = pred.Fork()
+		}
+		sh.perRow = make([][]vector.VID, m.End-m.Start)
+		// The view is safe for concurrent reads; traversal scratch state is
+		// local to each call.
+		for i := m.Start; i < m.End; i++ {
+			if !parent.Valid(i) {
+				continue
 			}
-		}(si, b[0], b[1])
-	}
-	wg.Wait()
+			row := i - m.Start
+			o.traverse(ctx, pred, fromCol.VIDAt(i), func(v vector.VID) {
+				sh.perRow[row] = append(sh.perRow[row], v)
+			})
+		}
+	})
 
 	toCol := vector.NewColumn(o.To, vector.KindVID)
 	index := make([]core.Range, 0, n)
@@ -141,4 +235,52 @@ func parallelTraverse(ctx *Ctx, o *VarLengthExpand, parent *core.Node, fromCol *
 		}
 	}
 	return toCol, index
+}
+
+// DefactorNames materializes the named attributes (the full schema when
+// names is nil) of every valid tuple, sharding root rows into morsels when
+// the context allows parallel execution. Per-morsel blocks are concatenated
+// in morsel order, so output is byte-identical to FTree.Defactor.
+func DefactorNames(ctx *Ctx, ft *core.FTree, names []string) (*core.FlatBlock, error) {
+	if names == nil {
+		names = ft.Schema()
+	}
+	n := ft.Root.Block.NumRows()
+	if ctx == nil || ctx.Parallel <= 1 || n < parallelMinRows {
+		return ft.Defactor(names)
+	}
+	// Resolve once up front so per-morsel calls cannot fail.
+	if _, err := ft.Resolve(names); err != nil {
+		return nil, err
+	}
+	shards := make([]*core.FlatBlock, sched.NumMorsels(n, expandMorselSize))
+	ctx.RunMorsels(n, expandMorselSize, func(m sched.Morsel) {
+		fb, _ := ft.DefactorRange(names, m.Start, m.End)
+		shards[m.Index] = fb
+	})
+	out := shards[0]
+	for _, sh := range shards[1:] {
+		out.Rows = append(out.Rows, sh.Rows...)
+	}
+	return out, nil
+}
+
+// DefactorAll materializes every attribute of the tree, in parallel when the
+// context allows it.
+func DefactorAll(ctx *Ctx, ft *core.FTree) (*core.FlatBlock, error) {
+	return DefactorNames(ctx, ft, nil)
+}
+
+// parallelGather fills a column of n rows by evaluating get per row across
+// morsels — the Projection property-gather port. get must be safe for
+// concurrent calls on distinct rows (property reads through the storage
+// view are).
+func parallelGather(ctx *Ctx, name string, kind vector.Kind, n int, get func(i int) vector.Value) *vector.Column {
+	vals := make([]vector.Value, n)
+	ctx.RunMorsels(n, filterMorselSize, func(m sched.Morsel) {
+		for i := m.Start; i < m.End; i++ {
+			vals[i] = get(i)
+		}
+	})
+	return vector.NewColumnFromValues(name, kind, vals)
 }

@@ -9,31 +9,63 @@ import (
 // vertex's external identifier.
 const ExtIDProp = "@id"
 
+// VertexPred filters candidate neighbors during fused expansion
+// (FilterPushDown, §5). Test reports whether v passes. Fork returns an
+// instance safe for exclusive use by one worker goroutine: predicates that
+// carry per-instance state (compiled expression bindings, scratch cursors)
+// return a fresh copy, while stateless predicates return themselves. The
+// morsel-parallel expansion paths fork once per morsel so predicate state
+// is never shared across workers.
+type VertexPred interface {
+	Test(ctx *Ctx, v vector.VID) bool
+	Fork() VertexPred
+}
+
+// PredFunc adapts a stateless, concurrency-safe function to VertexPred.
+type PredFunc func(*Ctx, vector.VID) bool
+
+// Test implements VertexPred.
+func (f PredFunc) Test(ctx *Ctx, v vector.VID) bool { return f(ctx, v) }
+
+// Fork implements VertexPred; the function is stateless, so the same value
+// serves every worker.
+func (f PredFunc) Fork() VertexPred { return f }
+
 // VertexPropPred compiles a predicate expression into an Expand vertex
 // predicate for the FilterPushDown fusion. propOf maps each column name
 // appearing in pred to the vertex property it denotes (or ExtIDProp). The
 // expression binds lazily on first call, when the execution context (and
 // thus the catalog) is available.
-func VertexPropPred(pred expr.Expr, propOf map[string]string) func(*Ctx, vector.VID) bool {
-	var (
-		compiled expr.Getter
-		initErr  error
-		cur      vector.VID
-	)
-	return func(ctx *Ctx, v vector.VID) bool {
-		if compiled == nil && initErr == nil {
-			compiled, initErr = expr.Bind(pred, vertexBinding{ctx: ctx, cur: &cur})
-		}
-		if initErr != nil {
-			// Surface binding failures as "reject everything"; the unfused
-			// plan path reports the same error loudly, and tests cover it.
-			return false
-		}
-		cur = v
-		return compiled(0).AsBool()
-	}
-
+func VertexPropPred(pred expr.Expr, propOf map[string]string) VertexPred {
+	_ = propOf // column names are rewritten to property names by the planner
+	return &propPred{pred: pred}
 }
+
+// propPred is the stateful property-predicate instance: the compiled getter
+// closes over cur, so each instance serves exactly one goroutine.
+type propPred struct {
+	pred     expr.Expr
+	compiled expr.Getter
+	initErr  error
+	cur      vector.VID
+}
+
+// Test implements VertexPred.
+func (p *propPred) Test(ctx *Ctx, v vector.VID) bool {
+	if p.compiled == nil && p.initErr == nil {
+		p.compiled, p.initErr = expr.Bind(p.pred, vertexBinding{ctx: ctx, cur: &p.cur})
+	}
+	if p.initErr != nil {
+		// Surface binding failures as "reject everything"; the unfused
+		// plan path reports the same error loudly, and tests cover it.
+		return false
+	}
+	p.cur = v
+	return p.compiled(0).AsBool()
+}
+
+// Fork implements VertexPred with a fresh, unbound instance.
+func (p *propPred) Fork() VertexPred { return &propPred{pred: p.pred} }
 
 // vertexBinding resolves predicate column names to property reads of the
 // vertex currently pointed at by cur.

@@ -5,6 +5,7 @@ import (
 
 	"ges/internal/core"
 	"ges/internal/expr"
+	"ges/internal/sched"
 	"ges/internal/vector"
 )
 
@@ -40,21 +41,37 @@ func (o *ProjectProps) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Property reads through the storage view are concurrency-safe, so
+		// large columns gather across morsels (workers fill disjoint slices
+		// of one pre-sized buffer — output order is positional).
+		parallel := ctx.Parallel > 1 && col.Len() >= parallelMinRows
 		var out *vector.Column
 		if spec.ExtID {
-			out = vector.NewColumn(spec.As, vector.KindInt64)
-			col.EachVID(func(_ int, v vector.VID) {
-				out.AppendInt64(ctx.View.ExtID(v))
-			})
+			if parallel {
+				out = parallelGather(ctx, spec.As, vector.KindInt64, col.Len(), func(i int) vector.Value {
+					return vector.Int64(ctx.View.ExtID(col.VIDAt(i)))
+				})
+			} else {
+				out = vector.NewColumn(spec.As, vector.KindInt64)
+				col.EachVID(func(_ int, v vector.VID) {
+					out.AppendInt64(ctx.View.ExtID(v))
+				})
+			}
 		} else {
 			g, err := newPropGetter(ctx.View, spec.Prop)
 			if err != nil {
 				return nil, err
 			}
-			out = vector.NewColumn(spec.As, g.kind)
-			col.EachVID(func(_ int, v vector.VID) {
-				out.Append(g.get(v))
-			})
+			if parallel {
+				out = parallelGather(ctx, spec.As, g.kind, col.Len(), func(i int) vector.Value {
+					return g.get(col.VIDAt(i))
+				})
+			} else {
+				out = vector.NewColumn(spec.As, g.kind)
+				col.EachVID(func(_ int, v vector.VID) {
+					out.Append(g.get(v))
+				})
+			}
 		}
 		node.Block.AddColumn(out)
 	}
@@ -93,16 +110,26 @@ func (o *ProjectProps) executeFlat(ctx *Ctx, in *core.FlatBlock) (*core.Chunk, e
 	out.Rows = in.Rows
 	// Flat pipelines are linear and each operator owns its input, so the
 	// projection extends rows in place instead of re-copying the table.
-	for i, row := range out.Rows {
-		for _, p := range plans {
-			v := row[p.varIdx].AsVID()
-			if p.extID {
-				row = append(row, vector.Int64(ctx.View.ExtID(v)))
-			} else {
-				row = append(row, p.g.get(v))
+	// Each row is a distinct slice, so morsels over disjoint row ranges
+	// never share state.
+	extend := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := out.Rows[i]
+			for _, p := range plans {
+				v := row[p.varIdx].AsVID()
+				if p.extID {
+					row = append(row, vector.Int64(ctx.View.ExtID(v)))
+				} else {
+					row = append(row, p.g.get(v))
+				}
 			}
+			out.Rows[i] = row
 		}
-		out.Rows[i] = row
+	}
+	if ctx.Parallel > 1 && len(out.Rows) >= parallelMinRows {
+		ctx.RunMorsels(len(out.Rows), filterMorselSize, func(m sched.Morsel) { extend(m.Start, m.End) })
+	} else {
+		extend(0, len(out.Rows))
 	}
 	return &core.Chunk{Flat: out}, nil
 }
@@ -128,9 +155,17 @@ func (o *ProjectExpr) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 			if err != nil {
 				return nil, err
 			}
-			out := vector.NewColumn(o.As, o.Kind)
-			for i := 0; i < node.Block.NumRows(); i++ {
-				out.Append(coerce(get(i), o.Kind))
+			n := node.Block.NumRows()
+			var out *vector.Column
+			if ctx.Parallel > 1 && n >= parallelMinRows {
+				out = parallelGather(ctx, o.As, o.Kind, n, func(i int) vector.Value {
+					return coerce(get(i), o.Kind)
+				})
+			} else {
+				out = vector.NewColumn(o.As, o.Kind)
+				for i := 0; i < n; i++ {
+					out.Append(coerce(get(i), o.Kind))
+				}
 			}
 			node.Block.AddColumn(out)
 			return in, nil

@@ -23,7 +23,7 @@ type VarLengthExpand struct {
 
 	// VertexPred, when set, filters emitted vertices (fused filter); the
 	// traversal itself still passes through unfiltered vertices.
-	VertexPred func(ctx *Ctx, v vector.VID) bool
+	VertexPred VertexPred
 }
 
 // Name implements Operator.
@@ -39,10 +39,10 @@ func (o *VarLengthExpand) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error)
 	if err != nil {
 		return nil, err
 	}
-	// Morsel-parallel traversal for large frontiers; the fused VertexPred
-	// closure carries per-call state, so predicates keep the sequential
-	// path.
-	if ctx.Parallel > 1 && parent.Block.NumRows() >= parallelMinRows && o.VertexPred == nil {
+	// Morsel-parallel traversal for large frontiers. Fused predicates are
+	// forked per morsel (see VertexPred.Fork), so predicate-carrying
+	// var-expands take the parallel path too.
+	if ctx.Parallel > 1 && parent.Block.NumRows() >= parallelMinRows {
 		toCol, index := parallelTraverse(ctx, o, parent, fromCol)
 		ft.AddChild(parent, core.NewFBlock(toCol), index)
 		return &core.Chunk{FT: ft}, nil
@@ -53,7 +53,7 @@ func (o *VarLengthExpand) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error)
 	for i := 0; i < parent.Block.NumRows(); i++ {
 		start := total
 		if parent.Valid(i) {
-			o.traverse(ctx, fromCol.VIDAt(i), func(v vector.VID) {
+			o.traverse(ctx, o.VertexPred, fromCol.VIDAt(i), func(v vector.VID) {
 				toCol.AppendVID(v)
 				total++
 			})
@@ -73,7 +73,7 @@ func (o *VarLengthExpand) executeFlat(ctx *Ctx, in *core.FlatBlock) (*core.Chunk
 	kinds := append(append([]vector.Kind(nil), in.Kinds...), vector.KindVID)
 	out := core.NewFlatBlock(names, kinds)
 	for _, row := range in.Rows {
-		o.traverse(ctx, row[fromIdx].AsVID(), func(v vector.VID) {
+		o.traverse(ctx, o.VertexPred, row[fromIdx].AsVID(), func(v vector.VID) {
 			nr := make([]vector.Value, 0, len(names))
 			nr = append(nr, row...)
 			nr = append(nr, vector.VIDValue(v))
@@ -84,10 +84,12 @@ func (o *VarLengthExpand) executeFlat(ctx *Ctx, in *core.FlatBlock) (*core.Chunk
 }
 
 // traverse runs the bounded BFS (distinct) or DFS path walk (non-distinct)
-// from src, emitting qualifying vertices.
-func (o *VarLengthExpand) traverse(ctx *Ctx, src vector.VID, emit func(vector.VID)) {
+// from src, emitting qualifying vertices. pred is the (possibly forked)
+// vertex predicate instance to apply; parallel morsels each pass their own
+// fork so no predicate state is shared across workers.
+func (o *VarLengthExpand) traverse(ctx *Ctx, pred VertexPred, src vector.VID, emit func(vector.VID)) {
 	maybeEmit := func(v vector.VID) {
-		if o.VertexPred == nil || o.VertexPred(ctx, v) {
+		if pred == nil || pred.Test(ctx, v) {
 			emit(v)
 		}
 	}
@@ -150,5 +152,5 @@ func (o *VarLengthExpand) traverse(ctx *Ctx, src vector.VID, emit func(vector.VI
 // Traverse exposes the bounded traversal for alternative executors (the
 // volcano comparison engine interprets the same plan structs).
 func (o *VarLengthExpand) Traverse(ctx *Ctx, src vector.VID, emit func(vector.VID)) {
-	o.traverse(ctx, src, emit)
+	o.traverse(ctx, o.VertexPred, src, emit)
 }

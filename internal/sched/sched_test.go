@@ -1,0 +1,134 @@
+package sched_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ges/internal/sched"
+)
+
+func TestRunMorselsCoversEveryRowOnce(t *testing.T) {
+	s := sched.New(4)
+	defer s.Close()
+	for _, n := range []int{0, 1, 63, 64, 255, 256, 1000, 4097} {
+		seen := make([]int32, n)
+		s.RunMorsels(8, n, 256, func(m sched.Morsel) {
+			if m.Start < 0 || m.End > n || m.Start > m.End {
+				t.Errorf("n=%d: bad morsel %+v", n, m)
+			}
+			for i := m.Start; i < m.End; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: row %d covered %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestRunMorselsDeterministicMergeOrder(t *testing.T) {
+	s := sched.New(8)
+	defer s.Close()
+	const n, size = 10000, 64
+	nm := sched.NumMorsels(n, size)
+	shards := make([][]int, nm)
+	s.RunMorsels(8, n, size, func(m sched.Morsel) {
+		for i := m.Start; i < m.End; i++ {
+			shards[m.Index] = append(shards[m.Index], i)
+		}
+	})
+	// Concatenating shards in index order must reproduce 0..n-1 exactly.
+	want := 0
+	for _, sh := range shards {
+		for _, v := range sh {
+			if v != want {
+				t.Fatalf("merge order broken: got %d want %d", v, want)
+			}
+			want++
+		}
+	}
+	if want != n {
+		t.Fatalf("merged %d rows, want %d", want, n)
+	}
+}
+
+func TestRunMorselsSequentialFallback(t *testing.T) {
+	s := sched.New(2)
+	defer s.Close()
+	order := []int(nil)
+	// parallel=1 must run inline, in order, on the calling goroutine.
+	s.RunMorsels(1, 500, 100, func(m sched.Morsel) {
+		order = append(order, m.Index)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential fallback out of order: %v", order)
+		}
+	}
+}
+
+func TestRunMorselsPanicPropagates(t *testing.T) {
+	s := sched.New(4)
+	defer s.Close()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate to the caller")
+		}
+	}()
+	s.RunMorsels(4, 10000, 64, func(m sched.Morsel) {
+		if m.Index == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestGroupBoundsInFlight(t *testing.T) {
+	s := sched.New(8)
+	defer s.Close()
+	g := s.NewGroup(3)
+	var inFlight, peak, total atomic.Int64
+	for i := 0; i < 200; i++ {
+		g.Go(func() {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			total.Add(1)
+			inFlight.Add(-1)
+		})
+	}
+	g.Wait()
+	if total.Load() != 200 {
+		t.Fatalf("ran %d tasks, want 200", total.Load())
+	}
+	if peak.Load() > 3 {
+		t.Fatalf("in-flight peak %d exceeds group limit 3", peak.Load())
+	}
+}
+
+func TestIntraQueryParallelismUnderInterQueryLoad(t *testing.T) {
+	// Morsel loops must finish even when every pool worker is occupied by
+	// long-running group tasks: the caller participates, so saturation
+	// degrades parallelism rather than deadlocking.
+	s := sched.New(2)
+	defer s.Close()
+	g := s.NewGroup(2)
+	release := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		g.Go(func() { <-release })
+	}
+	var rows atomic.Int64
+	s.RunMorsels(4, 5000, 64, func(m sched.Morsel) {
+		rows.Add(int64(m.End - m.Start))
+	})
+	close(release)
+	g.Wait()
+	if rows.Load() != 5000 {
+		t.Fatalf("covered %d rows, want 5000", rows.Load())
+	}
+}

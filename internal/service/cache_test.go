@@ -1,0 +1,188 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ges/internal/exec"
+	"ges/internal/ldbc"
+	"ges/internal/service"
+)
+
+func testServerWith(t *testing.T, opts service.Options) *httptest.Server {
+	t.Helper()
+	ds, err := ldbc.Generate(ldbc.Config{SF: 0.03, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.NewWith(ds, exec.ModeFused, opts)
+	ts := httptest.NewServer(srv.Mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getStats(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	r, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func planCacheStats(t *testing.T, ts *httptest.Server) (hits, misses, size, capacity int) {
+	t.Helper()
+	st := getStats(t, ts)
+	pc, ok := st["planCache"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no planCache section: %v", st)
+	}
+	return int(pc["hits"].(float64)), int(pc["misses"].(float64)),
+		int(pc["size"].(float64)), int(pc["capacity"].(float64))
+}
+
+const countFriendsQuery = `MATCH (p:Person)-[:KNOWS]->(f) WHERE id(p) = 1
+                           RETURN COUNT(*) AS friends`
+
+// TestPlanCacheHitCounter asserts that repeated POST /query bodies hit the
+// compiled-plan cache and that /stats exposes the counters.
+func TestPlanCacheHitCounter(t *testing.T) {
+	ts := testServerWith(t, service.Options{})
+	var first map[string]any
+	for i := 0; i < 4; i++ {
+		resp, out := post(t, ts, "/query", service.QueryRequest{Query: countFriendsQuery})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %v", i, resp.StatusCode, out)
+		}
+		if first == nil {
+			first = out
+		} else if !reflect.DeepEqual(out["rows"], first["rows"]) {
+			t.Fatalf("cached plan changed the result: %v vs %v", out["rows"], first["rows"])
+		}
+	}
+	hits, misses, size, capacity := planCacheStats(t, ts)
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1 (one compile)", misses)
+	}
+	if hits != 3 {
+		t.Fatalf("hits = %d, want 3", hits)
+	}
+	if size != 1 {
+		t.Fatalf("size = %d, want 1", size)
+	}
+	if capacity != service.DefaultPlanCacheSize {
+		t.Fatalf("capacity = %d, want default %d", capacity, service.DefaultPlanCacheSize)
+	}
+}
+
+// TestPlanCacheEviction bounds the cache: with capacity 2, a third distinct
+// query evicts the least recently used entry and the size never exceeds the
+// bound.
+func TestPlanCacheEviction(t *testing.T) {
+	ts := testServerWith(t, service.Options{PlanCacheSize: 2})
+	queryFor := func(id int) string {
+		return fmt.Sprintf(`MATCH (p:Person)-[:KNOWS]->(f) WHERE id(p) = %d
+		                    RETURN COUNT(*) AS friends`, id)
+	}
+	for id := 1; id <= 3; id++ {
+		resp, out := post(t, ts, "/query", service.QueryRequest{Query: queryFor(id)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d: %v", id, resp.StatusCode, out)
+		}
+	}
+	_, misses, size, capacity := planCacheStats(t, ts)
+	if capacity != 2 {
+		t.Fatalf("capacity = %d, want 2", capacity)
+	}
+	if size != 2 {
+		t.Fatalf("size = %d, want 2 (bounded by capacity)", size)
+	}
+	if misses != 3 {
+		t.Fatalf("misses = %d, want 3", misses)
+	}
+	// Query 1 was evicted (LRU): re-running it must miss, while query 3 hits.
+	post(t, ts, "/query", service.QueryRequest{Query: queryFor(3)})
+	post(t, ts, "/query", service.QueryRequest{Query: queryFor(1)})
+	hits, misses, size, _ := planCacheStats(t, ts)
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1 (only the re-run of query 3)", hits)
+	}
+	if misses != 4 {
+		t.Fatalf("misses = %d, want 4 (query 1 was evicted)", misses)
+	}
+	if size != 2 {
+		t.Fatalf("size = %d after re-insertions, want 2", size)
+	}
+}
+
+// TestConcurrentQueries fires parallel /query and /ldbc requests at one
+// server. Each request gets its own engine value, so this passes under -race;
+// with a shared engine the per-run state would collide.
+func TestConcurrentQueries(t *testing.T) {
+	ts := testServerWith(t, service.Options{Parallel: 2})
+	queries := []string{
+		countFriendsQuery,
+		`MATCH (p:Person)-[:KNOWS]->(f) WHERE id(p) = 2 RETURN COUNT(*) AS friends`,
+		`MATCH (p:Person)-[:KNOWS]->(f)-[:KNOWS]->(g) WHERE id(p) = 1 RETURN COUNT(*) AS fof`,
+	}
+	// Sequential reference results.
+	want := make([]any, len(queries))
+	for i, q := range queries {
+		resp, out := post(t, ts, "/query", service.QueryRequest{Query: q})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference %d: status %d: %v", i, resp.StatusCode, out)
+		}
+		want[i] = out["rows"]
+	}
+	// Raw posts below: the shared post helper touches testing.T, which must
+	// stay on the test goroutine.
+	rawPost := func(q string) (int, map[string]any, error) {
+		raw, _ := json.Marshal(service.QueryRequest{Query: q})
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(string(raw)))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return resp.StatusCode, nil, err
+		}
+		return resp.StatusCode, out, nil
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				qi := (w + i) % len(queries)
+				code, out, err := rawPost(queries[qi])
+				if err != nil || code != http.StatusOK {
+					errs <- fmt.Sprintf("worker %d: status %d err %v: %v", w, code, err, out)
+					return
+				}
+				if !reflect.DeepEqual(out["rows"], want[qi]) {
+					errs <- fmt.Sprintf("worker %d query %d: rows %v, want %v", w, qi, out["rows"], want[qi])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"ges/internal/plan"
+)
+
+// DefaultPlanCacheSize bounds the service plan cache when no explicit size is
+// configured.
+const DefaultPlanCacheSize = 128
+
+// planKey identifies a cached compiled plan: the exact query text plus the
+// catalog schema version it was bound against. A schema change bumps the
+// version, so stale plans simply stop being hit and age out of the LRU.
+type planKey struct {
+	query   string
+	catalog uint64
+}
+
+// planCache is a bounded LRU of compiled (unfused) plans, letting repeated
+// POST /query requests skip the lex/parse/bind pipeline. Cached plans are
+// shared across concurrent requests: operators hold no per-execution state,
+// and the fusion rewrite (plan.Fuse) runs per execution on a copy, creating
+// fresh fused predicate instances.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	byKey map[planKey]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type planEntry struct {
+	key planKey
+	p   plan.Plan
+}
+
+// newPlanCache returns a cache bounded to capacity entries (values < 1 use
+// DefaultPlanCacheSize).
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &planCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[planKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached plan for key, promoting it to most recently used.
+func (c *planCache) get(key planKey) (plan.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*planEntry).p, true
+}
+
+// put inserts (or refreshes) a compiled plan, evicting the least recently
+// used entry when over capacity.
+func (c *planCache) put(key planKey, p plan.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*planEntry).p = p
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&planEntry{key: key, p: p})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*planEntry).key)
+	}
+}
+
+// counters returns the lifetime hit/miss counts.
+func (c *planCache) counters() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// size returns the current entry count.
+func (c *planCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// capacity returns the configured bound.
+func (c *planCache) capacity() int { return c.cap }

@@ -16,26 +16,57 @@ import (
 	"ges/internal/exec"
 	"ges/internal/ldbc"
 	"ges/internal/ldbc/queries"
+	"ges/internal/storage"
 	"ges/internal/vector"
 )
 
-// Server serves one dataset through one engine.
+// Server serves one dataset. Each request runs through its own engine value
+// (engines carry per-run mutable state such as stats collection, so sharing
+// one across concurrent requests would race); the memory pool and the
+// compiled-plan cache are the shared, concurrency-safe pieces.
 type Server struct {
-	ds     *ldbc.Dataset
-	runner *queries.Runner
-	engine *exec.Engine
+	ds       *ldbc.Dataset
+	runner   *queries.Runner
+	mode     exec.Mode
+	pool     *storage.Pool
+	parallel int
+	cache    *planCache
 	// now is injectable for deterministic tests.
 	now func() time.Time
 }
 
-// New wires a server for a dataset in the given engine mode.
+// Options tunes a server beyond the engine mode.
+type Options struct {
+	// Parallel is the intra-query parallelism degree given to each
+	// request's engine (<= 1 = sequential).
+	Parallel int
+	// PlanCacheSize bounds the compiled-plan LRU; values < 1 use
+	// DefaultPlanCacheSize.
+	PlanCacheSize int
+}
+
+// New wires a server for a dataset in the given engine mode with default
+// options.
 func New(ds *ldbc.Dataset, mode exec.Mode) *Server {
+	return NewWith(ds, mode, Options{})
+}
+
+// NewWith wires a server with explicit options.
+func NewWith(ds *ldbc.Dataset, mode exec.Mode, opts Options) *Server {
 	return &Server{
-		ds:     ds,
-		runner: queries.NewRunner(ds, mode, nil),
-		engine: exec.New(mode),
-		now:    time.Now,
+		ds:       ds,
+		runner:   queries.NewRunner(ds, mode, nil),
+		mode:     mode,
+		pool:     storage.NewPool(),
+		parallel: opts.Parallel,
+		cache:    newPlanCache(opts.PlanCacheSize),
+		now:      time.Now,
 	}
+}
+
+// newEngine returns a fresh per-request engine sharing the server's pool.
+func (s *Server) newEngine() *exec.Engine {
+	return &exec.Engine{Mode: s.mode, Pool: s.pool, Parallel: s.parallel}
 }
 
 // Mux returns the HTTP handler.
@@ -68,13 +99,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := cypher.Compile(req.Query, s.ds.H.Cat)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+	// The cache keys on (query text, catalog version): a hit skips the
+	// lex/parse/bind pipeline entirely, and schema changes invalidate by
+	// version mismatch.
+	key := planKey{query: req.Query, catalog: s.ds.H.Cat.Version()}
+	p, ok := s.cache.get(key)
+	if !ok {
+		var err error
+		p, err = cypher.Compile(req.Query, s.ds.H.Cat)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.cache.put(key, p)
 	}
 	start := s.now()
-	res, err := s.engine.Run(s.runner.Mgr.Snapshot(), p)
+	res, err := s.newEngine().Run(s.runner.Mgr.Snapshot(), p)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -156,6 +196,7 @@ func renderParams(p queries.Params) map[string]any {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.ds.Stats()
 	overlays, version := s.runner.Mgr.Stats()
+	hits, misses := s.cache.counters()
 	writeJSON(w, map[string]any{
 		"simSF":           st.SF,
 		"persons":         st.Persons,
@@ -164,6 +205,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"bytes":           st.Bytes,
 		"overlayVertices": overlays,
 		"commitVersion":   version,
+		"planCache": map[string]any{
+			"hits":     hits,
+			"misses":   misses,
+			"size":     s.cache.size(),
+			"capacity": s.cache.capacity(),
+		},
 	})
 }
 

@@ -221,6 +221,59 @@ func (c *Column) EachVID(fn func(i int, v VID)) {
 	}
 }
 
+// Extend appends every row of src (same kind) to c. It backs the
+// deterministic morsel-order merge of the parallel operators: each worker
+// fills a private column and the coordinator extends the output shard by
+// shard. Lazy columns are not supported — the lazy expansion path merges
+// segments directly.
+func (c *Column) Extend(src *Column) {
+	if c.lazy || src.lazy {
+		panic("vector: Extend on a lazy column")
+	}
+	c.i64 = append(c.i64, src.i64...)
+	c.f64 = append(c.f64, src.f64...)
+	c.str = append(c.str, src.str...)
+	c.bl = append(c.bl, src.bl...)
+	c.vid = append(c.vid, src.vid...)
+}
+
+// NewColumnFromValues builds a column of the given kind from boxed values —
+// the merge step of parallel property gathers, where workers fill disjoint
+// slices of a pre-sized value buffer.
+func NewColumnFromValues(name string, kind Kind, vals []Value) *Column {
+	c := NewColumn(name, kind)
+	switch kind {
+	case KindInt64, KindDate:
+		c.i64 = make([]int64, len(vals))
+		for i, v := range vals {
+			c.i64[i] = v.I
+		}
+	case KindVID:
+		c.vid = make([]VID, len(vals))
+		for i, v := range vals {
+			c.vid[i] = VID(v.I)
+		}
+	case KindFloat64:
+		c.f64 = make([]float64, len(vals))
+		for i, v := range vals {
+			c.f64[i] = v.F
+		}
+	case KindString:
+		c.str = make([]string, len(vals))
+		for i, v := range vals {
+			c.str[i] = v.S
+		}
+	case KindBool:
+		c.bl = make([]bool, len(vals))
+		for i, v := range vals {
+			c.bl[i] = v.I != 0
+		}
+	default:
+		panic(fmt.Sprintf("vector: NewColumnFromValues with invalid kind for %q", name))
+	}
+	return c
+}
+
 // Reset truncates the column to zero rows, retaining capacity. This backs
 // the paper's pre-allocated, reusable f-Trees (§5, Vectorization).
 func (c *Column) Reset() {

@@ -80,7 +80,7 @@ func (it *expandIter) next() ([]vector.Value, bool, error) {
 			k := it.offPos
 			it.offPos++
 			v := seg.VIDs[k]
-			if it.spec.VertexPred != nil && !it.spec.VertexPred(it.ctx, v) {
+			if it.spec.VertexPred != nil && !it.spec.VertexPred.Test(it.ctx, v) {
 				continue
 			}
 			props := make([]vector.Value, len(it.epIdx))
