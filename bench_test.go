@@ -189,6 +189,50 @@ func BenchmarkAblation_SelectionPruning_Off(b *testing.B) { benchPrune(b, true) 
 func benchFilterPred() expr.Expr { return expr.Le(expr.C("f.id"), expr.LInt(20)) }
 
 // ---------------------------------------------------------------------------
+// Vectorized gather benchmarks (§5 batch property access).
+// ---------------------------------------------------------------------------
+
+// BenchmarkGatherScan sweeps the gather ablation ladder (scalar → batch
+// gather → dictionary codes → zone maps) over the string-equality
+// fused-filter scan behind BENCH_gather.json. All ops in the plan are pure
+// configuration, so the plan is built once outside the timer.
+func BenchmarkGatherScan(b *testing.B) {
+	ds := dataset(b)
+	for _, v := range bench.GatherVariants {
+		b.Run(v.Name, func(b *testing.B) {
+			eng := v.Engine(exec.ModeFactorized, 1)
+			p := bench.GatherScanPlan(ds)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ds.Graph, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGatherHorizon measures the zone-map fast exit: a date predicate
+// past the stored horizon is proven empty from the zone summaries alone.
+func BenchmarkGatherHorizon(b *testing.B) {
+	ds := dataset(b)
+	for _, v := range bench.GatherVariants {
+		b.Run(v.Name, func(b *testing.B) {
+			eng := v.Engine(exec.ModeFactorized, 1)
+			p := bench.GatherHorizonPlan(ds)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ds.Graph, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Morsel-runtime benchmarks (parallel expansion and service plan cache).
 // ---------------------------------------------------------------------------
 

@@ -24,14 +24,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		quick   = flag.Bool("quick", false, "CI-sized configuration")
-		list    = flag.Bool("list", false, "list experiment ids")
-		sfs     = flag.String("sf", "", "comma-separated simulated scale factors (overrides preset)")
-		runs    = flag.Int("runs", 0, "parameter draws per query measurement (overrides preset)")
-		workers = flag.Int("workers", 0, "workers for throughput runs (overrides preset)")
-		ops     = flag.Int("ops", 0, "operations per throughput run (overrides preset)")
-		jsonOut = flag.String("json", "", "path for machine-readable output (e.g. BENCH_parallel.json for -exp parallel)")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick    = flag.Bool("quick", false, "CI-sized configuration")
+		list     = flag.Bool("list", false, "list experiment ids")
+		sfs      = flag.String("sf", "", "comma-separated simulated scale factors (overrides preset)")
+		runs     = flag.Int("runs", 0, "parameter draws per query measurement (overrides preset)")
+		workers  = flag.Int("workers", 0, "workers for throughput runs (overrides preset)")
+		ops      = flag.Int("ops", 0, "operations per throughput run (overrides preset)")
+		jsonOut  = flag.String("json", "", "path for machine-readable output (e.g. BENCH_parallel.json for -exp parallel)")
+		noGather = flag.Bool("no-gather", false, "disable the vectorized gather path (batch column access, dict-code compares, zone maps); every experiment then runs the scalar per-row reference")
 	)
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func main() {
 		cfg.MixOps = *ops
 	}
 	cfg.JSONPath = *jsonOut
+	cfg.NoGather = *noGather
 
 	exps := bench.All()
 	if *exp != "all" {

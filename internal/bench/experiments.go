@@ -34,8 +34,23 @@ type Config struct {
 	TraceBucket time.Duration
 	Seed        int64
 	// JSONPath, when non-empty, is where experiments that produce a
-	// machine-readable artifact (currently "parallel") write it.
+	// machine-readable artifact ("parallel", "gather") write it.
 	JSONPath string
+	// NoGather disables the vectorized property-gather path (§5) on every
+	// engine the experiments build — the scalar ablation baseline.
+	NoGather bool
+}
+
+// newEngine returns an engine honoring the gather ablation switch.
+func (cfg Config) newEngine(mode exec.Mode) *exec.Engine {
+	e := exec.New(mode)
+	e.NoGather, e.NoDictCmp, e.NoZoneMap = cfg.NoGather, cfg.NoGather, cfg.NoGather
+	return e
+}
+
+// newRunner wires a workload runner around a config-built engine.
+func (cfg Config) newRunner(ds *ldbc.Dataset, mode exec.Mode) *queries.Runner {
+	return queries.NewRunnerWith(ds, cfg.newEngine(mode), nil)
 }
 
 // Quick returns a configuration sized for CI / `go test -bench`.
@@ -142,7 +157,7 @@ func fig2(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	r := queries.NewRunner(ds, exec.ModeFlat, nil)
+	r := cfg.newRunner(ds, exec.ModeFlat)
 	fmt.Fprintf(w, "flat GES engine, simSF=%.4g, %d runs per query, single worker\n", sf, cfg.Runs)
 	fmt.Fprintln(w, "query   total(ms)    avg(ms)")
 	for _, name := range icNames() {
@@ -162,7 +177,7 @@ func fig3(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	r := queries.NewRunner(ds, exec.ModeFlat, nil)
+	r := cfg.newRunner(ds, exec.ModeFlat)
 	fmt.Fprintf(w, "operator breakdown of long-running queries, flat engine, simSF=%.4g\n", sf)
 	for _, name := range []string{"IC5", "IC6", "IC9", "IC12"} {
 		q, _ := queries.ByName(name)
@@ -204,7 +219,7 @@ func fig11(w io.Writer, cfg Config) error {
 			q, _ := queries.ByName(name)
 			var avg [3]time.Duration
 			for mi, mode := range Modes {
-				r := queries.NewRunner(ds, mode, nil)
+				r := cfg.newRunner(ds, mode)
 				st, err := driver.MeasureQuery(r, q, cfg.Runs, cfg.Seed, false)
 				if err != nil {
 					return fmt.Errorf("%s %s: %w", name, mode, err)
@@ -232,7 +247,7 @@ func fig12(w io.Writer, cfg Config) error {
 		q, _ := queries.ByName(name)
 		var p99, p999 [3]time.Duration
 		for mi, mode := range Modes {
-			r := queries.NewRunner(ds, mode, nil)
+			r := cfg.newRunner(ds, mode)
 			st, err := driver.MeasureQuery(r, q, runs, cfg.Seed, false)
 			if err != nil {
 				return err
@@ -258,7 +273,7 @@ func table2(w io.Writer, cfg Config) error {
 			q, _ := queries.ByName(name)
 			var mem [3]int
 			for mi, mode := range Modes {
-				r := queries.NewRunner(ds, mode, nil)
+				r := cfg.newRunner(ds, mode)
 				st, err := driver.MeasureQuery(r, q, cfg.Runs, cfg.Seed, false)
 				if err != nil {
 					return err
@@ -286,7 +301,7 @@ func table3(w io.Writer, cfg Config) error {
 		}
 		var tp [3]float64
 		for mi, mode := range Modes {
-			r := queries.NewRunner(ds, mode, nil)
+			r := cfg.newRunner(ds, mode)
 			res := driver.Run(r, driver.Options{Workers: cfg.Workers, Ops: cfg.MixOps, Seed: cfg.Seed})
 			if res.Failed > 0 {
 				return fmt.Errorf("table3: %d failed queries in %s", res.Failed, mode)
@@ -324,7 +339,7 @@ func fig13(w io.Writer, cfg Config) error {
 		}
 		line := fmt.Sprintf("%-8.4g", sf)
 		for _, n := range workerSweep {
-			r := queries.NewRunner(ds, exec.ModeFused, nil)
+			r := cfg.newRunner(ds, exec.ModeFused)
 			res := driver.Run(r, driver.Options{Workers: n, Ops: cfg.MixOps, Seed: cfg.Seed})
 			line += fmt.Sprintf(" %10.0f", res.Throughput)
 		}
@@ -339,7 +354,7 @@ func fig14(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	r := queries.NewRunner(ds, exec.ModeFused, nil)
+	r := cfg.newRunner(ds, exec.ModeFused)
 	fmt.Fprintf(w, "GES_f* throughput trace, simSF=%.4g, %d workers, %v buckets\n",
 		sf, cfg.Workers, cfg.TraceBucket)
 	fmt.Fprintf(w, "%-10s %8s %8s %8s %8s\n", "t", "IC/s", "IS/s", "IU/s", "all/s")
@@ -356,12 +371,12 @@ func fig14(w io.Writer, cfg Config) error {
 // experiments: volcano (tuple-at-a-time iterator, Neo4j-style) plus the
 // three GES variants (GES flat also stands in for block-based relational
 // engines — see DESIGN.md §3).
-func crossEngines(ds *ldbc.Dataset) map[string]*queries.Runner {
+func crossEngines(cfg Config, ds *ldbc.Dataset) map[string]*queries.Runner {
 	return map[string]*queries.Runner{
 		"volcano": queries.NewRunnerWith(ds, volcano.New(), nil),
-		"GES":     queries.NewRunner(ds, exec.ModeFlat, nil),
-		"GES_f":   queries.NewRunner(ds, exec.ModeFactorized, nil),
-		"GES_f*":  queries.NewRunner(ds, exec.ModeFused, nil),
+		"GES":     cfg.newRunner(ds, exec.ModeFlat),
+		"GES_f":   cfg.newRunner(ds, exec.ModeFactorized),
+		"GES_f*":  cfg.newRunner(ds, exec.ModeFused),
 	}
 }
 
@@ -373,7 +388,7 @@ func fig15(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		engines := crossEngines(ds)
+		engines := crossEngines(cfg, ds)
 		fmt.Fprintf(w, "--- average latency (ms), simSF=%.4g ---\n", sf)
 		fmt.Fprintf(w, "%-7s %12s %12s %12s %12s\n", "query", crossOrder[0], crossOrder[1], crossOrder[2], crossOrder[3])
 		var names []string
@@ -409,7 +424,7 @@ func table4(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		engines := crossEngines(ds)
+		engines := crossEngines(cfg, ds)
 		line := fmt.Sprintf("%-8.4g", sf)
 		for _, eng := range crossOrder {
 			res := driver.Run(engines[eng], driver.Options{Workers: cfg.Workers, Ops: cfg.MixOps, Seed: cfg.Seed})

@@ -40,9 +40,10 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"fig15":    "volcano",
 		"table4":   "volcano",
 		"parallel": "hit rate",
+		"gather":   "read path",
 	}
 	if len(bench.All()) != len(wantFragments) {
-		t.Fatalf("registry has %d experiments, want %d (one per table/figure + parallel)",
+		t.Fatalf("registry has %d experiments, want %d (one per table/figure + parallel + gather)",
 			len(bench.All()), len(wantFragments))
 	}
 	for _, e := range bench.All() {

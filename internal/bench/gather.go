@@ -1,0 +1,286 @@
+// The "gather" experiment measures the §5 vectorized property read path:
+// batch column gathers, dictionary-code string comparisons, and zone-map
+// skipping, ablated knob by knob against the scalar per-row reference. It
+// emits the machine-readable BENCH_gather.json artifact when Config.JSONPath
+// is set.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"ges/internal/driver"
+	"ges/internal/exec"
+	"ges/internal/expr"
+	"ges/internal/ldbc"
+	"ges/internal/op"
+	"ges/internal/plan"
+	"ges/internal/vector"
+)
+
+func init() {
+	register(Experiment{"gather", "Vectorized gather: scalar vs batch vs dict-code vs zone-map", gatherExp})
+}
+
+// GatherVariant is one ablation point of the gather path.
+type GatherVariant struct {
+	Name      string
+	NoGather  bool
+	NoDictCmp bool
+	NoZoneMap bool
+}
+
+// GatherVariants lists the ablation ladder, scalar first. Each step enables
+// one more §5 mechanism on top of the previous.
+var GatherVariants = []GatherVariant{
+	{Name: "scalar", NoGather: true, NoDictCmp: true, NoZoneMap: true},
+	{Name: "gather", NoGather: false, NoDictCmp: true, NoZoneMap: true},
+	{Name: "gather+dict", NoGather: false, NoDictCmp: false, NoZoneMap: true},
+	{Name: "gather+zonemap", NoGather: false, NoDictCmp: false, NoZoneMap: false},
+}
+
+// Engine builds an engine with the variant's knobs applied.
+func (v GatherVariant) Engine(mode exec.Mode, workers int) *exec.Engine {
+	e := exec.New(mode)
+	e.Parallel = workers
+	e.NoGather, e.NoDictCmp, e.NoZoneMap = v.NoGather, v.NoDictCmp, v.NoZoneMap
+	return e
+}
+
+// GatherScanPlan is the canonical gather workload: a string-equality
+// fused-filter scan over the comment table (the dataset's largest
+// string-bearing label) with a date range behind it, aggregated without
+// materialization so the measurement isolates the read path. Scalar
+// execution reads two properties per comment through boxed per-row calls;
+// the gathered path shares both storage columns zero-copy and compares
+// 4-byte dictionary codes.
+func GatherScanPlan(ds *ldbc.Dataset) plan.Plan {
+	h := ds.H
+	return plan.Plan{
+		&op.NodeScan{Var: "c", Label: h.Comment},
+		&op.ProjectProps{Specs: []op.ProjSpec{
+			{Var: "c", Prop: "browserUsed", As: "c.browserUsed"},
+			{Var: "c", Prop: "creationDate", As: "c.creationDate"},
+		}},
+		&op.Filter{Pred: expr.Eq(expr.C("c.browserUsed"), expr.LStr("Chrome"))},
+		&op.Filter{Pred: expr.Ge(expr.C("c.creationDate"), expr.LDate((ldbc.DayStart+ldbc.DayEnd)/2))},
+		&op.AggregateProjectTop{
+			GroupBy: []string{"c.browserUsed"},
+			Aggs:    []op.AggSpec{{Func: op.Count, As: "n"}},
+			Keys:    []op.SortKey{{Col: "n", Desc: true}},
+			Limit:   1,
+		},
+	}
+}
+
+// GatherHorizonPlan filters past the stored date horizon: every zone's
+// max is below the threshold, so the zone-mapped variant proves emptiness
+// from the summaries alone and skips every zone without touching a value —
+// the classic zone-map win on time-horizon predicates.
+func GatherHorizonPlan(ds *ldbc.Dataset) plan.Plan {
+	h := ds.H
+	return plan.Plan{
+		&op.NodeScan{Var: "c", Label: h.Comment},
+		&op.ProjectProps{Specs: []op.ProjSpec{
+			{Var: "c", Prop: "creationDate", As: "c.creationDate"},
+		}},
+		&op.Filter{Pred: expr.Gt(expr.C("c.creationDate"), expr.LDate(ldbc.DayEnd))},
+		&op.AggregateProjectTop{
+			Aggs:  []op.AggSpec{{Func: op.Count, As: "n"}},
+			Keys:  []op.SortKey{{Col: "n"}},
+			Limit: 1,
+		},
+	}
+}
+
+// readPathSink keeps the micro-benchmark loops observable.
+var readPathSink *vector.Column
+
+// readPathMicro isolates the property materialization the gather path
+// replaces: building the browserUsed and creationDate columns for the
+// comment scan. The scalar side is the per-row reference (fresh columns, one
+// View.Prop call and Append per row); the batch side is the zero-copy tier
+// (ShareScanColumn + ShareAs). Engine machinery is excluded from both, so
+// the two numbers compare only the read paths.
+func readPathMicro(ds *ldbc.Dataset) (scalar, batch testing.BenchmarkResult) {
+	h, g := ds.H, ds.Graph
+	vids := g.ScanLabel(h.Comment)
+	scalar = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			browser := vector.NewColumn("c.browserUsed", vector.KindString)
+			created := vector.NewColumn("c.creationDate", vector.KindDate)
+			for _, v := range vids {
+				browser.Append(g.Prop(v, h.MBrowser))
+				created.Append(g.Prop(v, h.MCreation))
+			}
+			readPathSink = browser
+		}
+	})
+	batch = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			browser := g.ShareScanColumn(h.Comment, h.MBrowser, vids).ShareAs("c.browserUsed")
+			g.ShareScanColumn(h.Comment, h.MCreation, vids).ShareAs("c.creationDate")
+			readPathSink = browser
+		}
+	})
+	return scalar, batch
+}
+
+// gatherVariantPoint is one measured ablation point in BENCH_gather.json.
+type gatherVariantPoint struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	Speedup     float64 `json:"speedup"` // vs scalar
+	AllocRatio  float64 `json:"allocRatio"`
+}
+
+// gatherReport is the schema of BENCH_gather.json.
+type gatherReport struct {
+	SimSF    float64              `json:"simSF"`
+	Rows     int                  `json:"rows"`
+	Workload string               `json:"workload"`
+	Variants []gatherVariantPoint `json:"variants"`
+	Counters struct {
+		Gathers     int64 `json:"gathers"`
+		SharedCols  int64 `json:"sharedCols"`
+		ZonesPruned int64 `json:"zonesPruned"`
+		ZonesTotal  int64 `json:"zonesTotal"`
+	} `json:"counters"`
+	Horizon struct {
+		ZonesPruned int64 `json:"zonesPruned"`
+		ZonesTotal  int64 `json:"zonesTotal"`
+	} `json:"horizonScan"`
+	// ReadPath compares just the property materialization (per-row Prop +
+	// Append vs zero-copy column share), without engine machinery.
+	ReadPath struct {
+		ScalarNsPerOp     float64 `json:"scalarNsPerOp"`
+		ScalarAllocsPerOp int64   `json:"scalarAllocsPerOp"`
+		GatherNsPerOp     float64 `json:"gatherNsPerOp"`
+		GatherAllocsPerOp int64   `json:"gatherAllocsPerOp"`
+		Speedup           float64 `json:"speedup"`
+		AllocRatio        float64 `json:"allocRatio"`
+	} `json:"readPath"`
+}
+
+func gatherExp(w io.Writer, cfg Config) error {
+	sf := cfg.SFs[len(cfg.SFs)-1]
+	ds, err := driver.SharedDataset(sf)
+	if err != nil {
+		return err
+	}
+	report := gatherReport{
+		SimSF:    sf,
+		Rows:     len(ds.Comments),
+		Workload: "Comment scan: browserUsed = 'Chrome' AND creationDate >= mid, count",
+	}
+
+	// Cross-check first: every variant must agree with the scalar reference.
+	var wantRows string
+	for _, v := range GatherVariants {
+		res, err := v.Engine(exec.ModeFactorized, 1).Run(ds.Graph, GatherScanPlan(ds))
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.Name, err)
+		}
+		got := fmt.Sprint(res.Block.Rows)
+		if wantRows == "" {
+			wantRows = got
+		} else if got != wantRows {
+			return fmt.Errorf("%s: result diverges from scalar: %s != %s", v.Name, got, wantRows)
+		}
+	}
+
+	fmt.Fprintf(w, "string-equality fused-filter scan, simSF=%.4g, %d comments\n", sf, report.Rows)
+	fmt.Fprintf(w, "%-15s %12s %11s %12s %9s %11s\n", "variant", "ns/op", "allocs/op", "B/op", "speedup", "alloc-ratio")
+	var scalarNs float64
+	var scalarAllocs int64
+	for _, v := range GatherVariants {
+		eng := v.Engine(exec.ModeFactorized, 1)
+		// Every op in the plan is pure configuration, so the plan is built
+		// once outside the timer and the loop measures execution alone.
+		p0 := GatherScanPlan(ds)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ds.Graph, p0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		p := gatherVariantPoint{
+			Name:        v.Name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if v.Name == "scalar" {
+			scalarNs, scalarAllocs = p.NsPerOp, p.AllocsPerOp
+		}
+		if p.NsPerOp > 0 {
+			p.Speedup = scalarNs / p.NsPerOp
+		}
+		if p.AllocsPerOp > 0 {
+			p.AllocRatio = float64(scalarAllocs) / float64(p.AllocsPerOp)
+		}
+		report.Variants = append(report.Variants, p)
+		fmt.Fprintf(w, "%-15s %12.0f %11d %12d %8.2fx %10.1fx\n",
+			p.Name, p.NsPerOp, p.AllocsPerOp, p.BytesPerOp, p.Speedup, p.AllocRatio)
+	}
+
+	// Counters from one fully enabled run.
+	full := GatherVariants[len(GatherVariants)-1].Engine(exec.ModeFactorized, 1)
+	res, err := full.Run(ds.Graph, GatherScanPlan(ds))
+	if err != nil {
+		return err
+	}
+	report.Counters.Gathers = res.Gathers
+	report.Counters.SharedCols = res.SharedCols
+	report.Counters.ZonesPruned = res.ZonesPruned
+	report.Counters.ZonesTotal = res.ZonesTotal
+	fmt.Fprintf(w, "gathers=%d sharedCols=%d zones pruned/total=%d/%d\n",
+		res.Gathers, res.SharedCols, res.ZonesPruned, res.ZonesTotal)
+
+	// Horizon scan: the zone maps prove the result empty without scanning.
+	hres, err := full.Run(ds.Graph, GatherHorizonPlan(ds))
+	if err != nil {
+		return err
+	}
+	report.Horizon.ZonesPruned = hres.ZonesPruned
+	report.Horizon.ZonesTotal = hres.ZonesTotal
+	fmt.Fprintf(w, "horizon scan (creationDate > %d): zones pruned/total=%d/%d\n",
+		ldbc.DayEnd, hres.ZonesPruned, hres.ZonesTotal)
+
+	// Read-path micro: the per-row reference vs the zero-copy gather tier.
+	sr, gr := readPathMicro(ds)
+	report.ReadPath.ScalarNsPerOp = float64(sr.NsPerOp())
+	report.ReadPath.ScalarAllocsPerOp = sr.AllocsPerOp()
+	report.ReadPath.GatherNsPerOp = float64(gr.NsPerOp())
+	report.ReadPath.GatherAllocsPerOp = gr.AllocsPerOp()
+	if gr.NsPerOp() > 0 {
+		report.ReadPath.Speedup = float64(sr.NsPerOp()) / float64(gr.NsPerOp())
+	}
+	if gr.AllocsPerOp() > 0 {
+		report.ReadPath.AllocRatio = float64(sr.AllocsPerOp()) / float64(gr.AllocsPerOp())
+	}
+	fmt.Fprintf(w, "read path (2 property columns, %d rows): scalar %d allocs/op, gather %d allocs/op (%.1fx fewer), %.2fx faster\n",
+		report.Rows, report.ReadPath.ScalarAllocsPerOp, report.ReadPath.GatherAllocsPerOp,
+		report.ReadPath.AllocRatio, report.ReadPath.Speedup)
+
+	if cfg.JSONPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", cfg.JSONPath, err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

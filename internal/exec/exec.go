@@ -61,6 +61,14 @@ type Result struct {
 	OpStats  []OpStat
 	PeakMem  int
 	Duration time.Duration
+
+	// Vectorized-gather instrumentation (§5): batch gathers issued,
+	// zero-copy column shares, and zone-map outcomes (zones pruned vs zones
+	// examined across all zone-mapped filters of the query).
+	Gathers     int64
+	SharedCols  int64
+	ZonesPruned int64
+	ZonesTotal  int64
 }
 
 // Engine executes plans against a storage view in one of the three variant
@@ -79,6 +87,12 @@ type Engine struct {
 	// Sched is the worker pool intra-query morsels run on; nil uses the
 	// process-wide scheduler.
 	Sched *sched.Scheduler
+	// NoGather / NoDictCmp / NoZoneMap disable the vectorized property
+	// gather path, dictionary-code comparisons, and zone-map skipping — the
+	// §5 ablation knobs. Results are byte-identical either way.
+	NoGather  bool
+	NoDictCmp bool
+	NoZoneMap bool
 }
 
 // New returns an engine in the given mode with a fresh memory pool.
@@ -91,7 +105,8 @@ func (e *Engine) Run(view storage.View, p plan.Plan) (*Result, error) {
 	if e.Mode == ModeFused {
 		p = plan.Fuse(p)
 	}
-	ctx := &op.Ctx{View: view, Pool: e.Pool, MaxRows: e.MaxRows, Parallel: e.Parallel, Sched: e.Sched}
+	ctx := &op.Ctx{View: view, Pool: e.Pool, MaxRows: e.MaxRows, Parallel: e.Parallel, Sched: e.Sched,
+		NoGather: e.NoGather, NoDictCmp: e.NoDictCmp, NoZoneMap: e.NoZoneMap}
 	start := time.Now()
 
 	var ch *core.Chunk
@@ -139,6 +154,10 @@ func (e *Engine) Run(view storage.View, p plan.Plan) (*Result, error) {
 	res.Block = ch.Flat
 	res.PeakMem = ctx.PeakMem
 	res.Duration = time.Since(start)
+	res.Gathers = ctx.Gather.Gathers.Load()
+	res.SharedCols = ctx.Gather.SharedCols.Load()
+	res.ZonesPruned = ctx.Gather.ZonesPruned.Load()
+	res.ZonesTotal = ctx.Gather.ZonesTotal.Load()
 	return res, nil
 }
 

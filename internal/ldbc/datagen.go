@@ -128,6 +128,10 @@ func Generate(cfg Config) (*Dataset, error) {
 		return nil, err
 	}
 
+	// Bulk-load leaves relocated adjacency slots behind; reclaim families
+	// past the dead-fraction threshold before serving reads.
+	g.CompactAdjacency()
+
 	// The wells hold the current maximum; NewXExt pre-increments.
 	ds.nextPersonExt.Store(int64(len(ds.Persons)))
 	ds.nextForumExt.Store(int64(len(ds.Forums)))

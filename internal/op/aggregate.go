@@ -70,16 +70,36 @@ type aggState struct {
 	distinct  []map[string]struct{}
 }
 
-func newAggState(groupVals []vector.Value, n int) *aggState {
-	return &aggState{
+// newAggState allocates only the accumulator slices the aggregate specs
+// actually use — COUNT-only groups (the common case) carry just the count
+// slice.
+func newAggState(groupVals []vector.Value, aggs []AggSpec) *aggState {
+	s := &aggState{
 		groupVals: append([]vector.Value(nil), groupVals...),
-		count:     make([]int64, n),
-		sumI:      make([]int64, n),
-		sumF:      make([]float64, n),
-		min:       make([]vector.Value, n),
-		max:       make([]vector.Value, n),
-		distinct:  make([]map[string]struct{}, n),
+		count:     make([]int64, len(aggs)),
 	}
+	for _, a := range aggs {
+		switch a.Func {
+		case Sum, Avg:
+			if s.sumI == nil {
+				s.sumI = make([]int64, len(aggs))
+				s.sumF = make([]float64, len(aggs))
+			}
+		case Min:
+			if s.min == nil {
+				s.min = make([]vector.Value, len(aggs))
+			}
+		case Max:
+			if s.max == nil {
+				s.max = make([]vector.Value, len(aggs))
+			}
+		case CountDistinct:
+			if s.distinct == nil {
+				s.distinct = make([]map[string]struct{}, len(aggs))
+			}
+		}
+	}
+	return s
 }
 
 // update folds one value (with multiplicity weight) into aggregate j.
@@ -188,7 +208,7 @@ func hashAggregate(fb *core.FlatBlock, groupBy []string, aggs []AggSpec) (*core.
 		key := rowKey(groupVals)
 		st, ok := groups[key]
 		if !ok {
-			st = newAggState(groupVals, len(aggs))
+			st = newAggState(groupVals, aggs)
 			groups[key] = st
 		}
 		for j, a := range aggs {
@@ -199,16 +219,18 @@ func hashAggregate(fb *core.FlatBlock, groupBy []string, aggs []AggSpec) (*core.
 			st.update(j, a, v, 1)
 		}
 	}
-	return emitAggregates(fb, groupBy, groupIdx, aggs, argKind, groups)
+	groupKinds := make([]vector.Kind, len(groupBy))
+	for i, gi := range groupIdx {
+		groupKinds[i] = fb.Kinds[gi]
+	}
+	return emitAggregates(groupBy, groupKinds, aggs, argKind, groups)
 }
 
 // emitAggregates renders the group table.
-func emitAggregates(fb *core.FlatBlock, groupBy []string, groupIdx []int, aggs []AggSpec, argKind []vector.Kind, groups map[string]*aggState) (*core.FlatBlock, error) {
+func emitAggregates(groupBy []string, groupKinds []vector.Kind, aggs []AggSpec, argKind []vector.Kind, groups map[string]*aggState) (*core.FlatBlock, error) {
 	names := append([]string(nil), groupBy...)
 	kinds := make([]vector.Kind, 0, len(groupBy)+len(aggs))
-	for _, gi := range groupIdx {
-		kinds = append(kinds, fb.Kinds[gi])
-	}
+	kinds = append(kinds, groupKinds...)
 	for j, a := range aggs {
 		names = append(names, a.As)
 		kinds = append(kinds, aggOutputKind(a, argKind[j]))
@@ -218,22 +240,30 @@ func emitAggregates(fb *core.FlatBlock, groupBy []string, groupIdx []int, aggs [
 	// Global aggregation (no GROUP BY) over empty input yields one row of
 	// zero aggregates, per SQL/Cypher semantics.
 	if len(groupBy) == 0 && len(groups) == 0 {
-		groups[""] = newAggState(nil, len(aggs))
+		groups[""] = newAggState(nil, aggs)
 	}
 
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		st := groups[k]
+	emit := func(st *aggState) {
 		row := make([]vector.Value, 0, len(names))
 		row = append(row, st.groupVals...)
 		for j, a := range aggs {
 			row = append(row, st.result(j, a, argKind[j]))
 		}
 		out.AppendOwned(row)
+	}
+	if len(groups) == 1 {
+		for _, st := range groups {
+			emit(st)
+		}
+		return out, nil
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(groups[k])
 	}
 	return out, nil
 }

@@ -168,9 +168,20 @@ func (o *Expand) expandRows(ctx *Ctx, pred VertexPred, parent *core.Node, fromCo
 		src := fromCol.VIDAt(i)
 		segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, withProps)
 		for _, seg := range segBuf {
+			// Large segments evaluate the fused predicate in one batch
+			// (zone-map skip + gather + kernels, predbatch.go); the keep mask
+			// is indexed by segment position. Small segments and predicates
+			// without a batch path test per row.
+			keep := testVertexBatch(ctx, pred, seg.VIDs)
 			for k, v := range seg.VIDs {
-				if pred != nil && !pred.Test(ctx, v) {
-					continue
+				if pred != nil {
+					if keep != nil {
+						if !keep[k] {
+							continue
+						}
+					} else if !pred.Test(ctx, v) {
+						continue
+					}
 				}
 				for p := range o.EdgeProps {
 					propVals[p] = segPropValue(seg, epp, p, k)
@@ -234,9 +245,16 @@ func (o *Expand) executeFlat(ctx *Ctx, in *core.FlatBlock, epp edgePropPlan) (*c
 		src := row[fromIdx].AsVID()
 		segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, withProps)
 		for _, seg := range segBuf {
+			keep := testVertexBatch(ctx, o.VertexPred, seg.VIDs)
 			for k, v := range seg.VIDs {
-				if o.VertexPred != nil && !o.VertexPred.Test(ctx, v) {
-					continue
+				if o.VertexPred != nil {
+					if keep != nil {
+						if !keep[k] {
+							continue
+						}
+					} else if !o.VertexPred.Test(ctx, v) {
+						continue
+					}
 				}
 				for p := range o.EdgeProps {
 					propVals[p] = segPropValue(seg, epp, p, k)

@@ -156,6 +156,9 @@ func vectorizedFilter(ctx *Ctx, node *core.Node, pred expr.Expr) bool {
 	if col == nil || col.Lazy() {
 		return false
 	}
+	if col.Kind == vector.KindString {
+		return dictStringFilter(ctx, node, col, lit, op)
+	}
 	if col.Kind != vector.KindInt64 && col.Kind != vector.KindDate {
 		return false
 	}
@@ -218,10 +221,98 @@ func vectorizedFilter(ctx *Ctx, node *core.Node, pred expr.Expr) bool {
 	default:
 		return false
 	}
+	// Zone-map skipping (§5): columns shared from storage carry the per-zone
+	// min/max summaries, so zones that cannot contain a match are dropped
+	// with one word-ranged selection clear, and zones entirely inside the
+	// range are not scanned at all. Zone boundaries are multiples of 2048,
+	// so parallel zone morsels never share a selection word.
+	if zm := col.ZoneMap(); zm != nil && !ctx.NoZoneMap && zm.Rows() == len(vals) {
+		if lo, hi, prunable, never := cmpRange(op, threshold); never {
+			sel.ClearRange(0, len(vals))
+			return true
+		} else if prunable {
+			zones := zm.Zones()
+			ctx.Gather.ZonesTotal.Add(int64(zones))
+			scanZone := func(z int) {
+				zlo := z << vector.ZoneShift
+				zhi := zlo + vector.ZoneSize
+				if zhi > len(vals) {
+					zhi = len(vals)
+				}
+				switch {
+				case !zm.OverlapsInt(z, lo, hi):
+					sel.ClearRange(zlo, zhi)
+					ctx.Gather.ZonesPruned.Add(1)
+				case zm.ContainedInt(z, lo, hi):
+					// Every row in the zone satisfies the predicate.
+				default:
+					apply(zlo, zhi)
+				}
+			}
+			if ctx.Parallel > 1 && len(vals) >= parallelMinRows {
+				ctx.RunMorsels(zones, 8, func(m sched.Morsel) {
+					for z := m.Start; z < m.End; z++ {
+						scanZone(z)
+					}
+				})
+			} else {
+				for z := 0; z < zones; z++ {
+					scanZone(z)
+				}
+			}
+			return true
+		}
+	}
 	if ctx.Parallel > 1 && len(vals) >= parallelMinRows {
 		ctx.RunMorsels(len(vals), filterMorselSize, func(m sched.Morsel) { apply(m.Start, m.End) })
 	} else {
 		apply(0, len(vals))
+	}
+	return true
+}
+
+// dictStringFilter runs string equality over a dictionary-encoded column as
+// a uint32 code-compare kernel: one dictionary lookup replaces the per-row
+// string comparison. Non-equality string operators fall back.
+func dictStringFilter(ctx *Ctx, node *core.Node, col *vector.Column, lit expr.Lit, op expr.CmpOp) bool {
+	if !col.DictEncoded() || ctx.NoDictCmp || lit.Val.Kind != vector.KindString {
+		return false
+	}
+	if op != expr.EQ && op != expr.NE {
+		return false
+	}
+	sel := node.Sel
+	codes := col.Codes()
+	code, ok := col.Dict().Lookup(lit.Val.S)
+	if !ok {
+		// The literal was never interned: EQ matches nothing, NE everything.
+		if op == expr.EQ {
+			sel.ClearRange(0, len(codes))
+		}
+		return true
+	}
+	var apply func(lo, hi int)
+	if op == expr.EQ {
+		apply = func(lo, hi int) {
+			for i, c := range codes[lo:hi] {
+				if c != code {
+					sel.Clear(lo + i)
+				}
+			}
+		}
+	} else {
+		apply = func(lo, hi int) {
+			for i, c := range codes[lo:hi] {
+				if c == code {
+					sel.Clear(lo + i)
+				}
+			}
+		}
+	}
+	if ctx.Parallel > 1 && len(codes) >= parallelMinRows {
+		ctx.RunMorsels(len(codes), filterMorselSize, func(m sched.Morsel) { apply(m.Start, m.End) })
+	} else {
+		apply(0, len(codes))
 	}
 	return true
 }

@@ -92,7 +92,20 @@ func (o *AggregateProjectTop) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, er
 		return nil, err
 	}
 	out := core.NewFlatBlock(grouped.Names, grouped.Kinds)
-	if o.Limit > 0 {
+	if o.Limit == 1 {
+		// Degenerate top-k: a strict-less max scan replays exactly the
+		// comparison sequence of a size-1 heap (first row seeds, later rows
+		// replace only when strictly less), without the heap machinery.
+		if len(grouped.Rows) > 0 {
+			best := grouped.Rows[0]
+			for _, row := range grouped.Rows[1:] {
+				if rowLess(row, best, keyIdx) {
+					best = row
+				}
+			}
+			out.Rows = [][]vector.Value{append([]vector.Value(nil), best...)}
+		}
+	} else if o.Limit > 0 {
 		h := newTopK(o.Limit, keyIdx)
 		for _, row := range grouped.Rows {
 			h.offer(row)
@@ -116,15 +129,21 @@ func (o *AggregateProjectTop) factorizedAggregate(ctx *Ctx, ft *core.FTree) (*co
 		}
 	}
 	if node := ft.NodeOfColumns(needed); node != nil {
-		return o.weightedAggregate(ft, node)
+		return o.weightedAggregate(ctx, ft, node)
 	}
 	return o.streamingAggregate(ft, needed)
 }
 
 // weightedAggregate runs strategy 1: single-node aggregation weighted by
 // full-tuple participation counts.
-func (o *AggregateProjectTop) weightedAggregate(ft *core.FTree, node *core.Node) (*core.FlatBlock, error) {
-	w := tupleWeights(ft)[node.ID()]
+func (o *AggregateProjectTop) weightedAggregate(ctx *Ctx, ft *core.FTree, node *core.Node) (*core.FlatBlock, error) {
+	// Single-node trees (plain scans) need no weight sweep: every selected
+	// row is exactly one tuple. The batch path skips the per-node weight
+	// slices; w == nil means "selection vector is the weight".
+	var w []int64
+	if ctx.NoGather || len(ft.Nodes()) > 1 {
+		w = tupleWeights(ft)[node.ID()]
+	}
 	block := node.Block
 
 	groupCols := make([]*vector.Column, len(o.GroupBy))
@@ -154,34 +173,66 @@ func (o *AggregateProjectTop) weightedAggregate(ft *core.FTree, node *core.Node)
 
 	groups := make(map[string]*aggState)
 	groupVals := make([]vector.Value, len(o.GroupBy))
+	// Vectorized key path (§5): a single integer/date or dict-encoded string
+	// group column keys the hash table by its raw 8-byte value / 4-byte code,
+	// so the per-row string key is built only once per distinct group. The
+	// same aggState instances land in the rowKey-keyed map, so emission (and
+	// its deterministic ordering) is unchanged.
+	var fastKey func(i int) int64
+	if len(groupCols) == 1 && !ctx.NoGather {
+		switch c := groupCols[0]; {
+		case c.Lazy():
+		case c.Kind == vector.KindInt64 || c.Kind == vector.KindDate:
+			vals := c.Int64s()
+			fastKey = func(i int) int64 { return vals[i] }
+		case c.Kind == vector.KindString && c.DictEncoded():
+			codes := c.Codes()
+			fastKey = func(i int) int64 { return int64(codes[i]) }
+		}
+	}
+	var byCode map[int64]*aggState
+	if fastKey != nil {
+		byCode = make(map[int64]*aggState)
+	}
 	for i := 0; i < block.NumRows(); i++ {
-		if w[i] == 0 {
+		wi := int64(1)
+		if w != nil {
+			if wi = w[i]; wi == 0 {
+				continue
+			}
+		} else if !node.Sel.Get(i) {
 			continue
 		}
-		for gi, gc := range groupCols {
-			groupVals[gi] = gc.Get(i)
-		}
-		key := rowKey(groupVals)
-		st, ok := groups[key]
-		if !ok {
-			st = newAggState(groupVals, len(o.Aggs))
-			groups[key] = st
+		var st *aggState
+		if fastKey != nil {
+			code := fastKey(i)
+			var ok bool
+			if st, ok = byCode[code]; !ok {
+				groupVals[0] = groupCols[0].Get(i)
+				st = newAggState(groupVals, o.Aggs)
+				byCode[code] = st
+				groups[rowKey(groupVals)] = st
+			}
+		} else {
+			for gi, gc := range groupCols {
+				groupVals[gi] = gc.Get(i)
+			}
+			key := rowKey(groupVals)
+			var ok bool
+			if st, ok = groups[key]; !ok {
+				st = newAggState(groupVals, o.Aggs)
+				groups[key] = st
+			}
 		}
 		for j, a := range o.Aggs {
 			var v vector.Value
 			if argCols[j] != nil {
 				v = argCols[j].Get(i)
 			}
-			st.update(j, a, v, w[i])
+			st.update(j, a, v, wi)
 		}
 	}
-	// Synthesize a schema carrier for emitAggregates.
-	groupIdx := make([]int, len(o.GroupBy))
-	carrier := core.NewFlatBlock(o.GroupBy, groupKinds)
-	for i := range groupIdx {
-		groupIdx[i] = i
-	}
-	return emitAggregates(carrier, o.GroupBy, groupIdx, o.Aggs, argKind, groups)
+	return emitAggregates(o.GroupBy, groupKinds, o.Aggs, argKind, groups)
 }
 
 // streamingAggregate runs strategy 2: enumerate only the needed columns
@@ -230,7 +281,7 @@ func (o *AggregateProjectTop) streamingAggregate(ft *core.FTree, needed []string
 		key := rowKey(groupVals)
 		st, ok := groups[key]
 		if !ok {
-			st = newAggState(groupVals, len(o.Aggs))
+			st = newAggState(groupVals, o.Aggs)
 			groups[key] = st
 		}
 		for j, a := range o.Aggs {
@@ -247,12 +298,7 @@ func (o *AggregateProjectTop) streamingAggregate(ft *core.FTree, needed []string
 	for i := range o.GroupBy {
 		groupKinds[i] = kinds[groupIdx[i]]
 	}
-	carrier := core.NewFlatBlock(o.GroupBy, groupKinds)
-	idIdx := make([]int, len(o.GroupBy))
-	for i := range idIdx {
-		idIdx[i] = i
-	}
-	return emitAggregates(carrier, o.GroupBy, idIdx, o.Aggs, argKind, groups)
+	return emitAggregates(o.GroupBy, groupKinds, o.Aggs, argKind, groups)
 }
 
 // tupleWeights computes, for every f-Tree row, the number of valid full

@@ -1,0 +1,117 @@
+package op
+
+import (
+	"ges/internal/storage"
+	"ges/internal/vector"
+)
+
+// Vectorized property gather (§5, Vectorization): instead of one
+// View.Prop(v, p) interface call (and one boxed Value) per row, operators
+// hand the storage layer a whole VID column and receive a whole property
+// column back. Projection attaches the gathered column outright; fused
+// predicates gather into reusable scratch columns and evaluate tight kernels
+// over the raw slices. Every batch path falls back to the scalar per-row
+// path (returning nil) when the context disables gathering, so the scalar
+// implementation remains the semantic reference.
+
+// materializedVIDs returns the VID slice of col, copying lazy segments into
+// buf when needed (batch gathers index vids randomly).
+func materializedVIDs(col *vector.Column, buf []vector.VID) []vector.VID {
+	if !col.Lazy() {
+		return col.VIDs()
+	}
+	buf = buf[:0]
+	col.EachVID(func(_ int, v vector.VID) { buf = append(buf, v) })
+	return buf
+}
+
+// newGatherOutput returns the output column shape for a batch gather over
+// the given defining labels: single-label string properties share the
+// storage dictionary so the gather moves 4-byte codes; everything else is a
+// plain typed column.
+func (g *propGetter) newGatherOutput(ctx *Ctx, as string, labels []labelPid) *vector.Column {
+	if g.kind == vector.KindString && len(labels) == 1 {
+		if dp, ok := ctx.View.(storage.DictProvider); ok {
+			if d := dp.PropDict(labels[0].label, labels[0].pid); d != nil {
+				return vector.NewDictColumn(as, d)
+			}
+		}
+	}
+	return vector.NewColumn(as, g.kind)
+}
+
+// presentLabels narrows g's defining labels to those a vertex in vids
+// actually carries. Schema names like creationDate are defined on several
+// labels, but a scan or typed expansion produces a single-label column —
+// narrowing restores the dictionary-code and zero-copy tiers for them.
+func (g *propGetter) presentLabels(ctx *Ctx, vids []vector.VID) []labelPid {
+	if len(g.labels) <= 1 {
+		return g.labels
+	}
+	seen := make([]bool, len(g.labels))
+	n := 0
+	for _, v := range vids {
+		l := ctx.View.LabelOf(v)
+		for i, lp := range g.labels {
+			if lp.label == l && !seen[i] {
+				seen[i] = true
+				n++
+			}
+		}
+		if n == len(g.labels) {
+			break
+		}
+	}
+	out := make([]labelPid, 0, n)
+	for i, lp := range g.labels {
+		if seen[i] {
+			out = append(out, lp)
+		}
+	}
+	return out
+}
+
+// gatherColumn builds the property column of g for every row of vidCol in one
+// batch. Tier 1 shares the storage column zero-copy when vidCol is exactly
+// the label's scan order; tier 2 bulk-gathers into a fresh column (one pass
+// per defining label, so mixed-label variables work). Returns nil when batch
+// gathering is disabled; the caller then runs the scalar path.
+func (g *propGetter) gatherColumn(ctx *Ctx, vidCol *vector.Column, as string) *vector.Column {
+	if ctx.NoGather || len(g.labels) == 0 {
+		return nil
+	}
+	vids := materializedVIDs(vidCol, nil)
+	// A scan-ordered VID column matches at most one label's scan order, so
+	// probing every defining label is cheap (length mismatches reject in O(1)).
+	if sc, ok := ctx.View.(storage.ColumnSharer); ok {
+		for _, lp := range g.labels {
+			if col := sc.ShareScanColumn(lp.label, lp.pid, vids); col != nil {
+				ctx.Gather.Gathers.Add(1)
+				ctx.Gather.SharedCols.Add(1)
+				return col.ShareAs(as)
+			}
+		}
+	}
+	labels := g.presentLabels(ctx, vids)
+	out := g.newGatherOutput(ctx, as, labels)
+	out.Grow(len(vids))
+	for _, lp := range labels {
+		ctx.View.GatherProps(vids, lp.label, lp.pid, nil, out)
+	}
+	ctx.Gather.Gathers.Add(1)
+	return out
+}
+
+// gatherExtIDColumn batch-resolves external identifiers. Returns nil when
+// gathering is disabled.
+func gatherExtIDColumn(ctx *Ctx, vidCol *vector.Column, as string) *vector.Column {
+	if ctx.NoGather {
+		return nil
+	}
+	vids := materializedVIDs(vidCol, nil)
+	out := vector.NewColumn(as, vector.KindInt64)
+	out.Grow(len(vids))
+	ctx.View.GatherExtIDs(vids, nil, out.Int64s())
+	ctx.Gather.Gathers.Add(1)
+	return out
+}

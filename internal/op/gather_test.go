@@ -1,0 +1,262 @@
+package op_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ges/internal/catalog"
+	"ges/internal/driver"
+	"ges/internal/exec"
+	"ges/internal/expr"
+	"ges/internal/ldbc"
+	"ges/internal/op"
+	"ges/internal/plan"
+	"ges/internal/txn"
+	"ges/internal/vector"
+)
+
+// The §5 vectorized gather path must be a pure performance change: every
+// fast tier (zero-copy column share, bulk gather, dictionary-code
+// comparison, zone-map skipping, columnar top-k, code-keyed aggregation)
+// produces byte-identical results to the scalar reference at every worker
+// count. These tests pin that contract by diffing NoGather=true against the
+// full fast path at 1/2/4/8 workers.
+
+func midDate() int64 { return (ldbc.DayStart + ldbc.DayEnd) / 2 }
+
+// runGatherPlan executes the plan with or without the gather path and
+// returns the rows in result order (no sorting — ordering is part of the
+// contract for the top-k plans).
+func runGatherPlan(t *testing.T, ds *ldbc.Dataset, mode exec.Mode, workers int, scalar bool, p plan.Plan) []string {
+	t.Helper()
+	eng := exec.New(mode)
+	eng.Parallel = workers
+	eng.NoGather, eng.NoDictCmp, eng.NoZoneMap = scalar, scalar, scalar
+	res, err := eng.Run(ds.Graph, p)
+	if err != nil {
+		t.Fatalf("workers=%d scalar=%v: %v", workers, scalar, err)
+	}
+	if !scalar && workers == 1 && res.Gathers == 0 {
+		t.Fatalf("gather path never engaged for %v", p)
+	}
+	out := make([]string, res.Block.NumRows())
+	for i, row := range res.Block.Rows {
+		s := ""
+		for _, v := range row {
+			s += v.String() + "|"
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// assertGatherAgreesScalar diffs the fast path against the scalar reference
+// across worker counts.
+func assertGatherAgreesScalar(t *testing.T, ds *ldbc.Dataset, mode exec.Mode, build func() plan.Plan) {
+	t.Helper()
+	want := runGatherPlan(t, ds, mode, 1, true, build())
+	if len(want) == 0 {
+		t.Fatal("reference plan produced no rows; test is vacuous")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got := runGatherPlan(t, ds, mode, workers, false, build())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: gather path diverges from scalar (%d vs %d rows)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestGatherScanFilterProjectIdentical covers the shared-column tier feeding
+// the dictionary-code string filter and the zone-mapped date filter.
+func TestGatherScanFilterProjectIdentical(t *testing.T) {
+	ds, err := driver.SharedDataset(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.H
+	assertGatherAgreesScalar(t, ds, exec.ModeFactorized, func() plan.Plan {
+		return plan.Plan{
+			&op.NodeScan{Var: "p", Label: h.Person},
+			&op.ProjectProps{Specs: []op.ProjSpec{
+				{Var: "p", Prop: "gender", As: "p.gender"},
+				{Var: "p", Prop: "creationDate", As: "p.creationDate"},
+				{Var: "p", Prop: "firstName", As: "p.firstName"},
+				{Var: "p", As: "p.id", ExtID: true},
+			}},
+			&op.Filter{Pred: expr.Eq(expr.C("p.gender"), expr.LStr("female"))},
+			&op.Filter{Pred: expr.Ge(expr.C("p.creationDate"), expr.LDate(midDate()))},
+			&op.Defactor{Cols: []string{"p.id", "p.firstName", "p.creationDate"}},
+		}
+	})
+}
+
+// TestGatherNeverInternedLiteralIdentical pins the dictionary miss semantics:
+// equality against a string the store never saw matches nothing, inequality
+// matches everything.
+func TestGatherNeverInternedLiteralIdentical(t *testing.T) {
+	ds, err := driver.SharedDataset(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.H
+	assertGatherAgreesScalar(t, ds, exec.ModeFactorized, func() plan.Plan {
+		return plan.Plan{
+			&op.NodeScan{Var: "p", Label: h.Person},
+			&op.ProjectProps{Specs: []op.ProjSpec{
+				{Var: "p", Prop: "gender", As: "p.gender"},
+				{Var: "p", As: "p.id", ExtID: true},
+			}},
+			&op.Filter{Pred: expr.Ne(expr.C("p.gender"), expr.LStr("no-such-gender"))},
+			&op.Defactor{Cols: []string{"p.id"}},
+		}
+	})
+}
+
+// TestGatherFusedExpandIdentical covers the batch vertex-predicate engine:
+// dict-code equality plus a zone-prunable date range inside a fused Expand.
+func TestGatherFusedExpandIdentical(t *testing.T) {
+	ds, err := driver.SharedDataset(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.H
+	pred := expr.And{
+		L: expr.Eq(expr.C("gender"), expr.LStr("male")),
+		R: expr.Lt(expr.C("creationDate"), expr.LDate(midDate())),
+	}
+	assertGatherAgreesScalar(t, ds, exec.ModeFactorized, func() plan.Plan {
+		return plan.Plan{
+			&op.NodeScan{Var: "p", Label: h.Person},
+			&op.Expand{From: "p", To: "f", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person,
+				VertexPred: op.VertexPropPred(pred, nil)},
+			&op.ProjectProps{Specs: []op.ProjSpec{{Var: "f", As: "f.id", ExtID: true}}},
+			&op.Defactor{Cols: []string{"f.id"}},
+		}
+	})
+}
+
+// TestGatherTopKIdentical covers the columnar top-k: same retained set AND
+// same emission order as the boxed enumeration heap.
+func TestGatherTopKIdentical(t *testing.T) {
+	ds, err := driver.SharedDataset(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.H
+	assertGatherAgreesScalar(t, ds, exec.ModeFactorized, func() plan.Plan {
+		return plan.Plan{
+			&op.NodeScan{Var: "p", Label: h.Person},
+			&op.ProjectProps{Specs: []op.ProjSpec{
+				{Var: "p", Prop: "creationDate", As: "p.creationDate"},
+				{Var: "p", Prop: "firstName", As: "p.firstName"},
+				{Var: "p", As: "p.id", ExtID: true},
+			}},
+			&op.OrderBy{
+				Keys:  []op.SortKey{{Col: "p.creationDate", Desc: true}, {Col: "p.firstName"}, {Col: "p.id"}},
+				Limit: 17,
+				Cols:  []string{"p.id", "p.firstName", "p.creationDate"},
+			},
+		}
+	})
+}
+
+// TestGatherAggregateIdentical covers the dictionary-code group-by key fast
+// path of the fused aggregation.
+func TestGatherAggregateIdentical(t *testing.T) {
+	ds, err := driver.SharedDataset(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.H
+	assertGatherAgreesScalar(t, ds, exec.ModeFactorized, func() plan.Plan {
+		return plan.Plan{
+			&op.NodeScan{Var: "p", Label: h.Person},
+			&op.ProjectProps{Specs: []op.ProjSpec{
+				{Var: "p", Prop: "browserUsed", As: "p.browserUsed"},
+			}},
+			&op.AggregateProjectTop{
+				GroupBy: []string{"p.browserUsed"},
+				Aggs:    []op.AggSpec{{Func: op.Count, As: "n"}},
+				Keys:    []op.SortKey{{Col: "n", Desc: true}, {Col: "p.browserUsed"}},
+				Limit:   10,
+			},
+		}
+	})
+}
+
+// TestGatherOverlaySnapshotIdentical runs the filter/project plan against a
+// transactional snapshot with committed overlays: the share and zone-map
+// tiers shut off, the patched bulk gather takes over, and results must still
+// match the scalar path row for row.
+func TestGatherOverlaySnapshotIdentical(t *testing.T) {
+	ds, err := ldbc.Generate(ldbc.Config{SF: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ds.H
+	m := txn.NewManager(ds.Graph)
+	tx := m.Begin(ds.Persons[:2])
+	// "Overlay" mints a fresh dict code; the bumped creationDate moves person
+	// 1 across the filter threshold relative to nothing in particular — both
+	// writes must show identically through either read path.
+	if err := tx.SetProp(ds.Persons[0], h.PFirstName, vector.String_("Overlay")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetProp(ds.Persons[1], h.PCreation, vector.Date(int64(ldbc.DayEnd+100))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	build := func() plan.Plan {
+		return plan.Plan{
+			&op.NodeScan{Var: "p", Label: h.Person},
+			&op.ProjectProps{Specs: []op.ProjSpec{
+				{Var: "p", Prop: "firstName", As: "p.firstName"},
+				{Var: "p", Prop: "creationDate", As: "p.creationDate"},
+				{Var: "p", As: "p.id", ExtID: true},
+			}},
+			&op.Filter{Pred: expr.Ge(expr.C("p.creationDate"), expr.LDate(midDate()))},
+			&op.Defactor{Cols: []string{"p.id", "p.firstName", "p.creationDate"}},
+		}
+	}
+	run := func(scalar bool) []string {
+		eng := exec.New(exec.ModeFactorized)
+		eng.NoGather, eng.NoDictCmp, eng.NoZoneMap = scalar, scalar, scalar
+		res, err := eng.Run(snap, build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, res.Block.NumRows())
+		for i, row := range res.Block.Rows {
+			s := ""
+			for _, v := range row {
+				s += v.String() + "|"
+			}
+			out[i] = s
+		}
+		return out
+	}
+	want, got := run(true), run(false)
+	if len(want) == 0 {
+		t.Fatal("overlay plan produced no rows")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("overlay snapshot: gather path diverges from scalar")
+	}
+	// The overlaid creationDate pushed person 1 (ext id 2) past the
+	// threshold; its row must surface with the overlay value through both
+	// paths (equality above already proves "both", so check once).
+	foundShadowed := false
+	for _, r := range want {
+		if r == "2|"+snap.Prop(ds.Persons[1], h.PFirstName).S+"|"+vector.Date(int64(ldbc.DayEnd+100)).String()+"|" {
+			foundShadowed = true
+			break
+		}
+	}
+	if !foundShadowed {
+		t.Fatal("overlaid row missing from filtered result")
+	}
+}

@@ -15,6 +15,7 @@ package op
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ges/internal/catalog"
 	"ges/internal/core"
@@ -49,6 +50,32 @@ type Ctx struct {
 	// process-wide scheduler. Intra-query morsels and inter-query tasks
 	// draw from the same budget.
 	Sched *sched.Scheduler
+
+	// Vectorized-gather ablation knobs (§5, Vectorization). NoGather forces
+	// the scalar per-row property path everywhere, NoDictCmp disables
+	// dictionary-code string comparisons, and NoZoneMap disables zone-map
+	// filter skipping. All three paths produce byte-identical results; the
+	// knobs exist so benchmarks can attribute the speedup.
+	NoGather  bool
+	NoDictCmp bool
+	NoZoneMap bool
+
+	// Gather counts batch-gather activity. Counters are atomic because fused
+	// predicates batch inside parallel morsels.
+	Gather GatherStats
+}
+
+// GatherStats instruments the vectorized gather path of one query execution.
+type GatherStats struct {
+	// Gathers counts batch property/ext-ID gathers (each replacing one
+	// interface call per row).
+	Gathers atomic.Int64
+	// SharedCols counts zero-copy aligned column shares (tier 1).
+	SharedCols atomic.Int64
+	// ZonesPruned / ZonesTotal count zone-map outcomes: zones ruled out
+	// entirely versus zones considered.
+	ZonesPruned atomic.Int64
+	ZonesTotal  atomic.Int64
 }
 
 // RunMorsels shards [0,n) into size-row morsels executed on the shared
@@ -94,15 +121,24 @@ func errRowLimit(op string, rows, limit int) error {
 // returning a per-vertex accessor. Mixed-label columns (e.g. LDBC Message =
 // Post ∪ Comment) resolve the property ID per row through the vertex label.
 type propGetter struct {
-	name string
-	kind vector.Kind
-	pids []int32 // per label; -1 when the label lacks the property
-	view storage.View
+	name   string
+	kind   vector.Kind
+	pids   []int32 // per label; -1 when the label lacks the property
+	labels []labelPid
+	view   storage.View
+}
+
+// labelPid is one (label, property) resolution of a property name — the unit
+// the batch gather path iterates (one GatherProps pass per defining label).
+type labelPid struct {
+	label catalog.LabelID
+	pid   catalog.PropID
 }
 
 func newPropGetter(view storage.View, name string) (*propGetter, error) {
 	cat := view.Catalog()
-	g := &propGetter{name: name, view: view, pids: make([]int32, cat.NumLabels())}
+	g := &propGetter{name: name, view: view, pids: make([]int32, cat.NumLabels()),
+		labels: make([]labelPid, 0, cat.NumLabels())}
 	found := false
 	for l := 0; l < cat.NumLabels(); l++ {
 		pid, kind, ok := cat.PropIndex(catalog.LabelID(l), name)
@@ -114,6 +150,7 @@ func newPropGetter(view storage.View, name string) (*propGetter, error) {
 			return nil, fmt.Errorf("op: property %q has conflicting kinds across labels", name)
 		}
 		g.pids[l] = int32(pid)
+		g.labels = append(g.labels, labelPid{label: catalog.LabelID(l), pid: pid})
 		g.kind = kind
 		found = true
 	}

@@ -159,9 +159,16 @@ func parallelFlatExpand(ctx *Ctx, o *Expand, in *core.FlatBlock, fromIdx int,
 			src := row[fromIdx].AsVID()
 			segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, withProps)
 			for _, seg := range segBuf {
+				keep := testVertexBatch(ctx, pred, seg.VIDs)
 				for k, v := range seg.VIDs {
-					if pred != nil && !pred.Test(ctx, v) {
-						continue
+					if pred != nil {
+						if keep != nil {
+							if !keep[k] {
+								continue
+							}
+						} else if !pred.Test(ctx, v) {
+							continue
+						}
 					}
 					for p := range o.EdgeProps {
 						propVals[p] = segPropValue(seg, epp, p, k)

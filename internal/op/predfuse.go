@@ -42,12 +42,18 @@ func VertexPropPred(pred expr.Expr, propOf map[string]string) VertexPred {
 }
 
 // propPred is the stateful property-predicate instance: the compiled getter
-// closes over cur, so each instance serves exactly one goroutine.
+// closes over cur, so each instance serves exactly one goroutine (parallel
+// expansion forks one instance per morsel).
 type propPred struct {
 	pred     expr.Expr
 	compiled expr.Getter
 	initErr  error
 	cur      vector.VID
+
+	// Batch evaluation state (predbatch.go): scratch gather columns,
+	// decomposed conjunct kernels, and the per-batch selection vector.
+	batch     *predBatch
+	batchInit bool
 }
 
 // Test implements VertexPred.

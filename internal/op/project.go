@@ -41,6 +41,25 @@ func (o *ProjectProps) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Batch gather first (§5): the whole column is filled by bulk copies
+		// from storage (or shared zero-copy when the VID column is the scan
+		// order). The scalar per-row path below remains the fallback and the
+		// semantic reference — both produce byte-identical columns.
+		if spec.ExtID {
+			if out := gatherExtIDColumn(ctx, col, spec.As); out != nil {
+				node.Block.AddColumn(out)
+				continue
+			}
+		} else {
+			g, err := newPropGetter(ctx.View, spec.Prop)
+			if err != nil {
+				return nil, err
+			}
+			if out := g.gatherColumn(ctx, col, spec.As); out != nil {
+				node.Block.AddColumn(out)
+				continue
+			}
+		}
 		// Property reads through the storage view are concurrency-safe, so
 		// large columns gather across morsels (workers fill disjoint slices
 		// of one pre-sized buffer — output order is positional).

@@ -47,9 +47,17 @@ func (o *NodeScan) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 	if in != nil {
 		return nil, fmt.Errorf("op: NodeScan must be a source operator")
 	}
-	col := vector.NewColumn(o.Var, vector.KindVID)
-	for _, v := range ctx.View.ScanLabel(o.Label) {
-		col.AppendVID(v)
+	vids := ctx.View.ScanLabel(o.Label)
+	var col *vector.Column
+	if ctx.NoGather {
+		col = vector.NewColumn(o.Var, vector.KindVID)
+		for _, v := range vids {
+			col.AppendVID(v)
+		}
+	} else {
+		// Batch path: expose the scan order zero-copy; filters narrow the
+		// selection vector instead of rewriting the column.
+		col = vector.ShareVIDs(o.Var, vids)
 	}
 	ft := core.NewFTree(core.NewFBlock(col))
 	return &core.Chunk{FT: ft}, nil

@@ -65,6 +65,12 @@ func (o *OrderBy) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 			kinds[i] = in.FT.Nodes()[r.Node].Block.Column(r.Col).Kind
 		}
 		if o.Limit > 0 {
+			// Vectorized Top-K (§5): a single-node tree keeps row *indices*
+			// in the heap and compares sort keys directly against the
+			// gathered columns — rejected rows are never boxed or copied.
+			if out := columnarTopK(ctx, in.FT, refs, cols, kinds, keyIdx, o.Limit); out != nil {
+				return o.projectOut(out)
+			}
 			// Constant-delay enumeration into a bounded heap.
 			h := newTopK(o.Limit, keyIdx)
 			in.FT.Enumerate(refs, func(row []vector.Value) bool {
@@ -211,6 +217,161 @@ func (h *topK) sorted() [][]vector.Value {
 	out := make([][]vector.Value, len(h.rows))
 	for i := len(h.rows) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(h).([]vector.Value)
+	}
+	return out
+}
+
+// columnarTopK is the vectorized Top-K fast path over a single-node tree.
+// The heap replays exactly the comparison sequence of the enumeration path
+// (same rows offered in the same order, compared by the same semantics as
+// vector.Compare), so its output is byte-identical; only the boxing of
+// rejected rows is gone.
+func columnarTopK(ctx *Ctx, ft *core.FTree, refs []core.ColRef, cols []string, kinds []vector.Kind, keys []keyIdx, limit int) *core.FlatBlock {
+	if ctx.NoGather || len(ft.Nodes()) != 1 {
+		return nil
+	}
+	node := ft.Nodes()[0]
+	colAt := make([]*vector.Column, len(refs))
+	for i, r := range refs {
+		colAt[i] = node.Block.Column(r.Col)
+	}
+	cmps := make([]func(a, b int) int, len(keys))
+	for ki, k := range keys {
+		if cmps[ki] = columnComparator(colAt[k.pos]); cmps[ki] == nil {
+			return nil
+		}
+	}
+	h := &idxTopK{k: limit, keys: keys, cmps: cmps}
+	for i, n := 0, node.Block.NumRows(); i < n; i++ {
+		if node.Sel.Get(i) {
+			h.offer(i)
+		}
+	}
+	out := core.NewFlatBlock(append([]string(nil), cols...), kinds)
+	for _, ri := range h.sortedIdx() {
+		row := make([]vector.Value, len(colAt))
+		for j, c := range colAt {
+			row[j] = c.Get(ri)
+		}
+		out.AppendOwned(row)
+	}
+	return out
+}
+
+// columnComparator returns a row-index comparator matching vector.Compare on
+// same-kind values, reading the column storage directly (dict strings
+// resolve lazily — codes are not order-preserving).
+func columnComparator(c *vector.Column) func(a, b int) int {
+	switch c.Kind {
+	case vector.KindInt64, vector.KindDate:
+		vals := c.Int64s()
+		return func(a, b int) int { return cmpI64(vals[a], vals[b]) }
+	case vector.KindFloat64:
+		vals := c.Float64s()
+		return func(a, b int) int {
+			switch {
+			case vals[a] < vals[b]:
+				return -1
+			case vals[a] > vals[b]:
+				return 1
+			default:
+				return 0
+			}
+		}
+	case vector.KindVID:
+		return func(a, b int) int { return cmpI64(int64(c.VIDAt(a)), int64(c.VIDAt(b))) }
+	case vector.KindString:
+		return func(a, b int) int {
+			sa, sb := c.StringAt(a), c.StringAt(b)
+			switch {
+			case sa < sb:
+				return -1
+			case sa > sb:
+				return 1
+			default:
+				return 0
+			}
+		}
+	case vector.KindBool:
+		vals := c.Bools()
+		return func(a, b int) int {
+			var ia, ib int64
+			if vals[a] {
+				ia = 1
+			}
+			if vals[b] {
+				ib = 1
+			}
+			return cmpI64(ia, ib)
+		}
+	default:
+		return nil
+	}
+}
+
+func cmpI64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// idxTopK is topK over row indices with columnar key comparators. The heap
+// mechanics are identical to topK, so retained rows and output order match
+// the boxed heap exactly.
+type idxTopK struct {
+	k    int
+	keys []keyIdx
+	cmps []func(a, b int) int
+	idx  []int
+}
+
+// idxLess orders row a before row b under the key list.
+func (h *idxTopK) idxLess(a, b int) bool {
+	for ki, k := range h.keys {
+		c := h.cmps[ki](a, b)
+		if c == 0 {
+			continue
+		}
+		if k.desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+func (h *idxTopK) Len() int           { return len(h.idx) }
+func (h *idxTopK) Less(i, j int) bool { return h.idxLess(h.idx[j], h.idx[i]) }
+func (h *idxTopK) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *idxTopK) Push(x any)         { h.idx = append(h.idx, x.(int)) }
+func (h *idxTopK) Pop() any {
+	last := h.idx[len(h.idx)-1]
+	h.idx = h.idx[:len(h.idx)-1]
+	return last
+}
+
+// offer considers one row index.
+func (h *idxTopK) offer(i int) {
+	if len(h.idx) < h.k {
+		heap.Push(h, i)
+		return
+	}
+	if h.idxLess(i, h.idx[0]) {
+		h.idx[0] = i
+		heap.Fix(h, 0)
+	}
+}
+
+// sortedIdx drains the heap into ascending key order.
+func (h *idxTopK) sortedIdx() []int {
+	out := make([]int, len(h.idx))
+	for i := len(h.idx) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(int)
 	}
 	return out
 }

@@ -197,6 +197,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.ds.Stats()
 	overlays, version := s.runner.Mgr.Stats()
 	hits, misses := s.cache.counters()
+	slots, dead := s.ds.Graph.AdjSlotStats()
 	writeJSON(w, map[string]any{
 		"simSF":           st.SF,
 		"persons":         st.Persons,
@@ -205,6 +206,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"bytes":           st.Bytes,
 		"overlayVertices": overlays,
 		"commitVersion":   version,
+		"adjacency": map[string]any{
+			"slots":     slots,
+			"deadSlots": dead,
+		},
 		"planCache": map[string]any{
 			"hits":     hits,
 			"misses":   misses,

@@ -70,21 +70,22 @@ func (a *AdjList) ensure(vid vector.VID) {
 	}
 }
 
-// growProps extends every edge-property array to match len(a.arr).
+// growProps extends every edge-property array to match len(a.arr) with one
+// bulk zero-filled extension per column.
 func (a *AdjList) growProps(n int) {
 	for i, k := range a.propKinds {
 		switch k {
 		case vector.KindInt64, vector.KindDate:
-			for len(a.propI64[i]) < n {
-				a.propI64[i] = append(a.propI64[i], 0)
+			if d := n - len(a.propI64[i]); d > 0 {
+				a.propI64[i] = append(a.propI64[i], make([]int64, d)...)
 			}
 		case vector.KindFloat64:
-			for len(a.propF64[i]) < n {
-				a.propF64[i] = append(a.propF64[i], 0)
+			if d := n - len(a.propF64[i]); d > 0 {
+				a.propF64[i] = append(a.propF64[i], make([]float64, d)...)
 			}
 		case vector.KindString:
-			for len(a.propStr[i]) < n {
-				a.propStr[i] = append(a.propStr[i], "")
+			if d := n - len(a.propStr[i]); d > 0 {
+				a.propStr[i] = append(a.propStr[i], make([]string, d)...)
 			}
 		}
 	}
@@ -135,6 +136,62 @@ func (a *AdjList) append(src, dst vector.VID, props []vector.Value) {
 		}
 	}
 	m.len++
+}
+
+// compactDeadFraction is the dead-entry share of arr above which Compact
+// actually rebuilds the family.
+const compactDeadFraction = 0.25
+
+// Compact rebuilds arr and the aligned edge-property columns when more than
+// compactDeadFraction of the entries are dead regions abandoned by slot
+// relocation. Slots keep their allocated capacity (the paper's doubled-slot
+// headroom), they are just packed back to back. Single-writer only: callers
+// must ensure no concurrent readers hold segment views they expect to stay
+// in sync with future appends (outstanding views of the old array remain
+// valid — the old memory is simply dropped). Returns true on rebuild.
+func (a *AdjList) Compact() bool {
+	if len(a.arr) == 0 || float64(a.deadSlots) <= compactDeadFraction*float64(len(a.arr)) {
+		return false
+	}
+	liveCap := 0
+	for i := range a.meta {
+		liveCap += int(a.meta[i].cap)
+	}
+	newArr := make([]vector.VID, liveCap)
+	newI64 := make([][]int64, len(a.propI64))
+	newF64 := make([][]float64, len(a.propF64))
+	newStr := make([][]string, len(a.propStr))
+	for i, k := range a.propKinds {
+		switch k {
+		case vector.KindInt64, vector.KindDate:
+			newI64[i] = make([]int64, liveCap)
+		case vector.KindFloat64:
+			newF64[i] = make([]float64, liveCap)
+		case vector.KindString:
+			newStr[i] = make([]string, liveCap)
+		}
+	}
+	off := uint32(0)
+	for i := range a.meta {
+		m := &a.meta[i]
+		copy(newArr[off:off+m.len], a.arr[m.off:m.off+m.len])
+		for p, k := range a.propKinds {
+			switch k {
+			case vector.KindInt64, vector.KindDate:
+				copy(newI64[p][off:off+m.len], a.propI64[p][m.off:m.off+m.len])
+			case vector.KindFloat64:
+				copy(newF64[p][off:off+m.len], a.propF64[p][m.off:m.off+m.len])
+			case vector.KindString:
+				copy(newStr[p][off:off+m.len], a.propStr[p][m.off:m.off+m.len])
+			}
+		}
+		m.off = off
+		off += m.cap
+	}
+	a.arr = newArr
+	a.propI64, a.propF64, a.propStr = newI64, newF64, newStr
+	a.deadSlots = 0
+	return true
 }
 
 // remove deletes the first occurrence of dst in src's slot by shifting the

@@ -38,6 +38,13 @@ type View interface {
 	// Prop returns property p of vertex v, where p indexes the schema of
 	// v's label.
 	Prop(v vector.VID, p catalog.PropID) vector.Value
+	// GatherProps bulk-fetches property pid for every selected row whose
+	// vertex carries the given label, writing values into the matching rows
+	// of out (pre-sized to len(vids)); other rows are left untouched.
+	GatherProps(vids []vector.VID, label catalog.LabelID, pid catalog.PropID, sel *vector.Bitset, out *vector.Column)
+	// GatherExtIDs bulk-fetches external identifiers for selected rows into
+	// out (pre-sized to len(vids)).
+	GatherExtIDs(vids []vector.VID, sel *vector.Bitset, out []int64)
 	// Neighbors appends the neighbor segments of src over edge type et in
 	// direction dir toward dstLabel (or AnyLabel) to buf and returns it.
 	// withProps populates the aligned edge-property runs.
@@ -294,6 +301,30 @@ func (g *Graph) DeadSlots() int {
 	n := 0
 	for _, l := range g.adj {
 		n += l.deadSlots
+	}
+	return n
+}
+
+// AdjSlotStats reports total adjacency entries and the dead ones among them
+// across all families (exposed via the service's /stats endpoint).
+func (g *Graph) AdjSlotStats() (slots, dead int) {
+	for _, l := range g.adj {
+		slots += len(l.arr)
+		dead += l.deadSlots
+	}
+	return slots, dead
+}
+
+// CompactAdjacency rebuilds every adjacency family whose dead fraction
+// exceeds 25%, reclaiming regions abandoned by slot relocation. It is part
+// of the single-writer bulk path — call it at bulk-load finish, before
+// queries or transactions start. Returns the number of families rebuilt.
+func (g *Graph) CompactAdjacency() int {
+	n := 0
+	for _, l := range g.adj {
+		if l.Compact() {
+			n++
+		}
 	}
 	return n
 }

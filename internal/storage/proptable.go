@@ -18,7 +18,16 @@ type propTable struct {
 func newPropTable(defs []catalog.PropDef) *propTable {
 	t := &propTable{defs: defs, byExt: make(map[int64]vector.VID)}
 	for _, d := range defs {
-		t.cols = append(t.cols, vector.NewColumn(d.Name, d.Kind))
+		c := vector.NewColumn(d.Name, d.Kind)
+		// Storage columns carry the layout upgrades of the gather path:
+		// strings are dictionary-encoded, ordered scalars get zone maps.
+		switch d.Kind {
+		case vector.KindString:
+			c.EnableDict()
+		case vector.KindInt64, vector.KindDate, vector.KindFloat64:
+			c.EnableZoneMap()
+		}
+		t.cols = append(t.cols, c)
 	}
 	return t
 }
@@ -54,27 +63,22 @@ func (t *propTable) get(row uint32, p catalog.PropID) vector.Value {
 }
 
 // set overwrites property p at row (used by the single-writer path and by
-// transaction commit application).
+// transaction commit application). Dict codes are interned and zone maps
+// widened by Column.Set.
 func (t *propTable) set(row uint32, p catalog.PropID, v vector.Value) {
-	c := t.cols[p]
-	switch c.Kind {
-	case vector.KindInt64, vector.KindDate:
-		c.Int64s()[row] = v.I
-	case vector.KindVID:
-		c.VIDs()[row] = vector.VID(v.I)
-	case vector.KindFloat64:
-		c.Float64s()[row] = v.F
-	case vector.KindString:
-		c.Strings()[row] = v.S
-	case vector.KindBool:
-		c.Bools()[row] = v.I != 0
-	}
+	t.cols[p].Set(int(row), normalize(v, t.defs[p].Kind))
 }
 
 func (t *propTable) memBytes() int {
 	n := len(t.vids)*4 + len(t.ext)*8 + len(t.byExt)*16
 	for _, c := range t.cols {
 		n += c.MemBytes()
+		if d := c.Dict(); d != nil {
+			n += d.MemBytes()
+		}
+		if zm := c.ZoneMap(); zm != nil {
+			n += zm.MemBytes()
+		}
 	}
 	return n
 }

@@ -1,0 +1,123 @@
+package txn
+
+import (
+	"testing"
+
+	"ges/internal/testgraph"
+	"ges/internal/vector"
+)
+
+// TestGatherAcrossOverlays is the batch-read contract of the transaction
+// layer: GatherProps must agree row-for-row with the scalar Prop path when
+// committed overlays shadow base rows — including dictionary codes minted by
+// a transaction for strings the base never stored — and vertices born inside
+// a transaction must gather their creation-time property rows.
+func TestGatherAcrossOverlays(t *testing.T) {
+	f := testgraph.New()
+	m := NewManager(f.Graph)
+	s := f.Schema
+
+	before := m.Snapshot()
+
+	p0, p3 := f.Persons[0], f.Persons[3]
+	tx := m.Begin([]vector.VID{p0, p3})
+	// "Zelda" was never interned at load time: the overlay write mints a new
+	// dictionary code that the gather path must carry through.
+	if err := tx.SetProp(p0, s.PFirstName, vector.String_("Zelda")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetProp(p3, s.PCreation, vector.Date(42)); err != nil {
+		t.Fatal(err)
+	}
+	nv, err := tx.AddVertex(s.Person, 900, vector.String_("Newt"), vector.String_("Born"), vector.Date(20500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	after := m.Snapshot()
+	vids := append(append([]vector.VID{}, f.Persons...), nv)
+
+	checkAgainstScalar := func(snap *Snapshot, label string) {
+		t.Helper()
+		name := vector.NewDictColumn("firstName", snap.PropDict(s.Person, s.PFirstName))
+		name.Grow(len(vids))
+		snap.GatherProps(vids, s.Person, s.PFirstName, nil, name)
+		created := vector.NewColumn("creationDate", vector.KindDate)
+		created.Grow(len(vids))
+		snap.GatherProps(vids, s.Person, s.PCreation, nil, created)
+		ext := make([]int64, len(vids))
+		snap.GatherExtIDs(vids, nil, ext)
+		for i, v := range vids {
+			if got, want := name.StringAt(i), snap.Prop(v, s.PFirstName).S; got != want {
+				t.Fatalf("%s: firstName[%d] = %q, want %q", label, i, got, want)
+			}
+			if got, want := created.Int64s()[i], snap.Prop(v, s.PCreation).I; got != want {
+				t.Fatalf("%s: creationDate[%d] = %d, want %d", label, i, got, want)
+			}
+			if ext[i] != snap.ExtID(v) {
+				t.Fatalf("%s: ext[%d] = %d, want %d", label, i, ext[i], snap.ExtID(v))
+			}
+		}
+	}
+	checkAgainstScalar(after, "after")
+
+	// Spot-check the shadowing itself, not just scalar agreement.
+	name := vector.NewDictColumn("firstName", after.PropDict(s.Person, s.PFirstName))
+	name.Grow(len(vids))
+	after.GatherProps(vids, s.Person, s.PFirstName, nil, name)
+	if got := name.StringAt(0); got != "Zelda" {
+		t.Fatalf("overlay row not shadowed: firstName[0] = %q", got)
+	}
+	if got := name.StringAt(len(vids) - 1); got != "Newt" {
+		t.Fatalf("txn-born vertex not gathered: %q", got)
+	}
+
+	// The pre-transaction snapshot must keep gathering base values; its
+	// scalar agreement covers the unshadowed base (nv rows are simply
+	// invisible to it, matching Prop's invalid value as typed zero).
+	old := vector.NewDictColumn("firstName", before.PropDict(s.Person, s.PFirstName))
+	old.Grow(len(f.Persons))
+	before.GatherProps(f.Persons, s.Person, s.PFirstName, nil, old)
+	if got := old.StringAt(0); got != "Ada" {
+		t.Fatalf("old snapshot sees overlay: firstName[0] = %q", got)
+	}
+}
+
+// TestGatherTiersDegradeWithOverlays pins the optional-interface contract:
+// a clean snapshot keeps the zero-copy share and zone pruning tiers, and
+// both shut off as soon as overlays exist (an overlaid row could match even
+// though its base zone cannot).
+func TestGatherTiersDegradeWithOverlays(t *testing.T) {
+	f := testgraph.New()
+	m := NewManager(f.Graph)
+	s := f.Schema
+
+	clean := m.Snapshot()
+	scan := clean.ScanLabel(s.Person)
+	if clean.ShareScanColumn(s.Person, s.PCreation, scan) == nil {
+		t.Fatal("clean snapshot refused zero-copy share")
+	}
+	var sel vector.Bitset
+	sel.Resize(len(scan), true)
+	if _, total := clean.PruneZones(scan, s.Person, s.PCreation, 0, 1, &sel); total == 0 {
+		t.Fatal("clean snapshot refused zone pruning")
+	}
+
+	tx := m.Begin([]vector.VID{f.Persons[0]})
+	if err := tx.SetProp(f.Persons[0], s.PCreation, vector.Date(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	dirty := m.Snapshot()
+	if dirty.ShareScanColumn(s.Person, s.PCreation, scan) != nil {
+		t.Fatal("overlaid snapshot must not share the base column")
+	}
+	if pruned, total := dirty.PruneZones(scan, s.Person, s.PCreation, 0, 1, &sel); pruned != 0 || total != 0 {
+		t.Fatal("overlaid snapshot must not prune zones")
+	}
+}

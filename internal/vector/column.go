@@ -10,6 +10,17 @@ import "fmt"
 // adjacency arrays. This is the paper's pointer-based join (§5): Expand
 // appends one segment per source vertex and neighbor IDs are only copied if
 // someone actually needs random access or de-factoring forces it.
+//
+// A string column may be *dictionary-encoded*: rows are uint32 codes into a
+// Dict and the str slice is unused. Storage property columns are always
+// dict-encoded; gathered intermediate columns share the storage dict so a
+// gather moves 4-byte codes and code→string resolution is deferred to output
+// serialization or order-sensitive comparisons.
+//
+// A column may be *shared*: a zero-copy view of a storage-owned column
+// produced by an aligned gather. Shared columns are read-only — mutating
+// entry points panic — and account no payload memory, mirroring lazy
+// columns.
 type Column struct {
 	Name string
 	Kind Kind
@@ -19,6 +30,16 @@ type Column struct {
 	str []string
 	bl  []bool
 	vid []VID
+
+	// Dictionary encoding (KindString only).
+	codes []uint32
+	dict  *Dict
+
+	// Optional per-zone min/max summaries (int64/date/float64 columns).
+	zm *ZoneMap
+
+	// Read-only view of storage-owned memory (aligned gather fast path).
+	shared bool
 
 	// Lazy segmented representation (KindVID only).
 	lazy   bool
@@ -37,8 +58,75 @@ func NewLazyVIDColumn(name string) *Column {
 	return &Column{Name: name, Kind: KindVID, lazy: true}
 }
 
+// NewDictColumn returns an empty dictionary-encoded string column whose codes
+// reference d. Gathered string columns use the dict of the storage column
+// they gather from, so codes can be bulk-copied without resolution.
+func NewDictColumn(name string, d *Dict) *Column {
+	return &Column{Name: name, Kind: KindString, dict: d}
+}
+
+// ShareVIDs wraps an existing VID slice as a read-only column without
+// copying. Scans use it to expose the storage vid order zero-copy;
+// downstream operators narrow via selection vectors, never by mutating the
+// scan column, so the share is safe.
+func ShareVIDs(name string, vids []VID) *Column {
+	return &Column{Name: name, Kind: KindVID, vid: vids, shared: true}
+}
+
 // Lazy reports whether the column is in the lazy segmented representation.
 func (c *Column) Lazy() bool { return c.lazy }
+
+// DictEncoded reports whether the column stores uint32 dictionary codes.
+func (c *Column) DictEncoded() bool { return c.dict != nil }
+
+// Dict returns the dictionary of a dict-encoded column (nil otherwise).
+func (c *Column) Dict() *Dict { return c.dict }
+
+// Codes exposes the raw code slice of a dict-encoded column.
+func (c *Column) Codes() []uint32 { return c.codes }
+
+// Shared reports whether the column is a read-only view of storage memory.
+func (c *Column) Shared() bool { return c.shared }
+
+// ZoneMap returns the column's zone map, or nil.
+func (c *Column) ZoneMap() *ZoneMap { return c.zm }
+
+// EnableDict switches an empty string column to dictionary encoding with a
+// fresh dictionary.
+func (c *Column) EnableDict() {
+	if c.Kind != KindString || c.Len() != 0 {
+		panic(fmt.Sprintf("vector: EnableDict on non-empty or non-string column %q", c.Name))
+	}
+	c.dict = NewDict()
+}
+
+// EnableZoneMap attaches an empty zone map to an empty int64/date/float64
+// column; subsequent appends maintain it incrementally.
+func (c *Column) EnableZoneMap() {
+	if c.Len() != 0 {
+		panic(fmt.Sprintf("vector: EnableZoneMap on non-empty column %q", c.Name))
+	}
+	switch c.Kind {
+	case KindInt64, KindDate:
+		c.zm = NewZoneMap(false)
+	case KindFloat64:
+		c.zm = NewZoneMap(true)
+	default:
+		panic(fmt.Sprintf("vector: EnableZoneMap on column %q of kind %v", c.Name, c.Kind))
+	}
+}
+
+// ShareAs returns a read-only zero-copy view of the column under a new name
+// — the aligned-gather fast path, where a NodeScan-ordered block can adopt
+// the storage column (codes, dict and zone map included) outright.
+func (c *Column) ShareAs(name string) *Column {
+	return &Column{
+		Name: name, Kind: c.Kind,
+		i64: c.i64, f64: c.f64, str: c.str, bl: c.bl, vid: c.vid,
+		codes: c.codes, dict: c.dict, zm: c.zm,
+		shared: true,
+	}
+}
 
 // Len returns the logical number of rows.
 func (c *Column) Len() int {
@@ -53,6 +141,9 @@ func (c *Column) Len() int {
 	case KindFloat64:
 		return len(c.f64)
 	case KindString:
+		if c.dict != nil {
+			return len(c.codes)
+		}
 		return len(c.str)
 	case KindBool:
 		return len(c.bl)
@@ -118,8 +209,13 @@ func (c *Column) Int64At(i int) int64 { return c.i64[i] }
 // Float64At returns the float64 at row i.
 func (c *Column) Float64At(i int) float64 { return c.f64[i] }
 
-// StringAt returns the string at row i.
-func (c *Column) StringAt(i int) string { return c.str[i] }
+// StringAt returns the string at row i, resolving dictionary codes.
+func (c *Column) StringAt(i int) string {
+	if c.dict != nil {
+		return c.dict.Str(c.codes[i])
+	}
+	return c.str[i]
+}
 
 // BoolAt returns the bool at row i.
 func (c *Column) BoolAt(i int) bool { return c.bl[i] }
@@ -136,7 +232,7 @@ func (c *Column) Get(i int) Value {
 	case KindFloat64:
 		return Float64(c.f64[i])
 	case KindString:
-		return String_(c.str[i])
+		return String_(c.StringAt(i))
 	case KindBool:
 		return Bool(c.bl[i])
 	default:
@@ -144,12 +240,23 @@ func (c *Column) Get(i int) Value {
 	}
 }
 
+// mutCheck panics when the column is a read-only shared view.
+func (c *Column) mutCheck() {
+	if c.shared {
+		panic(fmt.Sprintf("vector: mutation of shared column %q", c.Name))
+	}
+}
+
 // Append appends a boxed value; its kind must match the column kind (date
 // and int64 interconvert).
 func (c *Column) Append(v Value) {
+	c.mutCheck()
 	switch c.Kind {
 	case KindInt64, KindDate:
 		c.i64 = append(c.i64, v.I)
+		if c.zm != nil {
+			c.zm.AppendInt64(v.I)
+		}
 	case KindVID:
 		if c.lazy {
 			panic("vector: scalar Append on a lazy column")
@@ -157,8 +264,15 @@ func (c *Column) Append(v Value) {
 		c.vid = append(c.vid, VID(v.I))
 	case KindFloat64:
 		c.f64 = append(c.f64, v.F)
+		if c.zm != nil {
+			c.zm.AppendFloat64(v.F)
+		}
 	case KindString:
-		c.str = append(c.str, v.S)
+		if c.dict != nil {
+			c.codes = append(c.codes, c.dict.Intern(v.S))
+		} else {
+			c.str = append(c.str, v.S)
+		}
 	case KindBool:
 		c.bl = append(c.bl, v.I != 0)
 	default:
@@ -166,20 +280,126 @@ func (c *Column) Append(v Value) {
 	}
 }
 
+// Set overwrites row i in place; the kind contract matches Append. Zone maps
+// are widened (never narrowed) so pruning stays conservative and correct.
+func (c *Column) Set(i int, v Value) {
+	c.mutCheck()
+	switch c.Kind {
+	case KindInt64, KindDate:
+		c.i64[i] = v.I
+		if c.zm != nil {
+			c.zm.WidenInt64(i, v.I)
+		}
+	case KindVID:
+		c.vid[i] = VID(v.I)
+	case KindFloat64:
+		c.f64[i] = v.F
+		if c.zm != nil {
+			c.zm.WidenFloat64(i, v.F)
+		}
+	case KindString:
+		if c.dict != nil {
+			c.codes[i] = c.dict.Intern(v.S)
+		} else {
+			c.str[i] = v.S
+		}
+	case KindBool:
+		c.bl[i] = v.I != 0
+	default:
+		panic(fmt.Sprintf("vector: Set on invalid column %q", c.Name))
+	}
+}
+
+// SetString overwrites row i of a string column, interning dict codes.
+func (c *Column) SetString(i int, s string) {
+	c.mutCheck()
+	if c.dict != nil {
+		c.codes[i] = c.dict.Intern(s)
+		return
+	}
+	c.str[i] = s
+}
+
 // AppendInt64 appends a raw int64 (KindInt64/KindDate).
-func (c *Column) AppendInt64(v int64) { c.i64 = append(c.i64, v) }
+func (c *Column) AppendInt64(v int64) {
+	c.mutCheck()
+	c.i64 = append(c.i64, v)
+	if c.zm != nil {
+		c.zm.AppendInt64(v)
+	}
+}
 
 // AppendVID appends a materialized VID.
-func (c *Column) AppendVID(v VID) { c.vid = append(c.vid, v) }
+func (c *Column) AppendVID(v VID) {
+	c.mutCheck()
+	c.vid = append(c.vid, v)
+}
 
 // AppendFloat64 appends a raw float64.
-func (c *Column) AppendFloat64(v float64) { c.f64 = append(c.f64, v) }
+func (c *Column) AppendFloat64(v float64) {
+	c.mutCheck()
+	c.f64 = append(c.f64, v)
+	if c.zm != nil {
+		c.zm.AppendFloat64(v)
+	}
+}
 
-// AppendString appends a raw string.
-func (c *Column) AppendString(v string) { c.str = append(c.str, v) }
+// AppendString appends a raw string, interning dict codes.
+func (c *Column) AppendString(v string) {
+	c.mutCheck()
+	if c.dict != nil {
+		c.codes = append(c.codes, c.dict.Intern(v))
+		return
+	}
+	c.str = append(c.str, v)
+}
 
 // AppendBool appends a raw bool.
-func (c *Column) AppendBool(v bool) { c.bl = append(c.bl, v) }
+func (c *Column) AppendBool(v bool) {
+	c.mutCheck()
+	c.bl = append(c.bl, v)
+}
+
+// growZeroed resizes s to n elements, zeroing every slot (stale rows from a
+// recycled scratch column must not leak into unselected gather rows).
+func growZeroed[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// Grow resizes the column to n zero-valued rows, reusing capacity — the
+// output shape of a batch gather, which then writes selected rows in place.
+func (c *Column) Grow(n int) {
+	c.mutCheck()
+	switch c.Kind {
+	case KindInt64, KindDate:
+		c.i64 = growZeroed(c.i64, n)
+	case KindVID:
+		if c.lazy {
+			panic("vector: Grow on a lazy column")
+		}
+		c.vid = growZeroed(c.vid, n)
+	case KindFloat64:
+		c.f64 = growZeroed(c.f64, n)
+	case KindString:
+		if c.dict != nil {
+			c.codes = growZeroed(c.codes, n)
+		} else {
+			c.str = growZeroed(c.str, n)
+		}
+	case KindBool:
+		c.bl = growZeroed(c.bl, n)
+	default:
+		panic(fmt.Sprintf("vector: Grow on invalid column %q", c.Name))
+	}
+}
 
 // Int64s exposes the raw backing slice of an int64/date column for
 // vectorized loops.
@@ -188,8 +408,14 @@ func (c *Column) Int64s() []int64 { return c.i64 }
 // Float64s exposes the raw float64 backing slice.
 func (c *Column) Float64s() []float64 { return c.f64 }
 
-// Strings exposes the raw string backing slice.
-func (c *Column) Strings() []string { return c.str }
+// Strings exposes the raw string backing slice; it panics for dict-encoded
+// columns (use Codes/StringAt, or decode explicitly).
+func (c *Column) Strings() []string {
+	if c.dict != nil {
+		panic(fmt.Sprintf("vector: Strings on dict-encoded column %q", c.Name))
+	}
+	return c.str
+}
 
 // Bools exposes the raw bool backing slice.
 func (c *Column) Bools() []bool { return c.bl }
@@ -221,14 +447,45 @@ func (c *Column) EachVID(fn func(i int, v VID)) {
 	}
 }
 
+// decodeDict materializes a dict-encoded column into plain strings — the
+// slow path when columns with different dictionaries must be merged.
+func (c *Column) decodeDict() {
+	if c.dict == nil {
+		return
+	}
+	c.str = make([]string, len(c.codes))
+	for i, code := range c.codes {
+		c.str[i] = c.dict.Str(code)
+	}
+	c.codes, c.dict = nil, nil
+}
+
 // Extend appends every row of src (same kind) to c. It backs the
 // deterministic morsel-order merge of the parallel operators: each worker
 // fills a private column and the coordinator extends the output shard by
 // shard. Lazy columns are not supported — the lazy expansion path merges
-// segments directly.
+// segments directly. Dict-encoded shards sharing one dictionary merge by
+// code; mismatched dictionaries fall back to decoded strings.
 func (c *Column) Extend(src *Column) {
+	c.mutCheck()
 	if c.lazy || src.lazy {
 		panic("vector: Extend on a lazy column")
+	}
+	if c.Kind == KindString {
+		switch {
+		case c.Len() == 0 && src.dict != nil && c.dict == nil:
+			c.dict = src.dict // adopt: shards gathered from one storage column
+		case c.dict != src.dict:
+			c.decodeDict()
+			for i, n := 0, src.Len(); i < n; i++ {
+				c.str = append(c.str, src.StringAt(i))
+			}
+			return
+		}
+		if c.dict != nil {
+			c.codes = append(c.codes, src.codes...)
+			return
+		}
 	}
 	c.i64 = append(c.i64, src.i64...)
 	c.f64 = append(c.f64, src.f64...)
@@ -275,26 +532,39 @@ func NewColumnFromValues(name string, kind Kind, vals []Value) *Column {
 }
 
 // Reset truncates the column to zero rows, retaining capacity. This backs
-// the paper's pre-allocated, reusable f-Trees (§5, Vectorization).
+// the paper's pre-allocated, reusable f-Trees (§5, Vectorization). A shared
+// column detaches from its storage backing instead of truncating it.
 func (c *Column) Reset() {
+	if c.shared {
+		*c = Column{Name: c.Name, Kind: c.Kind}
+		return
+	}
 	c.i64 = c.i64[:0]
 	c.f64 = c.f64[:0]
 	c.str = c.str[:0]
 	c.bl = c.bl[:0]
 	c.vid = c.vid[:0]
+	c.codes = c.codes[:0]
+	if c.zm != nil {
+		c.zm.Reset()
+	}
 	c.segs = c.segs[:0]
 	c.segOff = c.segOff[:0]
 	c.segLen = 0
 }
 
 // MemBytes returns the accounted intermediate-result memory of the column.
-// Lazy columns account only their segment headers and offsets — the payload
-// belongs to graph storage, which is precisely the saving of pointer-based
-// joins.
+// Lazy and shared columns account only their headers — the payload belongs
+// to graph storage, which is precisely the saving of pointer-based joins and
+// aligned gathers. Dict columns account 4 bytes per row; the dictionary
+// payload is accounted once by its owning storage table.
 func (c *Column) MemBytes() int {
 	const base = 64
 	if c.lazy {
 		return base + len(c.segs)*24 + len(c.segOff)*8
+	}
+	if c.shared {
+		return base
 	}
 	switch c.Kind {
 	case KindInt64, KindDate:
@@ -304,6 +574,9 @@ func (c *Column) MemBytes() int {
 	case KindFloat64:
 		return base + len(c.f64)*8
 	case KindString:
+		if c.dict != nil {
+			return base + len(c.codes)*4
+		}
 		n := base + len(c.str)*16
 		for _, s := range c.str {
 			n += len(s)
@@ -317,14 +590,19 @@ func (c *Column) MemBytes() int {
 }
 
 // Clone returns a deep copy of the column (lazy columns stay lazy; segment
-// payloads are shared with storage, as they are storage-owned).
+// payloads are shared with storage, as they are storage-owned; dictionaries
+// are shared, being append-only; a clone of a shared column owns its copy).
 func (c *Column) Clone() *Column {
-	out := &Column{Name: c.Name, Kind: c.Kind, lazy: c.lazy, segLen: c.segLen}
+	out := &Column{Name: c.Name, Kind: c.Kind, lazy: c.lazy, segLen: c.segLen, dict: c.dict}
 	out.i64 = append([]int64(nil), c.i64...)
 	out.f64 = append([]float64(nil), c.f64...)
 	out.str = append([]string(nil), c.str...)
 	out.bl = append([]bool(nil), c.bl...)
 	out.vid = append([]VID(nil), c.vid...)
+	out.codes = append([]uint32(nil), c.codes...)
+	if c.zm != nil {
+		out.zm = c.zm.Clone()
+	}
 	out.segs = append([][]VID(nil), c.segs...)
 	out.segOff = append([]int(nil), c.segOff...)
 	return out

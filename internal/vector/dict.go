@@ -1,0 +1,79 @@
+package vector
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Dict is an append-only string dictionary backing dictionary-encoded
+// columns: each distinct string is assigned a dense uint32 code in first-seen
+// order, so gathers move 4-byte codes and equality predicates compare codes
+// instead of string payloads. Codes are NOT order-preserving — range
+// comparisons and sorts must resolve through Str.
+//
+// Interning takes a mutex (bulk load is single-writer; transactional overlay
+// patches are rare), while Str is lock-free via an atomically published slice
+// snapshot so the hot code→string resolution path never contends.
+type Dict struct {
+	mu    sync.Mutex
+	byStr map[string]uint32
+	strs  atomic.Pointer[[]string]
+}
+
+// NewDict returns a dictionary with the empty string pre-interned as code 0,
+// so zero-filled code slots (Column.Grow, missing properties) resolve to the
+// same typed-zero "" the scalar path produces.
+func NewDict() *Dict {
+	d := &Dict{byStr: map[string]uint32{"": 0}}
+	zero := []string{""}
+	d.strs.Store(&zero)
+	return d
+}
+
+// Intern returns the code for s, assigning the next code on first sight.
+func (d *Dict) Intern(s string) uint32 {
+	d.mu.Lock()
+	code, ok := d.byStr[s]
+	if !ok {
+		cur := *d.strs.Load()
+		code = uint32(len(cur))
+		d.byStr[s] = code
+		// Publish a fresh snapshot: readers may hold the old slice, so never
+		// append in place past a published length.
+		next := make([]string, len(cur)+1)
+		copy(next, cur)
+		next[len(cur)] = s
+		d.strs.Store(&next)
+	}
+	d.mu.Unlock()
+	return code
+}
+
+// Lookup returns the code for s without interning. ok is false when s has
+// never been seen — for an equality predicate that means no row can match.
+func (d *Dict) Lookup(s string) (code uint32, ok bool) {
+	d.mu.Lock()
+	code, ok = d.byStr[s]
+	d.mu.Unlock()
+	return code, ok
+}
+
+// Str resolves a code to its string. Lock-free.
+func (d *Dict) Str(code uint32) string {
+	return (*d.strs.Load())[code]
+}
+
+// Len returns the number of distinct strings.
+func (d *Dict) Len() int { return len(*d.strs.Load()) }
+
+// MemBytes returns the accounted memory of the dictionary payload (string
+// headers + bytes + map overhead).
+func (d *Dict) MemBytes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 64
+	for s := range d.byStr {
+		n += 2*16 + 2*len(s) + 8 // slice entry + map entry
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package vector
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDictEmptyStringIsCodeZero pins the typed-zero invariant the gather
+// path relies on: Column.Grow zero-fills code slots, and code 0 must resolve
+// to "" — the same value the scalar path returns for missing properties.
+func TestDictEmptyStringIsCodeZero(t *testing.T) {
+	d := NewDict()
+	if code, ok := d.Lookup(""); !ok || code != 0 {
+		t.Fatalf(`Lookup("") = (%d, %v), want (0, true)`, code, ok)
+	}
+	if d.Str(0) != "" {
+		t.Fatalf(`Str(0) = %q, want ""`, d.Str(0))
+	}
+	if c := d.Intern("a"); c != 1 {
+		t.Fatalf("first real string got code %d, want 1", c)
+	}
+	if c := d.Intern(""); c != 0 {
+		t.Fatalf(`re-interning "" returned %d, want 0`, c)
+	}
+
+	col := NewDictColumn("s", d)
+	col.Grow(3)
+	for i := 0; i < 3; i++ {
+		if col.StringAt(i) != "" {
+			t.Fatalf(`zero-filled row %d = %q, want ""`, i, col.StringAt(i))
+		}
+	}
+	col.SetString(1, "b")
+	if col.StringAt(1) != "b" || col.StringAt(0) != "" {
+		t.Fatal("SetString broke neighbors")
+	}
+}
+
+// TestDictConcurrentReaders races lock-free Str/Len against interning.
+func TestDictConcurrentReaders(t *testing.T) {
+	d := NewDict()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			d.Intern(fmt.Sprintf("s%d", i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			n := d.Len()
+			for c := 0; c < n; c++ {
+				_ = d.Str(uint32(c))
+			}
+		}
+	}()
+	wg.Wait()
+	if d.Len() != 501 { // "" + 500 interned
+		t.Fatalf("Len = %d, want 501", d.Len())
+	}
+}
+
+// TestSharedColumnPanicsOnMutation pins the zero-copy share contract:
+// operators must never write through a column shared from storage.
+func TestSharedColumnPanicsOnMutation(t *testing.T) {
+	c := NewColumn("age", KindInt64)
+	c.AppendInt64(7)
+	sh := c.ShareAs("p.age")
+	if sh.Int64s()[0] != 7 {
+		t.Fatal("shared column lost data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mutating a shared column did not panic")
+		}
+	}()
+	sh.AppendInt64(8)
+}
+
+// TestZoneMapBounds covers append folding, widening, and the three pruning
+// verdicts (disjoint, overlapping, contained).
+func TestZoneMapBounds(t *testing.T) {
+	z := NewZoneMap(false)
+	for i := 0; i < 2*ZoneSize; i++ {
+		z.AppendInt64(int64(i))
+	}
+	if z.Zones() != 2 || z.Rows() != 2*ZoneSize {
+		t.Fatalf("zones=%d rows=%d", z.Zones(), z.Rows())
+	}
+	if lo, hi := z.IntBounds(0); lo != 0 || hi != ZoneSize-1 {
+		t.Fatalf("zone 0 bounds [%d,%d]", lo, hi)
+	}
+	if z.OverlapsInt(1, 0, int64(ZoneSize-1)) {
+		t.Fatal("disjoint zone reported overlap")
+	}
+	if !z.OverlapsInt(0, int64(ZoneSize-10), int64(ZoneSize+10)) {
+		t.Fatal("overlapping zone reported disjoint")
+	}
+	if !z.ContainedInt(0, 0, int64(ZoneSize)) {
+		t.Fatal("contained zone not detected")
+	}
+	if z.ContainedInt(0, 1, int64(ZoneSize)) {
+		t.Fatal("partially covered zone reported contained")
+	}
+	// In-place updates widen, never narrow.
+	z.WidenInt64(0, -5)
+	if lo, _ := z.IntBounds(0); lo != -5 {
+		t.Fatalf("widen failed: lo=%d", lo)
+	}
+	if z.OverlapsInt(0, -100, -6) {
+		t.Fatal("widened zone over-reports")
+	}
+}

@@ -1,0 +1,143 @@
+package vector
+
+// ZoneSize is the number of rows covered by one zone-map entry. 2048 is a
+// multiple of the 64-bit Bitset word so zone-aligned selection clears stay
+// word-aligned, and small enough that a zone is a few cache lines of values.
+const ZoneSize = 1 << ZoneShift
+
+// ZoneShift converts a row index to its zone: zone = row >> ZoneShift.
+const ZoneShift = 11
+
+// ZoneMap holds per-zone min/max summaries for an int64/date/float64 column,
+// rebuilt incrementally on append and widened (never narrowed) on in-place
+// updates. A filter with range [lo,hi] can skip every zone whose [min,max]
+// does not intersect it — before any value is gathered.
+type ZoneMap struct {
+	isFloat bool
+	n       int // rows covered
+	minI    []int64
+	maxI    []int64
+	minF    []float64
+	maxF    []float64
+}
+
+// NewZoneMap returns an empty zone map for int64/date (isFloat=false) or
+// float64 (isFloat=true) values.
+func NewZoneMap(isFloat bool) *ZoneMap { return &ZoneMap{isFloat: isFloat} }
+
+// Zones returns the number of zones currently covered.
+func (z *ZoneMap) Zones() int { return (z.n + ZoneSize - 1) / ZoneSize }
+
+// Rows returns the number of rows covered.
+func (z *ZoneMap) Rows() int { return z.n }
+
+// AppendInt64 folds one appended int64/date value into the tail zone.
+func (z *ZoneMap) AppendInt64(v int64) {
+	if z.n&(ZoneSize-1) == 0 {
+		z.minI = append(z.minI, v)
+		z.maxI = append(z.maxI, v)
+	} else {
+		last := len(z.minI) - 1
+		if v < z.minI[last] {
+			z.minI[last] = v
+		}
+		if v > z.maxI[last] {
+			z.maxI[last] = v
+		}
+	}
+	z.n++
+}
+
+// AppendFloat64 folds one appended float64 value into the tail zone.
+func (z *ZoneMap) AppendFloat64(v float64) {
+	if z.n&(ZoneSize-1) == 0 {
+		z.minF = append(z.minF, v)
+		z.maxF = append(z.maxF, v)
+	} else {
+		last := len(z.minF) - 1
+		if v < z.minF[last] {
+			z.minF[last] = v
+		}
+		if v > z.maxF[last] {
+			z.maxF[last] = v
+		}
+	}
+	z.n++
+}
+
+// WidenInt64 widens the zone containing row to admit v after an in-place
+// update. The old value is not removed — zone bounds are conservative, which
+// is safe: pruning only skips zones that cannot contain a match.
+func (z *ZoneMap) WidenInt64(row int, v int64) {
+	zi := row >> ZoneShift
+	if zi >= len(z.minI) {
+		return
+	}
+	if v < z.minI[zi] {
+		z.minI[zi] = v
+	}
+	if v > z.maxI[zi] {
+		z.maxI[zi] = v
+	}
+}
+
+// WidenFloat64 widens the zone containing row to admit v.
+func (z *ZoneMap) WidenFloat64(row int, v float64) {
+	zi := row >> ZoneShift
+	if zi >= len(z.minF) {
+		return
+	}
+	if v < z.minF[zi] {
+		z.minF[zi] = v
+	}
+	if v > z.maxF[zi] {
+		z.maxF[zi] = v
+	}
+}
+
+// IntBounds returns the [min,max] summary of zone zi for int64/date columns.
+func (z *ZoneMap) IntBounds(zi int) (lo, hi int64) { return z.minI[zi], z.maxI[zi] }
+
+// FloatBounds returns the [min,max] summary of zone zi for float64 columns.
+func (z *ZoneMap) FloatBounds(zi int) (lo, hi float64) { return z.minF[zi], z.maxF[zi] }
+
+// OverlapsInt reports whether zone zi can contain a value in [lo, hi].
+func (z *ZoneMap) OverlapsInt(zi int, lo, hi int64) bool {
+	return z.maxI[zi] >= lo && z.minI[zi] <= hi
+}
+
+// OverlapsFloat reports whether zone zi can contain a value in [lo, hi].
+func (z *ZoneMap) OverlapsFloat(zi int, lo, hi float64) bool {
+	return z.maxF[zi] >= lo && z.minF[zi] <= hi
+}
+
+// ContainedInt reports whether every value of zone zi is inside [lo, hi] —
+// the filter can keep the whole zone without scanning it. Only exact for
+// fully appended zones with no widened updates, but always conservative.
+func (z *ZoneMap) ContainedInt(zi int, lo, hi int64) bool {
+	return z.minI[zi] >= lo && z.maxI[zi] <= hi
+}
+
+// Clone returns a deep copy.
+func (z *ZoneMap) Clone() *ZoneMap {
+	return &ZoneMap{
+		isFloat: z.isFloat,
+		n:       z.n,
+		minI:    append([]int64(nil), z.minI...),
+		maxI:    append([]int64(nil), z.maxI...),
+		minF:    append([]float64(nil), z.minF...),
+		maxF:    append([]float64(nil), z.maxF...),
+	}
+}
+
+// Reset discards all zone summaries.
+func (z *ZoneMap) Reset() {
+	z.n = 0
+	z.minI, z.maxI = z.minI[:0], z.maxI[:0]
+	z.minF, z.maxF = z.minF[:0], z.maxF[:0]
+}
+
+// MemBytes returns the accounted memory of the zone summaries.
+func (z *ZoneMap) MemBytes() int {
+	return 48 + (len(z.minI)+len(z.maxI))*8 + (len(z.minF)+len(z.maxF))*8
+}
