@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Diag is one analyzer finding. File is relative to the module root so
+// output is stable across checkouts (and so the fixture self-test can match
+// positions exactly).
+type Diag struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Rule, d.Msg)
+}
+
+// diagAt builds a Diag from a token position, relativizing the filename.
+func diagAt(root string, pos token.Position, rule, format string, args ...any) Diag {
+	file := pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	return Diag{File: file, Line: pos.Line, Col: pos.Column, Rule: rule,
+		Msg: fmt.Sprintf(format, args...)}
+}
+
+// sortDiags orders findings by file, line, column, rule — deterministic
+// output regardless of package load order.
+func sortDiags(ds []Diag) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// writeText prints one finding per line in the classic file:line:col form.
+func writeText(w io.Writer, ds []Diag) {
+	for _, d := range ds {
+		fmt.Fprintln(w, d)
+	}
+}
+
+// writeJSON prints the findings as a JSON array (-json), one object per
+// finding, for machine consumption in CI annotations.
+func writeJSON(w io.Writer, ds []Diag) error {
+	if ds == nil {
+		ds = []Diag{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ds)
+}

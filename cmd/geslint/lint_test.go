@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe matches the fixture expectation markers: `// want R3`.
+var wantRe = regexp.MustCompile(`//\s*want\s+(R\d)\b`)
+
+// fixtureWants scans the fixture module for `// want Rn` markers and returns
+// them as "file:line:rule" keys (file relative to the fixture root).
+func fixtureWants(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, werr error) error {
+		if werr != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return werr
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		rel, _ := filepath.Rel(root, path)
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				want[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), i+1, m[1])] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestRulesOnFixtureModule loads the miniature module under testdata/src —
+// stub packages published under the real import paths — and checks the
+// analyzer's findings against the `// want Rn` markers exactly: every marked
+// line must be found (one positive case per rule) and nothing else may be
+// flagged (the negative cases).
+func TestRulesOnFixtureModule(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	mod, err := loadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "ges" {
+		t.Fatalf("fixture module path = %q, want ges", mod.Path)
+	}
+	diags := runRules(mod)
+
+	got := map[string]bool{}
+	for _, d := range diags {
+		got[fmt.Sprintf("%s:%d:%s", d.File, d.Line, d.Rule)] = true
+	}
+	want := fixtureWants(t, root)
+
+	var missing, extra []string
+	for k := range want {
+		if !got[k] {
+			missing = append(missing, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	for _, k := range missing {
+		t.Errorf("expected finding not reported: %s", k)
+	}
+	for _, k := range extra {
+		t.Errorf("unexpected finding: %s", k)
+	}
+
+	// Every rule must have at least one positive case in the fixture, so a
+	// rule silently dying cannot pass the test.
+	for _, rule := range []string{"R1", "R2", "R3", "R4", "R5"} {
+		found := false
+		for k := range want {
+			if strings.HasSuffix(k, ":"+rule) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fixture has no positive case for %s", rule)
+		}
+	}
+}
+
+// TestSelfClean runs the analyzer over the real module: after the deliberate
+// exceptions were annotated, `geslint ./...` must be clean — the same gate
+// CI enforces.
+func TestSelfClean(t *testing.T) {
+	mod, err := loadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := runRules(mod)
+	for _, d := range diags {
+		t.Errorf("module not clean: %s", d)
+	}
+}
+
+// TestJSONOutput checks the -json encoding: an empty run emits a JSON array
+// (not null), and findings round-trip with all fields.
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty findings encode as %q, want []", got)
+	}
+
+	in := []Diag{{File: "internal/op/x.go", Line: 3, Col: 7, Rule: "R5", Msg: "raw go statement"}}
+	buf.Reset()
+	if err := writeJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []Diag
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("round-trip = %+v, want %+v", out, in)
+	}
+	if !strings.Contains(buf.String(), `"rule": "R5"`) {
+		t.Fatalf("JSON missing rule field: %s", buf.String())
+	}
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	ImportPath string // full import path ("ges/internal/op")
+	Rel        string // module-relative path ("internal/op")
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Module is the fully loaded module: every non-test package, parsed with
+// comments and type-checked from source using only the standard library —
+// geslint deliberately avoids x/tools so it builds anywhere the toolchain
+// does.
+type Module struct {
+	Root string // absolute module root (directory holding go.mod)
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+}
+
+var modulePathRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// findModuleRoot walks upward from dir to the directory holding go.mod.
+func findModuleRoot(dir string) (root, modpath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			m := modulePathRe.FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("geslint: %s/go.mod has no module directive", dir)
+			}
+			return dir, string(m[1]), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("geslint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// loader resolves imports for the module: module-internal packages are
+// type-checked from source recursively (memoized); everything else — the
+// standard library — is delegated to the stdlib source importer, which works
+// on toolchains that no longer ship precompiled export data.
+type loader struct {
+	root    string
+	modpath string
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package // import path -> loaded (nil while in flight)
+	order   []string            // load completion order (dependencies first)
+}
+
+func newLoader(root, modpath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:    root,
+		modpath: modpath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+	}
+}
+
+// Import implements types.Importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modpath || strings.HasPrefix(path, ld.modpath+"/") {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks one module-internal package (memoized).
+func (ld *loader) load(path string) (*Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("geslint: import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	ld.pkgs[path] = nil // cycle marker
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, ld.modpath), "/")
+	dir := filepath.Join(ld.root, filepath.FromSlash(rel))
+	// build.ImportDir applies the build constraints of the default context:
+	// _test files, other-platform files, and files behind custom tags (the
+	// gesassert pair) are resolved exactly as a release `go build` would.
+	bpkg, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("geslint: %s: %w", path, err)
+	}
+
+	pkg := &Package{ImportPath: path, Rel: rel, Dir: dir}
+	for _, name := range bpkg.GoFiles {
+		f, perr := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, perr
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: ld, FakeImportC: true}
+	tpkg, err := conf.Check(path, ld.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("geslint: type-check %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	ld.pkgs[path] = pkg
+	ld.order = append(ld.order, path)
+	return pkg, nil
+}
+
+// skipDir reports whether a directory subtree is outside the analysis scope.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// loadModule loads every non-test package of the module rooted at (or above)
+// dir. Directories without buildable Go files are skipped silently.
+func loadModule(dir string) (*Module, error) {
+	root, modpath, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(root, modpath)
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	for _, d := range dirs {
+		bpkg, berr := build.Default.ImportDir(d, 0)
+		if berr != nil || len(bpkg.GoFiles) == 0 {
+			continue // no buildable non-test Go files here
+		}
+		rel, _ := filepath.Rel(root, d)
+		path := modpath
+		if rel != "." {
+			path = modpath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := ld.load(path); err != nil {
+			return nil, err
+		}
+	}
+
+	mod := &Module{Root: root, Path: modpath, Fset: ld.fset}
+	for _, path := range ld.order {
+		mod.Pkgs = append(mod.Pkgs, ld.pkgs[path])
+	}
+	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].ImportPath < mod.Pkgs[j].ImportPath })
+	return mod, nil
+}

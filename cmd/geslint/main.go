@@ -1,0 +1,53 @@
+// Command geslint is the GES invariant analyzer: five structural rules
+// (R1–R5, see rules.go) enforced over the whole module with nothing but the
+// standard library's go/ast, go/parser and go/types — no x/tools dependency,
+// so it builds wherever the engine does.
+//
+// Usage:
+//
+//	geslint [-json] [packages]
+//
+// Package patterns are accepted for familiarity but the analyzer always
+// loads the enclosing module in full: the rules are module-scoped (lock
+// orders and ownership boundaries cross package lines). Exit status is 0
+// when the module is clean, 1 when findings are reported, 2 on load or
+// type-check failure.
+//
+// Deliberate exceptions are annotated in source:
+//
+//	//geslint:scalar-ok               file may use scalar View.Prop/ExtID (R1)
+//	//geslint:lockorder A < B         declares lock A is acquired before B (R2)
+//	//geslint:selwrite-ok             file may write selection vectors (R3)
+//	//geslint:go-ok                   the go statement on/below this line (R5)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	dir := flag.String("C", ".", "analyze the module containing this directory")
+	flag.Parse()
+
+	mod, err := loadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := runRules(mod)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		writeText(os.Stdout, diags)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "geslint: %d finding(s) in %s\n", len(diags), mod.Path)
+		os.Exit(1)
+	}
+}

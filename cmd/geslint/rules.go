@@ -1,0 +1,378 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// The five invariant rules geslint enforces over the engine:
+//
+//	R1  no scalar property lookups (View.Prop / View.ExtID) in internal/op —
+//	    operators must use the vectorized gather path; files implementing the
+//	    deliberate scalar fallback opt out with //geslint:scalar-ok.
+//	R2  lock acquisition in internal/storage and internal/txn must follow the
+//	    partial order declared by //geslint:lockorder A < B comments; both
+//	    inversions and undeclared nestings are findings.
+//	R3  selection vectors (core.Node.Sel) are written only by internal/core
+//	    and internal/op/filter.go; //geslint:selwrite-ok opts a file out.
+//	R4  f-Block columns are never appended to outside internal/core — growing
+//	    a column breaks the equal-cardinality invariant (I1) behind the
+//	    block's back.
+//	R5  internal/{op,exec,service,driver,bench} spawn goroutines only through
+//	    internal/sched; a raw go statement escapes the scheduler's budget.
+//	    //geslint:go-ok on or above the line opts a single statement out.
+
+var directiveRe = regexp.MustCompile(`^//geslint:([a-z-]+)\s*(.*?)\s*$`)
+var lockOrderRe = regexp.MustCompile(`^(\S+)\s*<\s*(\S+)$`)
+
+// bitsetWrites are the vector.Bitset mutators R3 polices.
+var bitsetWrites = map[string]bool{
+	"Set": true, "Clear": true, "SetTo": true, "SetAll": true, "ClearAll": true,
+	"ClearRange": true, "And": true, "Append": true, "Resize": true,
+}
+
+// columnAppends are the vector.Column cardinality-changing mutators R4
+// polices.
+var columnAppends = map[string]bool{
+	"Append": true, "AppendVID": true, "AppendInt64": true, "AppendFloat64": true,
+	"AppendString": true, "AppendBool": true, "AppendSegment": true,
+	"Extend": true, "Grow": true,
+}
+
+// goScope lists the module-relative package prefixes R5 covers. internal/sched
+// is deliberately absent: it is the sanctioned spawn point.
+var goScope = []string{"internal/op", "internal/exec", "internal/service",
+	"internal/driver", "internal/bench"}
+
+type analysis struct {
+	mod   *Module
+	order *lockOrder
+	diags []Diag
+}
+
+// runRules applies R1–R5 to every loaded package and returns sorted findings.
+func runRules(mod *Module) []Diag {
+	a := &analysis{mod: mod, order: collectLockOrder(mod)}
+	for _, pkg := range mod.Pkgs {
+		rel := pkg.Rel
+		for _, f := range pkg.Files {
+			dirs := fileDirectives(f)
+			if hasPrefix(rel, "internal/op") && !dirs["scalar-ok"] {
+				a.checkScalarProps(pkg, f)
+			}
+			if rel != "internal/core" && !dirs["selwrite-ok"] {
+				a.checkSelWrites(pkg, f)
+			}
+			if rel != "internal/core" {
+				a.checkColumnAppends(pkg, f)
+			}
+			for _, scope := range goScope {
+				if hasPrefix(rel, scope) {
+					a.checkGoStmts(pkg, f)
+					break
+				}
+			}
+		}
+		if rel == "internal/storage" || rel == "internal/txn" {
+			a.checkLockOrder(pkg)
+		}
+	}
+	sortDiags(a.diags)
+	return a.diags
+}
+
+func (a *analysis) report(pos token.Pos, rule, format string, args ...any) {
+	a.diags = append(a.diags, diagAt(a.mod.Root, a.mod.Fset.Position(pos), rule, format, args...))
+}
+
+func hasPrefix(rel, scope string) bool {
+	return rel == scope || strings.HasPrefix(rel, scope+"/")
+}
+
+// relOf maps a types.Package to its module-relative path ("" for the module
+// root package, the full path for out-of-module packages).
+func (a *analysis) relOf(p *types.Package) string {
+	if p == nil {
+		return ""
+	}
+	pp := p.Path()
+	if pp == a.mod.Path {
+		return ""
+	}
+	if strings.HasPrefix(pp, a.mod.Path+"/") {
+		return pp[len(a.mod.Path)+1:]
+	}
+	return pp
+}
+
+// namedOf peels pointers and returns the underlying named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// isType reports whether t (possibly behind pointers) is the named type
+// rel.name of this module.
+func (a *analysis) isType(t types.Type, rel, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return a.relOf(n.Obj().Pkg()) == rel && n.Obj().Name() == name
+}
+
+// methodCall decomposes a call of the form recv.Method(...) into its pieces,
+// using the type-checker's selection record. ok is false for plain function
+// and package-qualified calls.
+func methodCall(pkg *Package, call *ast.CallExpr) (recv ast.Expr, obj *types.Func, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, false
+	}
+	s := pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil, nil, false
+	}
+	fn, isFn := s.Obj().(*types.Func)
+	if !isFn {
+		return nil, nil, false
+	}
+	return sel.X, fn, true
+}
+
+// fileDirectives collects the file-scope geslint directives of a file
+// (scalar-ok, selwrite-ok).
+func fileDirectives(f *ast.File) map[string]bool {
+	out := map[string]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if m := directiveRe.FindStringSubmatch(c.Text); m != nil {
+				out[m[1]] = true
+			}
+		}
+	}
+	return out
+}
+
+// directiveLines maps source lines carrying the named line-scope directive.
+func directiveLines(fset *token.FileSet, f *ast.File, name string) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if m := directiveRe.FindStringSubmatch(c.Text); m != nil && m[1] == name {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- R1
+
+// checkScalarProps flags View.Prop / View.ExtID method calls resolved to
+// internal/storage — the per-row interface calls the §5 vectorized gather
+// path exists to batch away.
+func (a *analysis) checkScalarProps(pkg *Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		_, fn, ok := methodCall(pkg, call)
+		if !ok {
+			return true
+		}
+		name := fn.Name()
+		if (name != "Prop" && name != "ExtID") || a.relOf(fn.Pkg()) != "internal/storage" {
+			return true
+		}
+		a.report(call.Pos(), "R1",
+			"scalar %s.%s call in internal/op bypasses the vectorized gather path; batch with GatherProps/GatherExtIDs or annotate the file //geslint:scalar-ok",
+			recvTypeName(pkg, call), name)
+		return true
+	})
+}
+
+// recvTypeName renders the receiver's named type for diagnostics.
+func recvTypeName(pkg *Package, call *ast.CallExpr) string {
+	sel := call.Fun.(*ast.SelectorExpr)
+	if n := namedOf(pkg.Info.TypeOf(sel.X)); n != nil {
+		return n.Obj().Name()
+	}
+	return "View"
+}
+
+// ---------------------------------------------------------------- R3 / R4
+
+// taintedObjs computes the file's objects assigned (transitively, to a
+// fixpoint) from expressions matched by src — the simple local-alias taint
+// both R3 and R4 use to catch `sel := node.Sel; sel.Clear(i)`.
+func taintedObjs(pkg *Package, f *ast.File, src func(ast.Expr) bool) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	isSrc := func(e ast.Expr) bool {
+		if src(e) {
+			return true
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			return tainted[pkg.Info.ObjectOf(id)]
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isSrc(as.Rhs[i]) {
+					continue
+				}
+				if obj := pkg.Info.ObjectOf(id); obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// isSelField matches `<expr>.Sel` where <expr> is a core.Node.
+func (a *analysis) isSelField(pkg *Package, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sel" {
+		return false
+	}
+	return a.isType(pkg.Info.TypeOf(sel.X), "internal/core", "Node")
+}
+
+// checkSelWrites flags Bitset mutators applied to a selection vector
+// (core.Node.Sel, directly or through a local alias) outside the sanctioned
+// writers.
+func (a *analysis) checkSelWrites(pkg *Package, f *ast.File) {
+	fname := a.mod.Fset.Position(f.Pos()).Filename
+	if pkg.Rel == "internal/op" && filepath.Base(fname) == "filter.go" {
+		return // the Filter operator is the sanctioned selection writer
+	}
+	isSel := func(e ast.Expr) bool { return a.isSelField(pkg, e) }
+	tainted := taintedObjs(pkg, f, isSel)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, fn, ok := methodCall(pkg, call)
+		if !ok || !bitsetWrites[fn.Name()] {
+			return true
+		}
+		if a.relOf(fn.Pkg()) != "internal/vector" || namedOf(pkg.Info.TypeOf(recv)) == nil ||
+			!a.isType(pkg.Info.TypeOf(recv), "internal/vector", "Bitset") {
+			return true
+		}
+		selRecv := isSel(recv)
+		if !selRecv {
+			if id, isID := recv.(*ast.Ident); isID {
+				selRecv = tainted[pkg.Info.ObjectOf(id)]
+			}
+		}
+		if selRecv {
+			a.report(call.Pos(), "R3",
+				"selection-vector write %s outside internal/core and internal/op/filter.go; route through Filter or annotate the file //geslint:selwrite-ok",
+				fn.Name())
+		}
+		return true
+	})
+}
+
+// isBlockColumn matches expressions yielding a column owned by an f-Block:
+// b.Column(i), b.ColumnByName(n), b.Columns()[i].
+func (a *analysis) isBlockColumn(pkg *Package, e ast.Expr) bool {
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ix.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	recv, fn, ok := methodCall(pkg, call)
+	if !ok {
+		return false
+	}
+	switch fn.Name() {
+	case "Column", "ColumnByName", "Columns":
+	default:
+		return false
+	}
+	return a.isType(pkg.Info.TypeOf(recv), "internal/core", "FBlock")
+}
+
+// checkColumnAppends flags cardinality-changing Column mutators applied to a
+// column reached through an f-Block accessor — the runtime counterpart is
+// invariant I1 in core.(*FTree).Invariants.
+func (a *analysis) checkColumnAppends(pkg *Package, f *ast.File) {
+	isBlockCol := func(e ast.Expr) bool { return a.isBlockColumn(pkg, e) }
+	tainted := taintedObjs(pkg, f, isBlockCol)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, fn, ok := methodCall(pkg, call)
+		if !ok || !columnAppends[fn.Name()] {
+			return true
+		}
+		if !a.isType(pkg.Info.TypeOf(recv), "internal/vector", "Column") {
+			return true
+		}
+		bad := isBlockCol(recv)
+		if !bad {
+			if id, isID := recv.(*ast.Ident); isID {
+				bad = tainted[pkg.Info.ObjectOf(id)]
+			}
+		}
+		if bad {
+			a.report(call.Pos(), "R4",
+				"%s on an f-Block column outside internal/core breaks the equal-cardinality invariant (I1); build columns before AddColumn",
+				fn.Name())
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------- R5
+
+// checkGoStmts flags raw go statements in packages that must spawn through
+// internal/sched.
+func (a *analysis) checkGoStmts(pkg *Package, f *ast.File) {
+	okLines := directiveLines(a.mod.Fset, f, "go-ok")
+	ast.Inspect(f, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		line := a.mod.Fset.Position(g.Pos()).Line
+		if okLines[line] || okLines[line-1] {
+			return true
+		}
+		a.report(g.Pos(), "R5",
+			"raw go statement in %s; spawn through internal/sched so workers stay within the scheduler budget, or annotate //geslint:go-ok",
+			pkg.Rel)
+		return true
+	})
+}

@@ -1,0 +1,3 @@
+module ges
+
+go 1.22

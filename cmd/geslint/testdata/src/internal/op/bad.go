@@ -1,0 +1,44 @@
+// Package op holds the positive fixture cases: one deliberate violation per
+// rule (R1, R3, R4, R5), marked with `// want Rn` comments the self-test
+// matches against geslint's findings.
+package op
+
+import (
+	"ges/internal/core"
+	"ges/internal/storage"
+	"ges/internal/vector"
+)
+
+// BadScalarProp reads a property one row at a time through the view.
+func BadScalarProp(v storage.View, id vector.VID) vector.Value {
+	return v.Prop(id, 0) // want R1
+}
+
+// BadScalarExt resolves an external ID one row at a time.
+func BadScalarExt(v storage.View, id vector.VID) int64 {
+	return v.ExtID(id) // want R1
+}
+
+// BadSelWrite mutates a selection vector outside filter.go — directly and
+// through a local alias.
+func BadSelWrite(n *core.Node) {
+	n.Sel.Clear(0) // want R3
+	sel := n.Sel
+	sel.Set(1) // want R3
+}
+
+// BadAppend grows f-Block columns behind the block's back, through each
+// accessor form.
+func BadAppend(b *core.FBlock) {
+	b.Column(0).AppendInt64(7) // want R4
+	c := b.ColumnByName("x")
+	c.Append(vector.Value{}) // want R4
+	b.Columns()[0].Extend(c) // want R4
+}
+
+// BadSpawn launches a goroutine without going through internal/sched.
+func BadSpawn() {
+	done := make(chan struct{})
+	go func() { close(done) }() // want R5
+	<-done
+}

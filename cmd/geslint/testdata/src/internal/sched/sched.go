@@ -1,0 +1,8 @@
+// Package sched is the sanctioned goroutine spawn point: R5 does not cover
+// it, so the raw go statement below must not be flagged.
+package sched
+
+// Run spawns fn on a worker goroutine.
+func Run(fn func()) {
+	go fn()
+}

@@ -1,0 +1,11 @@
+// Package storage stubs the read surface operators program against.
+package storage
+
+import "ges/internal/vector"
+
+// View is the per-query read interface; Prop and ExtID are the scalar
+// lookups R1 polices inside internal/op.
+type View interface {
+	Prop(v vector.VID, pid int32) vector.Value
+	ExtID(v vector.VID) int64
+}

@@ -1,0 +1,66 @@
+// Package txn fixtures for R2: one declared lock pair, one correctly
+// ordered function (negative), one inversion and one undeclared nesting
+// (positives), plus a nesting hidden behind a same-package callee.
+package txn
+
+import "sync"
+
+// Mgr owns two locks with a declared order: a is acquired before b.
+//
+//geslint:lockorder Mgr.a < Mgr.b
+type Mgr struct {
+	a sync.Mutex
+	b sync.RWMutex
+}
+
+// other owns a lock with no declared relation to Mgr's.
+type other struct {
+	mu sync.Mutex
+}
+
+// Good nests in the declared order (R2 negative).
+func (m *Mgr) Good() {
+	m.a.Lock()
+	defer m.a.Unlock()
+	m.b.Lock()
+	m.b.Unlock()
+}
+
+// SequentialNotNested releases before re-acquiring, so no order applies
+// (R2 negative).
+func (m *Mgr) SequentialNotNested() {
+	m.b.Lock()
+	m.b.Unlock()
+	m.a.Lock()
+	m.a.Unlock()
+}
+
+// Inverted acquires b first, then a — against the declared order.
+func (m *Mgr) Inverted() {
+	m.b.Lock()
+	defer m.b.Unlock()
+	m.a.Lock() // want R2
+	m.a.Unlock()
+}
+
+// Undeclared nests a pair with no declared relation.
+func (m *Mgr) Undeclared(o *other) {
+	m.a.Lock()
+	o.mu.Lock() // want R2
+	o.mu.Unlock()
+	m.a.Unlock()
+}
+
+// lockB is a helper acquiring b; its acquire set propagates to callers.
+func (m *Mgr) lockB() {
+	m.b.Lock()
+	m.b.Unlock()
+}
+
+// ViaCallee nests other.mu → Mgr.b through the helper: the relation is
+// undeclared, and the finding lands on the call site.
+func (m *Mgr) ViaCallee(o *other) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m.lockB() // want R2
+}

@@ -142,6 +142,9 @@ func parallelExp(w io.Writer, cfg Config) error {
 		start := time.Now()
 		for c := 0; c < clients; c++ {
 			wg.Add(1)
+			// Benchmark clients stand in for concurrent external callers
+			// (Figure 13); they must not draw from the engine's pool.
+			//geslint:go-ok
 			go func() {
 				defer wg.Done()
 				for i := 0; i < per; i++ {

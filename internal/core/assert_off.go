@@ -1,0 +1,11 @@
+//go:build !gesassert
+
+package core
+
+// AssertEnabled reports whether the debug-build runtime assertion layer is
+// compiled in (-tags gesassert). In release builds it is a false constant,
+// so guarded CheckFTree calls compile away entirely.
+const AssertEnabled = false
+
+// CheckFTree is a no-op in release builds; see assert_on.go.
+func CheckFTree(*FTree) {}

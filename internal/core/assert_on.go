@@ -1,0 +1,18 @@
+//go:build gesassert
+
+package core
+
+// AssertEnabled reports whether the debug-build runtime assertion layer is
+// compiled in (-tags gesassert). Operators guard CheckFTree calls with it so
+// release builds pay nothing.
+const AssertEnabled = true
+
+// CheckFTree panics if the tree violates any representation invariant
+// (see Invariants). Operators call it at block boundaries under the
+// gesassert build tag; the CI lane `go test -tags gesassert -race ./...`
+// runs the whole suite with it armed.
+func CheckFTree(t *FTree) {
+	if err := t.Invariants(); err != nil {
+		panic("core: f-tree invariant violation: " + err.Error())
+	}
+}

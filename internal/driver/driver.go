@@ -195,6 +195,9 @@ func Run(r *queries.Runner, opts Options) RunResult {
 	var wg sync.WaitGroup
 	wg.Add(opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
+		// Driver workers simulate independent clients, outside the engine's
+		// scheduler budget by design.
+		//geslint:go-ok
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
@@ -259,6 +262,8 @@ func RunTrace(r *queries.Runner, workers int, total time.Duration, bucket time.D
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		// Mixed-workload clients model external load, not engine work.
+		//geslint:go-ok
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(w)*6151))

@@ -131,6 +131,11 @@ func (e *Engine) Run(view storage.View, p plan.Plan) (*Result, error) {
 			ch = &core.Chunk{Flat: fb}
 		}
 		ctx.Observe(ch)
+		// Debug builds (-tags gesassert) re-verify the factorized
+		// representation between every pair of operators.
+		if core.AssertEnabled && ch != nil && ch.FT != nil {
+			core.CheckFTree(ch.FT)
+		}
 		if e.CollectStats {
 			res.OpStats = append(res.OpStats, OpStat{
 				Name:     o.Name(),

@@ -47,6 +47,9 @@ func (o *Aggregate) Name() string { return "Aggregate" }
 
 // Execute implements Operator.
 func (o *Aggregate) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
+	if in != nil && in.FT != nil {
+		assertFTree(in.FT)
+	}
 	fb, err := ensureFlat(ctx, in)
 	if err != nil {
 		return nil, err

@@ -102,6 +102,7 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 		if ctx.Parallel > 1 && parent.Block.NumRows() >= parallelMinRows {
 			toCol, pidx := parallelLazyExpand(ctx, o.To, parent, fromCol, o.Et, o.Dir, o.DstLabel)
 			ft.AddChild(parent, core.NewFBlock(toCol), pidx)
+			assertFTree(ft)
 			return &core.Chunk{FT: ft}, nil
 		}
 		toCol := vector.NewLazyVIDColumn(o.To)
@@ -124,6 +125,7 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 			}
 		}
 		ft.AddChild(parent, core.NewFBlock(toCol), index)
+		assertFTree(ft)
 		return &core.Chunk{FT: ft}, nil
 	}
 
@@ -131,6 +133,7 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 	if ctx.Parallel > 1 && parent.Block.NumRows() >= parallelMinRows {
 		block, pidx := parallelMaterialExpand(ctx, o, parent, fromCol, epp)
 		ft.AddChild(parent, block, pidx)
+		assertFTree(ft)
 		return &core.Chunk{FT: ft}, nil
 	}
 	toCol := vector.NewColumn(o.To, vector.KindVID)
@@ -144,6 +147,7 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 		block.AddColumn(pc)
 	}
 	ft.AddChild(parent, block, index)
+	assertFTree(ft)
 	return &core.Chunk{FT: ft}, nil
 }
 

@@ -36,6 +36,7 @@ func (o *Filter) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 			if !o.NoPrune {
 				in.FT.PruneUp(node)
 			}
+			assertFTree(in.FT)
 			return in, nil
 		}
 		fb, err := ensureFlat(ctx, in)

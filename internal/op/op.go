@@ -107,6 +107,15 @@ type Operator interface {
 	Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error)
 }
 
+// assertFTree verifies the factorized-representation invariants at an
+// operator block boundary in debug builds (-tags gesassert). AssertEnabled
+// is a constant, so release builds compile the call away.
+func assertFTree(ft *core.FTree) {
+	if core.AssertEnabled {
+		core.CheckFTree(ft)
+	}
+}
+
 // errNoColumn standardizes missing-attribute errors.
 func errNoColumn(op, col string) error {
 	return fmt.Errorf("op: %s: no column %q in input", op, col)
@@ -161,7 +170,11 @@ func newPropGetter(view storage.View, name string) (*propGetter, error) {
 }
 
 // get returns the property value of vertex v (typed zero when v's label
-// lacks the property).
+// lacks the property). This per-row interface call is the NoGather reference
+// path of the §5 ablation — the batch gather must match it bit for bit — so
+// the scalar lookups in this file are deliberate.
+//
+//geslint:scalar-ok
 func (g *propGetter) get(v vector.VID) vector.Value {
 	pid := g.pids[g.view.LabelOf(v)]
 	if pid < 0 {

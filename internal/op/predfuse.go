@@ -83,7 +83,11 @@ type vertexBinding struct {
 // Bind implements expr.Binding. The map-based indirection happens at
 // VertexPropPred construction: column names in the expression have already
 // been rewritten to property names by the planner, so Bind receives property
-// names (or ExtIDProp) directly.
+// names (or ExtIDProp) directly. Fused predicates bound here evaluate during
+// the expansion walk, one candidate vertex at a time — there is no batch to
+// gather over, so the scalar View calls are deliberate.
+//
+//geslint:scalar-ok
 func (b vertexBinding) Bind(name string) (expr.Getter, error) {
 	if name == ExtIDProp {
 		view, cur := b.ctx.View, b.cur

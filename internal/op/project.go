@@ -23,6 +23,12 @@ type ProjSpec struct {
 // owning the variable — columnar storage makes this a straight append
 // (§4.3, Projection) — and lazy neighbor columns are read through their
 // segment views without being materialized.
+//
+// The per-row View.ExtID / propGetter.get calls below are the scalar
+// fallback the NoGather ablation knob selects (and the per-row half of
+// parallelGather morsels); the batch path takes over in gatherColumn.
+//
+//geslint:scalar-ok
 type ProjectProps struct {
 	Specs []ProjSpec
 }
@@ -94,6 +100,7 @@ func (o *ProjectProps) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		}
 		node.Block.AddColumn(out)
 	}
+	assertFTree(in.FT)
 	return in, nil
 }
 
@@ -187,6 +194,7 @@ func (o *ProjectExpr) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 				}
 			}
 			node.Block.AddColumn(out)
+			assertFTree(in.FT)
 			return in, nil
 		}
 		fb, err := ensureFlat(ctx, in)

@@ -45,6 +45,7 @@ func (o *VarLengthExpand) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error)
 	if ctx.Parallel > 1 && parent.Block.NumRows() >= parallelMinRows {
 		toCol, index := parallelTraverse(ctx, o, parent, fromCol)
 		ft.AddChild(parent, core.NewFBlock(toCol), index)
+		assertFTree(ft)
 		return &core.Chunk{FT: ft}, nil
 	}
 	toCol := vector.NewColumn(o.To, vector.KindVID)
@@ -61,6 +62,7 @@ func (o *VarLengthExpand) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error)
 		index[i] = core.Range{Start: int32(start), End: int32(total)}
 	}
 	ft.AddChild(parent, core.NewFBlock(toCol), index)
+	assertFTree(ft)
 	return &core.Chunk{FT: ft}, nil
 }
 

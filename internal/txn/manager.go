@@ -24,6 +24,15 @@ type extEntry struct {
 
 // Manager is the version manager of §5: it owns the global version counter
 // (initialized to zero), the vertex lock table, and the overlay store.
+//
+// Lock order (checked by geslint rule R2): commit publication holds commitMu
+// while installing committed values into per-vertex overlays (vertexOverlay.mu)
+// and registering new overlays in the maps (Manager.mu, also via
+// ensureOverlay). No path acquires commitMu while holding either inner lock,
+// and the two inner locks never nest with each other.
+//
+//geslint:lockorder Manager.commitMu < Manager.mu
+//geslint:lockorder Manager.commitMu < vertexOverlay.mu
 type Manager struct {
 	graph *storage.Graph
 	pool  *storage.Pool
