@@ -233,6 +233,69 @@ func BenchmarkGatherHorizon(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// CSR snapshot benchmarks (batched expand + intersection-based cyclic joins).
+// ---------------------------------------------------------------------------
+
+// sealedDataset returns the shared benchmark dataset with its adjacency
+// families sealed into CSR snapshots (idempotent across benchmarks).
+func sealedDataset(b *testing.B) *ldbc.Dataset {
+	ds := dataset(b)
+	ds.Graph.SealCSR()
+	return ds
+}
+
+// BenchmarkCSRExpand compares the two-hop expansion with the batched
+// adjacency kernel off (per-source scalar walks) and on (one NeighborsBatch
+// per morsel over the sealed CSR).
+func BenchmarkCSRExpand(b *testing.B) {
+	ds := sealedDataset(b)
+	for _, v := range bench.CSRVariants[:2] {
+		b.Run(v.Name, func(b *testing.B) {
+			eng := v.Engine(exec.ModeFactorized, 1)
+			p := bench.CSRExpandPlan(ds)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ds.Graph, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCSRTriangle sweeps the closure ladder behind BENCH_csr.json: the
+// pre-ExpandInto flat hash join first, then ExpandInto under each knob
+// combination (scalar+hash → csr+hash → csr+intersect).
+func BenchmarkCSRTriangle(b *testing.B) {
+	ds := sealedDataset(b)
+	b.Run("hashjoin-flat", func(b *testing.B) {
+		eng := bench.CSRVariants[0].Engine(exec.ModeFactorized, 1)
+		p := bench.CSRTriangleJoinPlan(ds)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(ds.Graph, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, v := range bench.CSRVariants {
+		b.Run(v.Name, func(b *testing.B) {
+			eng := v.Engine(exec.ModeFactorized, 1)
+			p := bench.CSRTrianglePlan(ds)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ds.Graph, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Morsel-runtime benchmarks (parallel expansion and service plan cache).
 // ---------------------------------------------------------------------------
 

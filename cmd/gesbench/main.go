@@ -9,6 +9,8 @@
 //	gesbench -list                  # enumerate experiment IDs
 //	gesbench -exp parallel -quick -json BENCH_parallel.json
 //	                                # morsel-runtime scaling + JSON artifact
+//	gesbench -exp csr -quick -json BENCH_csr.json
+//	                                # CSR batched expand + intersection joins
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 		ops      = flag.Int("ops", 0, "operations per throughput run (overrides preset)")
 		jsonOut  = flag.String("json", "", "path for machine-readable output (e.g. BENCH_parallel.json for -exp parallel)")
 		noGather = flag.Bool("no-gather", false, "disable the vectorized gather path (batch column access, dict-code compares, zone maps); every experiment then runs the scalar per-row reference")
+		noCSR    = flag.Bool("no-csr", false, "disable the batched adjacency kernel (NeighborsBatch over sealed CSR snapshots); expansion runs the per-source scalar reference")
+		noInter  = flag.Bool("no-intersect", false, "disable the merge/galloping intersection in ExpandInto; cyclic joins close through the hash-set probe")
 	)
 	flag.Parse()
 
@@ -68,6 +72,8 @@ func main() {
 	}
 	cfg.JSONPath = *jsonOut
 	cfg.NoGather = *noGather
+	cfg.NoCSR = *noCSR
+	cfg.NoIntersect = *noInter
 
 	exps := bench.All()
 	if *exp != "all" {

@@ -11,9 +11,14 @@ import (
 
 // The five invariant rules geslint enforces over the engine:
 //
-//	R1  no scalar property lookups (View.Prop / View.ExtID) in internal/op —
-//	    operators must use the vectorized gather path; files implementing the
+//	R1  no scalar storage reads in internal/op. View.Prop / View.ExtID must
+//	    go through the vectorized gather path; files implementing the
 //	    deliberate scalar fallback opt out with //geslint:scalar-ok.
+//	    View.Neighbors must go through the batched expand kernel
+//	    (View.NeighborsBatch); because every operator keeps a deliberate
+//	    scalar branch for the NoCSR ablation, the opt-out is line-scope only —
+//	    //geslint:scalar-ok on or above the call — so a file-level directive
+//	    cannot silently exempt new per-source adjacency loops.
 //	R2  lock acquisition in internal/storage and internal/txn must follow the
 //	    partial order declared by //geslint:lockorder A < B comments; both
 //	    inversions and undeclared nestings are findings.
@@ -61,8 +66,8 @@ func runRules(mod *Module) []Diag {
 		rel := pkg.Rel
 		for _, f := range pkg.Files {
 			dirs := fileDirectives(f)
-			if hasPrefix(rel, "internal/op") && !dirs["scalar-ok"] {
-				a.checkScalarProps(pkg, f)
+			if hasPrefix(rel, "internal/op") {
+				a.checkScalarProps(pkg, f, dirs["scalar-ok"])
 			}
 			if rel != "internal/core" && !dirs["selwrite-ok"] {
 				a.checkSelWrites(pkg, f)
@@ -181,10 +186,15 @@ func directiveLines(fset *token.FileSet, f *ast.File, name string) map[int]bool 
 
 // ---------------------------------------------------------------- R1
 
-// checkScalarProps flags View.Prop / View.ExtID method calls resolved to
-// internal/storage — the per-row interface calls the §5 vectorized gather
-// path exists to batch away.
-func (a *analysis) checkScalarProps(pkg *Package, f *ast.File) {
+// checkScalarProps flags scalar storage reads resolved to internal/storage:
+// View.Prop / View.ExtID (the per-row calls the §5 vectorized gather path
+// exists to batch away) and View.Neighbors (the per-source call the batched
+// expand kernel replaces). fileOK is the file-scope scalar-ok directive; it
+// exempts Prop/ExtID only. Neighbors accepts just the line-scope form — a
+// //geslint:scalar-ok comment on or directly above the call — so each
+// deliberate scalar adjacency loop stays individually annotated.
+func (a *analysis) checkScalarProps(pkg *Package, f *ast.File, fileOK bool) {
+	okLines := directiveLines(a.mod.Fset, f, "scalar-ok")
 	ast.Inspect(f, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -195,7 +205,21 @@ func (a *analysis) checkScalarProps(pkg *Package, f *ast.File) {
 			return true
 		}
 		name := fn.Name()
-		if (name != "Prop" && name != "ExtID") || a.relOf(fn.Pkg()) != "internal/storage" {
+		if (name != "Prop" && name != "ExtID" && name != "Neighbors") ||
+			a.relOf(fn.Pkg()) != "internal/storage" {
+			return true
+		}
+		line := a.mod.Fset.Position(call.Pos()).Line
+		if okLines[line] || okLines[line-1] {
+			return true
+		}
+		if name == "Neighbors" {
+			a.report(call.Pos(), "R1",
+				"scalar %s.Neighbors call in internal/op bypasses the batched expand kernel; use View.NeighborsBatch or annotate the line //geslint:scalar-ok",
+				recvTypeName(pkg, call))
+			return true
+		}
+		if fileOK {
 			return true
 		}
 		a.report(call.Pos(), "R1",

@@ -3,9 +3,15 @@ package storage
 
 import "ges/internal/vector"
 
-// View is the per-query read interface; Prop and ExtID are the scalar
-// lookups R1 polices inside internal/op.
+// Segment is one contiguous slice of a vertex's adjacency.
+type Segment struct {
+	VIDs []vector.VID
+}
+
+// View is the per-query read interface; Prop, ExtID, and Neighbors are the
+// scalar reads R1 polices inside internal/op.
 type View interface {
 	Prop(v vector.VID, pid int32) vector.Value
 	ExtID(v vector.VID) int64
+	Neighbors(buf []Segment, v vector.VID, et int32, dir int32, dstLabel int32, withProps bool) []Segment
 }

@@ -1,0 +1,312 @@
+// The "csr" experiment measures the sealed CSR adjacency snapshots and the
+// operators built on them: the batched neighbor kernel (View.NeighborsBatch)
+// against the per-source scalar reference — in isolation and inside an
+// IC-style multi-hop count — and intersection-based cyclic-join closure
+// (ExpandInto) against both its hash-probe fallback and the pre-ExpandInto
+// formulation (expand the closing edge, de-factor, flat equality join). A
+// worker-count cross-check proves every variant returns the identical result.
+// It emits the machine-readable BENCH_csr.json artifact when Config.JSONPath
+// is set.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"ges/internal/catalog"
+	"ges/internal/driver"
+	"ges/internal/exec"
+	"ges/internal/expr"
+	"ges/internal/ldbc"
+	"ges/internal/op"
+	"ges/internal/plan"
+	"ges/internal/storage"
+)
+
+func init() {
+	register(Experiment{"csr", "CSR snapshots: batched expand and intersection joins vs scalar/hash", csrExp})
+}
+
+// CSRVariant is one ablation point of the CSR/intersection ladder.
+type CSRVariant struct {
+	Name        string
+	NoCSR       bool
+	NoIntersect bool
+}
+
+// CSRVariants lists the knob ladder, baseline first: per-source scalar
+// adjacency with hash probes, then the batched CSR kernel still hash-probing,
+// then the full galloping intersection over sorted runs.
+var CSRVariants = []CSRVariant{
+	{Name: "scalar+hash", NoCSR: true, NoIntersect: true},
+	{Name: "csr+hash", NoCSR: false, NoIntersect: true},
+	{Name: "csr+intersect", NoCSR: false, NoIntersect: false},
+}
+
+// Engine builds an engine with the variant's knobs applied.
+func (v CSRVariant) Engine(mode exec.Mode, workers int) *exec.Engine {
+	e := exec.New(mode)
+	e.Parallel = workers
+	e.NoCSR, e.NoIntersect = v.NoCSR, v.NoIntersect
+	return e
+}
+
+// CSRExpandPlan is the batched-expand workload: an IC-style full-scan
+// two-hop KNOWS count. The fused count aggregates from run cardinalities
+// without materializing tuples, so the measurement isolates the adjacency
+// read path (one NeighborsBatch per morsel vs one Neighbors call per source).
+func CSRExpandPlan(ds *ldbc.Dataset) plan.Plan {
+	h := ds.H
+	return plan.Plan{
+		&op.NodeScan{Var: "p", Label: h.Person},
+		&op.Expand{From: "p", To: "f", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.Expand{From: "f", To: "g", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.AggregateProjectTop{
+			Aggs:  []op.AggSpec{{Func: op.Count, As: "n"}},
+			Keys:  []op.SortKey{{Col: "n"}},
+			Limit: 1,
+		},
+	}
+}
+
+// CSRTrianglePlan is the cyclic-join workload: directed KNOWS triangles
+// closed by ExpandInto as a selection on the factorized tree. The Sum over
+// the closing variable makes silent result divergence visible in the
+// cross-check.
+func CSRTrianglePlan(ds *ldbc.Dataset) plan.Plan {
+	h := ds.H
+	return plan.Plan{
+		&op.NodeScan{Var: "a", Label: h.Person},
+		&op.Expand{From: "a", To: "b", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.Expand{From: "b", To: "c", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.ExpandInto{From: "c", To: "a", Et: h.Knows, Dir: catalog.Out,
+			DstLabel: h.Person, SrcLabel: h.Person},
+		&op.ProjectProps{Specs: []op.ProjSpec{{Var: "c", As: "c.id", ExtID: true}}},
+		&op.Aggregate{Aggs: []op.AggSpec{
+			{Func: op.Count, As: "n"},
+			{Func: op.Sum, Arg: "c.id", As: "sum"},
+		}},
+	}
+}
+
+// CSRTriangleJoinPlan is the same triangle in the pre-ExpandInto shape the
+// planner had to emit before cyclic edges could close in place: expand the
+// closing edge to a fresh variable, de-factor the whole three-hop result,
+// and keep the rows where the join ends meet. The cross-check requires its
+// aggregates to match CSRTrianglePlan's exactly.
+func CSRTriangleJoinPlan(ds *ldbc.Dataset) plan.Plan {
+	h := ds.H
+	return plan.Plan{
+		&op.NodeScan{Var: "a", Label: h.Person},
+		&op.Expand{From: "a", To: "b", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.Expand{From: "b", To: "c", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.Expand{From: "c", To: "a2", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.ProjectProps{Specs: []op.ProjSpec{
+			{Var: "a", As: "a.id", ExtID: true},
+			{Var: "a2", As: "a2.id", ExtID: true},
+			{Var: "c", As: "c.id", ExtID: true},
+		}},
+		// The predicate spans two f-Tree nodes, forcing the de-factor — the
+		// flat-join cost ExpandInto exists to avoid.
+		&op.Filter{Pred: expr.Eq(expr.C("a.id"), expr.C("a2.id"))},
+		&op.Aggregate{Aggs: []op.AggSpec{
+			{Func: op.Count, As: "n"},
+			{Func: op.Sum, Arg: "c.id", As: "sum"},
+		}},
+	}
+}
+
+// kernelSink keeps the micro-benchmark loops observable.
+var kernelSink int
+
+// expandKernelMicro isolates the adjacency read path: loading the full KNOWS
+// adjacency of every person through per-source Neighbors calls (one family
+// lookup per source) vs one NeighborsBatch call (one family lookup, one
+// prefix-sum pass). Engine machinery is excluded from both sides.
+func expandKernelMicro(ds *ldbc.Dataset) (scalar, batch testing.BenchmarkResult) {
+	h, g := ds.H, ds.Graph
+	vids := g.ScanLabel(h.Person)
+	scalar = testing.Benchmark(func(b *testing.B) {
+		var segs []storage.Segment
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, v := range vids {
+				segs = g.Neighbors(segs[:0], v, h.Knows, catalog.Out, h.Person, false)
+				for _, s := range segs {
+					total += len(s.VIDs)
+				}
+			}
+			kernelSink = total
+		}
+	})
+	batch = testing.Benchmark(func(b *testing.B) {
+		var bt storage.Batch
+		for i := 0; i < b.N; i++ {
+			g.NeighborsBatch(vids, h.Knows, catalog.Out, h.Person, false, &bt)
+			total := 0
+			for j := range bt.Runs {
+				total += len(bt.Run(j))
+			}
+			kernelSink = total
+		}
+	})
+	return scalar, batch
+}
+
+// csrVariantPoint is one measured point in BENCH_csr.json.
+type csrVariantPoint struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"nsPerOp"`
+	Speedup float64 `json:"speedup"` // vs the ladder's first (baseline) point
+}
+
+// csrReport is the schema of BENCH_csr.json.
+type csrReport struct {
+	SimSF          float64 `json:"simSF"`
+	SealedFamilies int     `json:"sealedFamilies"`
+	// Kernel compares just the adjacency read path (per-source Neighbors vs
+	// one NeighborsBatch over every person), without engine machinery.
+	Kernel struct {
+		ScalarNsPerOp float64 `json:"scalarNsPerOp"`
+		BatchNsPerOp  float64 `json:"batchNsPerOp"`
+		Speedup       float64 `json:"speedup"`
+	} `json:"kernel"`
+	// Expand compares the IC-style two-hop count with the batched kernel
+	// off/on.
+	Expand struct {
+		ScalarNsPerOp float64 `json:"scalarNsPerOp"`
+		BatchNsPerOp  float64 `json:"batchNsPerOp"`
+		Speedup       float64 `json:"speedup"`
+	} `json:"expand"`
+	// Triangle sweeps the closure ladder: the pre-ExpandInto flat join, then
+	// ExpandInto under each knob combination.
+	Triangle struct {
+		Count    int64             `json:"count"`
+		Variants []csrVariantPoint `json:"variants"`
+		Speedup  float64           `json:"speedup"` // csr+intersect vs hashjoin-flat
+	} `json:"triangle"`
+	// CrossCheck is true when every plan shape × worker count × knob
+	// combination returned the identical aggregate row.
+	CrossCheck bool `json:"crossCheck"`
+}
+
+// csrWorkerSweep is the worker sweep for the determinism cross-check.
+var csrWorkerSweep = []int{1, 2, 4, 8}
+
+func csrExp(w io.Writer, cfg Config) error {
+	sf := cfg.SFs[len(cfg.SFs)-1]
+	ds, err := driver.SharedDataset(sf)
+	if err != nil {
+		return err
+	}
+	report := csrReport{SimSF: sf}
+	report.SealedFamilies = ds.Graph.SealCSR()
+	fmt.Fprintf(w, "sealed %d adjacency families, simSF=%.4g\n", report.SealedFamilies, sf)
+
+	// --- determinism cross-check: plan shapes × workers × knobs agree ---
+	var wantRows string
+	check := func(label string, p plan.Plan, eng *exec.Engine) error {
+		res, err := eng.Run(ds.Graph, p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		got := fmt.Sprint(res.Block.Rows)
+		if wantRows == "" {
+			wantRows = got
+			report.Triangle.Count = res.Block.Rows[0][0].I
+		} else if got != wantRows {
+			return fmt.Errorf("%s diverges: %s != %s", label, got, wantRows)
+		}
+		return nil
+	}
+	for _, workers := range csrWorkerSweep {
+		for _, v := range CSRVariants {
+			label := fmt.Sprintf("%s workers=%d", v.Name, workers)
+			if err := check(label, CSRTrianglePlan(ds), v.Engine(exec.ModeFactorized, workers)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		label := fmt.Sprintf("hashjoin-flat workers=%d", workers)
+		if err := check(label, CSRTriangleJoinPlan(ds), CSRVariants[0].Engine(exec.ModeFactorized, workers)); err != nil {
+			return err
+		}
+	}
+	report.CrossCheck = true
+	fmt.Fprintf(w, "cross-check: %d directed triangles, identical across workers %v, all knobs, and the flat-join shape\n",
+		report.Triangle.Count, csrWorkerSweep)
+
+	// --- adjacency kernel in isolation ---
+	sr, br := expandKernelMicro(ds)
+	report.Kernel.ScalarNsPerOp = float64(sr.NsPerOp())
+	report.Kernel.BatchNsPerOp = float64(br.NsPerOp())
+	if report.Kernel.BatchNsPerOp > 0 {
+		report.Kernel.Speedup = report.Kernel.ScalarNsPerOp / report.Kernel.BatchNsPerOp
+	}
+	fmt.Fprintf(w, "adjacency kernel (all persons, KNOWS): scalar %.0f ns/op, batch %.0f ns/op (%.2fx)\n",
+		report.Kernel.ScalarNsPerOp, report.Kernel.BatchNsPerOp, report.Kernel.Speedup)
+
+	// --- batched expand inside an IC-style two-hop count ---
+	timeRun := func(eng *exec.Engine, build func() plan.Plan) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ds.Graph, build()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	expandPlan := func() plan.Plan { return CSRExpandPlan(ds) }
+	report.Expand.ScalarNsPerOp = timeRun(CSRVariants[0].Engine(exec.ModeFactorized, 1), expandPlan)
+	report.Expand.BatchNsPerOp = timeRun(CSRVariants[1].Engine(exec.ModeFactorized, 1), expandPlan)
+	if report.Expand.BatchNsPerOp > 0 {
+		report.Expand.Speedup = report.Expand.ScalarNsPerOp / report.Expand.BatchNsPerOp
+	}
+	fmt.Fprintf(w, "two-hop expand count: scalar %.0f ns/op, batched %.0f ns/op (%.2fx)\n",
+		report.Expand.ScalarNsPerOp, report.Expand.BatchNsPerOp, report.Expand.Speedup)
+
+	// --- triangle-closure ladder ---
+	fmt.Fprintf(w, "%-15s %14s %9s\n", "variant", "ns/op", "speedup")
+	ladder := []struct {
+		name   string
+		build  func() plan.Plan
+		engine *exec.Engine
+	}{
+		{"hashjoin-flat", func() plan.Plan { return CSRTriangleJoinPlan(ds) }, CSRVariants[0].Engine(exec.ModeFactorized, 1)},
+		{"scalar+hash", func() plan.Plan { return CSRTrianglePlan(ds) }, CSRVariants[0].Engine(exec.ModeFactorized, 1)},
+		{"csr+hash", func() plan.Plan { return CSRTrianglePlan(ds) }, CSRVariants[1].Engine(exec.ModeFactorized, 1)},
+		{"csr+intersect", func() plan.Plan { return CSRTrianglePlan(ds) }, CSRVariants[2].Engine(exec.ModeFactorized, 1)},
+	}
+	var baseNs float64
+	for _, step := range ladder {
+		ns := timeRun(step.engine, step.build)
+		if baseNs == 0 {
+			baseNs = ns
+		}
+		p := csrVariantPoint{Name: step.name, NsPerOp: ns}
+		if ns > 0 {
+			p.Speedup = baseNs / ns
+		}
+		report.Triangle.Variants = append(report.Triangle.Variants, p)
+		fmt.Fprintf(w, "%-15s %14.0f %8.2fx\n", p.Name, p.NsPerOp, p.Speedup)
+	}
+	report.Triangle.Speedup = report.Triangle.Variants[len(report.Triangle.Variants)-1].Speedup
+	fmt.Fprintf(w, "triangle closure: intersection path %.2fx over the flat hash join\n", report.Triangle.Speedup)
+
+	if cfg.JSONPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", cfg.JSONPath, err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

@@ -39,12 +39,19 @@ type Config struct {
 	// NoGather disables the vectorized property-gather path (§5) on every
 	// engine the experiments build — the scalar ablation baseline.
 	NoGather bool
+	// NoCSR disables the batched adjacency kernel (NeighborsBatch over the
+	// sealed CSR snapshots); expansion falls back to per-source segment walks.
+	NoCSR bool
+	// NoIntersect disables the merge/galloping intersection in ExpandInto;
+	// cyclic pattern edges close through the hash-set probe instead.
+	NoIntersect bool
 }
 
-// newEngine returns an engine honoring the gather ablation switch.
+// newEngine returns an engine honoring the ablation switches.
 func (cfg Config) newEngine(mode exec.Mode) *exec.Engine {
 	e := exec.New(mode)
 	e.NoGather, e.NoDictCmp, e.NoZoneMap = cfg.NoGather, cfg.NoGather, cfg.NoGather
+	e.NoCSR, e.NoIntersect = cfg.NoCSR, cfg.NoIntersect
 	return e
 }
 

@@ -41,9 +41,10 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"table4":   "volcano",
 		"parallel": "hit rate",
 		"gather":   "read path",
+		"csr":      "triangle closure",
 	}
 	if len(bench.All()) != len(wantFragments) {
-		t.Fatalf("registry has %d experiments, want %d (one per table/figure + parallel + gather)",
+		t.Fatalf("registry has %d experiments, want %d (one per table/figure + parallel + gather + csr)",
 			len(bench.All()), len(wantFragments))
 	}
 	for _, e := range bench.All() {

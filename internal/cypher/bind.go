@@ -100,9 +100,6 @@ func (b *binder) bindMatch(m *MatchClause, first bool) error {
 		if !b.bound[from.Var] {
 			return fmt.Errorf("cypher: relationship source %q is unbound", from.Var)
 		}
-		if b.bound[to.Var] {
-			return fmt.Errorf("cypher: cyclic patterns (%q already bound) are not supported in the subset; rewrite with separate MATCH clauses and joins", to.Var)
-		}
 		et, ok := b.cat.EdgeType(rel.Type)
 		if !ok {
 			return fmt.Errorf("cypher: unknown relationship type %q", rel.Type)
@@ -110,6 +107,23 @@ func (b *binder) bindMatch(m *MatchClause, first bool) error {
 		toLabel, err := b.labelOf(to)
 		if err != nil {
 			return err
+		}
+		if b.bound[to.Var] {
+			// Cyclic pattern edge: both endpoints are bound, so close the
+			// cycle with an intersection-based semi-join instead of a
+			// re-expand + hash join.
+			if rel.MinHops != 1 || rel.MaxHops != 1 {
+				return fmt.Errorf("cypher: cyclic var-length patterns (%q already bound) are not supported; rewrite with separate MATCH clauses and joins", to.Var)
+			}
+			fromLabel, err := b.labelOf(from)
+			if err != nil {
+				return err
+			}
+			b.plan = append(b.plan, &op.ExpandInto{
+				From: from.Var, To: to.Var, Et: et, Dir: rel.Dir,
+				DstLabel: toLabel, SrcLabel: fromLabel,
+			})
+			continue
 		}
 		if rel.MinHops == 1 && rel.MaxHops == 1 {
 			b.plan = append(b.plan, &op.Expand{

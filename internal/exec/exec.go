@@ -93,6 +93,11 @@ type Engine struct {
 	NoGather  bool
 	NoDictCmp bool
 	NoZoneMap bool
+	// NoCSR / NoIntersect disable the batched CSR expand kernel and the
+	// intersection-based cyclic join — the CSR ablation knobs. Results are
+	// byte-identical either way.
+	NoCSR       bool
+	NoIntersect bool
 }
 
 // New returns an engine in the given mode with a fresh memory pool.
@@ -106,7 +111,8 @@ func (e *Engine) Run(view storage.View, p plan.Plan) (*Result, error) {
 		p = plan.Fuse(p)
 	}
 	ctx := &op.Ctx{View: view, Pool: e.Pool, MaxRows: e.MaxRows, Parallel: e.Parallel, Sched: e.Sched,
-		NoGather: e.NoGather, NoDictCmp: e.NoDictCmp, NoZoneMap: e.NoZoneMap}
+		NoGather: e.NoGather, NoDictCmp: e.NoDictCmp, NoZoneMap: e.NoZoneMap,
+		NoCSR: e.NoCSR, NoIntersect: e.NoIntersect}
 	start := time.Now()
 
 	var ch *core.Chunk

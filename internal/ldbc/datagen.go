@@ -129,8 +129,10 @@ func Generate(cfg Config) (*Dataset, error) {
 	}
 
 	// Bulk-load leaves relocated adjacency slots behind; reclaim families
-	// past the dead-fraction threshold before serving reads.
+	// past the dead-fraction threshold, then seal every family into its
+	// sorted CSR snapshot so queries run on the read-optimized layout.
 	g.CompactAdjacency()
+	g.SealCSR()
 
 	// The wells hold the current maximum; NewXExt pre-increments.
 	ds.nextPersonExt.Store(int64(len(ds.Persons)))

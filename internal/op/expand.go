@@ -106,6 +106,27 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 			return &core.Chunk{FT: ft}, nil
 		}
 		toCol := vector.NewLazyVIDColumn(o.To)
+		if !ctx.NoCSR {
+			// Batched kernel: one NeighborsBatch call resolves every parent
+			// row (prefix-sum lookups on a sealed CSR, no per-row family
+			// map probes); each non-empty run appends as one lazy segment.
+			var b storage.Batch
+			ctx.View.NeighborsBatch(expandSrcs(parent, fromCol, 0, parent.Block.NumRows()),
+				o.Et, o.Dir, o.DstLabel, false, &b)
+			total := 0
+			for i, r := range b.Runs {
+				start := total
+				if r.End > r.Start {
+					_, total = toCol.AppendSegment(b.VIDs[r.Start:r.End])
+				}
+				index[i] = core.Range{Start: int32(start), End: int32(total)}
+			}
+			ft.AddChild(parent, core.NewFBlock(toCol), index)
+			assertFTree(ft)
+			return &core.Chunk{FT: ft}, nil
+		}
+		// NoCSR reference path: scalar per-source lookups, byte-identical
+		// to the batched kernel.
 		total := 0
 		for i := 0; i < parent.Block.NumRows(); i++ {
 			if !parent.Valid(i) {
@@ -113,6 +134,7 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 				continue
 			}
 			src := fromCol.VIDAt(i)
+			//geslint:scalar-ok
 			segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, false)
 			start := total
 			for _, seg := range segBuf {
@@ -151,18 +173,78 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 	return &core.Chunk{FT: ft}, nil
 }
 
+// expandSrcs builds a batched neighbor request for parent rows [lo,hi):
+// the From VID per valid row, NilVID (an empty run) for invalid rows, so
+// the returned runs stay aligned with the row range.
+func expandSrcs(parent *core.Node, fromCol *vector.Column, lo, hi int) []vector.VID {
+	srcs := make([]vector.VID, hi-lo)
+	for i := lo; i < hi; i++ {
+		if parent.Valid(i) {
+			srcs[i-lo] = fromCol.VIDAt(i)
+		} else {
+			srcs[i-lo] = vector.NilVID
+		}
+	}
+	return srcs
+}
+
 // expandRows runs the materializing expansion for parent rows [lo,hi),
 // appending neighbors to toCol/propCols and one range per parent row to
 // index (ranges are relative to toCol's state at entry). It is the single
 // implementation behind both the sequential path and each parallel morsel,
 // which keeps parallel output byte-identical to sequential execution.
+//
+// Candidates come from one batched NeighborsBatch call per invocation (one
+// prefix-sum pass on a sealed CSR); ctx.NoCSR falls back to scalar
+// per-source lookups. Both paths feed identical candidate sequences to the
+// predicate/property logic below.
 func (o *Expand) expandRows(ctx *Ctx, pred VertexPred, parent *core.Node, fromCol *vector.Column,
 	epp edgePropPlan, lo, hi int, toCol *vector.Column, propCols []*vector.Column, index []core.Range) []core.Range {
 
-	var segBuf []storage.Segment
 	propVals := make([]vector.Value, len(o.EdgeProps))
 	withProps := len(o.EdgeProps) > 0
 	total := toCol.Len()
+
+	if !ctx.NoCSR {
+		var b storage.Batch
+		ctx.View.NeighborsBatch(expandSrcs(parent, fromCol, lo, hi), o.Et, o.Dir, o.DstLabel, withProps, &b)
+		for ri := range b.Runs {
+			start := total
+			r := b.Runs[ri]
+			cands := b.VIDs[r.Start:r.End]
+			// Large runs evaluate the fused predicate in one batch
+			// (zone-map skip + gather + kernels, predbatch.go); the keep
+			// mask is indexed by run position. Small runs and predicates
+			// without a batch path test per row.
+			keep := testVertexBatch(ctx, pred, cands)
+			for k, v := range cands {
+				if pred != nil {
+					if keep != nil {
+						if !keep[k] {
+							continue
+						}
+					} else if !pred.Test(ctx, v) {
+						continue
+					}
+				}
+				for p := range o.EdgeProps {
+					propVals[p] = batchPropValue(&b, epp, p, int(r.Start)+k)
+				}
+				if o.EdgePropPred != nil && !o.EdgePropPred(propVals) {
+					continue
+				}
+				toCol.AppendVID(v)
+				for p, pc := range propCols {
+					pc.Append(propVals[p])
+				}
+				total++
+			}
+			index = append(index, core.Range{Start: int32(start), End: int32(total)})
+		}
+		return index
+	}
+
+	var segBuf []storage.Segment
 	for i := lo; i < hi; i++ {
 		start := total
 		if !parent.Valid(i) {
@@ -170,12 +252,9 @@ func (o *Expand) expandRows(ctx *Ctx, pred VertexPred, parent *core.Node, fromCo
 			continue
 		}
 		src := fromCol.VIDAt(i)
+		//geslint:scalar-ok
 		segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, withProps)
 		for _, seg := range segBuf {
-			// Large segments evaluate the fused predicate in one batch
-			// (zone-map skip + gather + kernels, predbatch.go); the keep mask
-			// is indexed by segment position. Small segments and predicates
-			// without a batch path test per row.
 			keep := testVertexBatch(ctx, pred, seg.VIDs)
 			for k, v := range seg.VIDs {
 				if pred != nil {
@@ -223,6 +302,24 @@ func segPropValue(seg storage.Segment, epp edgePropPlan, p, k int) vector.Value 
 	}
 }
 
+// batchPropValue extracts edge property p (plan position) for the neighbor
+// at absolute batch index k.
+func batchPropValue(b *storage.Batch, epp edgePropPlan, p, k int) vector.Value {
+	si := epp.idx[p]
+	switch epp.kind[p] {
+	case vector.KindInt64:
+		return vector.Int64(b.PropI64[si][k])
+	case vector.KindDate:
+		return vector.Date(b.PropI64[si][k])
+	case vector.KindFloat64:
+		return vector.Float64(b.PropF64[si][k])
+	case vector.KindString:
+		return vector.String_(b.PropStr[si][k])
+	default:
+		return vector.Value{}
+	}
+}
+
 func (o *Expand) executeFlat(ctx *Ctx, in *core.FlatBlock, epp edgePropPlan) (*core.Chunk, error) {
 	fromIdx := in.ColIndex(o.From)
 	if fromIdx < 0 {
@@ -242,21 +339,81 @@ func (o *Expand) executeFlat(ctx *Ctx, in *core.FlatBlock, epp edgePropPlan) (*c
 		return &core.Chunk{Flat: fb}, nil
 	}
 	out := core.NewFlatBlock(names, kinds)
-	var segBuf []storage.Segment
+	if err := o.expandFlatRows(ctx, o.VertexPred, in, fromIdx, epp, 0, len(in.Rows), names, out); err != nil {
+		return nil, err
+	}
+	if ctx.MaxRows > 0 && out.NumRows() > ctx.MaxRows {
+		return nil, errRowLimit("flat expand", out.NumRows(), ctx.MaxRows)
+	}
+	return &core.Chunk{Flat: out}, nil
+}
+
+// expandFlatRows expands input rows [lo,hi) into out — the single flat-path
+// implementation behind the sequential path and each parallel morsel.
+// Candidates come from one batched neighbor call per invocation; ctx.NoCSR
+// falls back to scalar per-source lookups.
+func (o *Expand) expandFlatRows(ctx *Ctx, pred VertexPred, in *core.FlatBlock, fromIdx int,
+	epp edgePropPlan, lo, hi int, names []string, out *core.FlatBlock) error {
+
 	withProps := len(o.EdgeProps) > 0
 	propVals := make([]vector.Value, len(o.EdgeProps))
-	for _, row := range in.Rows {
-		src := row[fromIdx].AsVID()
-		segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, withProps)
-		for _, seg := range segBuf {
-			keep := testVertexBatch(ctx, o.VertexPred, seg.VIDs)
-			for k, v := range seg.VIDs {
-				if o.VertexPred != nil {
+	emit := func(row []vector.Value, v vector.VID) {
+		nr := make([]vector.Value, 0, len(names))
+		nr = append(nr, row...)
+		nr = append(nr, vector.VIDValue(v))
+		nr = append(nr, propVals...)
+		out.AppendOwned(nr)
+	}
+
+	if !ctx.NoCSR {
+		srcs := make([]vector.VID, hi-lo)
+		for i := lo; i < hi; i++ {
+			srcs[i-lo] = in.Rows[i][fromIdx].AsVID()
+		}
+		var b storage.Batch
+		ctx.View.NeighborsBatch(srcs, o.Et, o.Dir, o.DstLabel, withProps, &b)
+		for ri := range b.Runs {
+			row := in.Rows[lo+ri]
+			r := b.Runs[ri]
+			cands := b.VIDs[r.Start:r.End]
+			keep := testVertexBatch(ctx, pred, cands)
+			for k, v := range cands {
+				if pred != nil {
 					if keep != nil {
 						if !keep[k] {
 							continue
 						}
-					} else if !o.VertexPred.Test(ctx, v) {
+					} else if !pred.Test(ctx, v) {
+						continue
+					}
+				}
+				for p := range o.EdgeProps {
+					propVals[p] = batchPropValue(&b, epp, p, int(r.Start)+k)
+				}
+				if o.EdgePropPred != nil && !o.EdgePropPred(propVals) {
+					continue
+				}
+				emit(row, v)
+			}
+		}
+		return nil
+	}
+
+	var segBuf []storage.Segment
+	for ri := lo; ri < hi; ri++ {
+		row := in.Rows[ri]
+		src := row[fromIdx].AsVID()
+		//geslint:scalar-ok
+		segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, withProps)
+		for _, seg := range segBuf {
+			keep := testVertexBatch(ctx, pred, seg.VIDs)
+			for k, v := range seg.VIDs {
+				if pred != nil {
+					if keep != nil {
+						if !keep[k] {
+							continue
+						}
+					} else if !pred.Test(ctx, v) {
 						continue
 					}
 				}
@@ -266,16 +423,9 @@ func (o *Expand) executeFlat(ctx *Ctx, in *core.FlatBlock, epp edgePropPlan) (*c
 				if o.EdgePropPred != nil && !o.EdgePropPred(propVals) {
 					continue
 				}
-				nr := make([]vector.Value, 0, len(names))
-				nr = append(nr, row...)
-				nr = append(nr, vector.VIDValue(v))
-				nr = append(nr, propVals...)
-				out.AppendOwned(nr)
-				if ctx.MaxRows > 0 && out.NumRows() > ctx.MaxRows {
-					return nil, errRowLimit("flat expand", out.NumRows(), ctx.MaxRows)
-				}
+				emit(row, v)
 			}
 		}
 	}
-	return &core.Chunk{Flat: out}, nil
+	return nil
 }

@@ -1,0 +1,284 @@
+// ExpandInto closes cyclic pattern edges by filtering selection vectors in
+// place, which requires direct Sel writes outside Filter.
+//
+//geslint:selwrite-ok
+package op
+
+import (
+	"ges/internal/catalog"
+	"ges/internal/core"
+	"ges/internal/sched"
+	"ges/internal/storage"
+	"ges/internal/vector"
+)
+
+// ExpandInto closes a cyclic pattern edge between two variables that are
+// both already bound in the f-Tree — the triangle-closing step of
+// (a)-[]->(b)-[]->(c), (c)-[]->(a). Instead of expanding to a new node and
+// hash-joining it back against the bound variable (the classical plan), it
+// checks edge existence directly against the adjacency index and clears the
+// selection bits of tuples whose closing edge is missing — a semi-join, so
+// no new f-Tree node and no intermediate materialization.
+//
+// When the adjacency run is CSR-sorted the membership probes run as a
+// merge/galloping intersection with a monotone cursor; otherwise (or with
+// ctx.NoIntersect) a per-source hash set answers the probes. Results are
+// byte-identical either way.
+//
+// The probe side is chosen from the tree shape: candidates iterate on the
+// deeper of the two nodes, and the adjacency of the shallower node's vertex
+// is loaded once per owner row. When the shallow side is To, the probe runs
+// over the reversed direction, so SrcLabel (the label bound to From) names
+// the destination-label family of the reversed lookup.
+type ExpandInto struct {
+	From, To string
+	Et       catalog.EdgeTypeID
+	Dir      catalog.Direction
+	// DstLabel is the label bound to To; SrcLabel the label bound to From.
+	// Either may be storage.AnyLabel.
+	DstLabel catalog.LabelID
+	SrcLabel catalog.LabelID
+}
+
+// Name implements Operator.
+func (o *ExpandInto) Name() string { return "ExpandInto" }
+
+// Execute implements Operator.
+func (o *ExpandInto) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
+	if in.IsFlat() {
+		return o.executeFlat(ctx, in.Flat)
+	}
+	ft := in.FT
+	nf, fromCol, err := vidColumn(ft, o.From)
+	if err != nil {
+		return nil, err
+	}
+	nt, toCol, err := vidColumn(ft, o.To)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pick the deep (candidate) and shallow (probe) sides. Every tuple pairs
+	// a deep row with exactly one shallow row — its ancestor along the index
+	// vectors — so the edge check is a per-row predicate on the deep node.
+	var deep, shallow *core.Node
+	var deepCol, shallowCol *vector.Column
+	probe := adjProbe{ctx: ctx, et: o.Et, intersect: !ctx.NoIntersect}
+	switch {
+	case ancestorOf(nt, nf): // covers nf == nt: probe From's adjacency
+		deep, deepCol = nf, fromCol
+		shallow, shallowCol = nt, toCol
+		probe.dir, probe.dstLabel = reverseDir(o.Dir), o.SrcLabel
+	case ancestorOf(nf, nt):
+		deep, deepCol = nt, toCol
+		shallow, shallowCol = nf, fromCol
+		probe.dir, probe.dstLabel = o.Dir, o.DstLabel
+	default:
+		// Siblings: neither row determines the other, so the semi-join is
+		// not expressible as a selection on one node — de-factor and filter
+		// flat (the paper's "ultimate solution" fallback).
+		fb, err := ensureFlat(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		return o.executeFlat(ctx, fb)
+	}
+	if nf == nt {
+		// Both variables on one node: row i pairs fromCol[i] with toCol[i].
+		shallowCol = fromCol
+		deepCol = toCol
+		probe.dir, probe.dstLabel = o.Dir, o.DstLabel
+	}
+	owner := ownerMap(deep, shallow)
+
+	n := deep.Block.NumRows()
+	apply := func(lo, hi int, p *adjProbe) {
+		for i := lo; i < hi; i++ {
+			if !deep.Sel.Get(i) {
+				continue
+			}
+			p.load(shallowCol.VIDAt(int(owner[i])))
+			if !p.contains(deepCol.VIDAt(i)) {
+				deep.Sel.Clear(i)
+			}
+		}
+	}
+	if ctx.Parallel > 1 && n >= parallelMinRows {
+		// filterMorselSize is a multiple of 64, so concurrent morsels never
+		// write the same selection word; each morsel owns its probe state.
+		ctx.RunMorsels(n, filterMorselSize, func(m sched.Morsel) {
+			p := adjProbe{ctx: ctx, et: probe.et, dir: probe.dir, dstLabel: probe.dstLabel, intersect: probe.intersect}
+			apply(m.Start, m.End, &p)
+		})
+	} else {
+		apply(0, n, &probe)
+	}
+	ft.PruneUp(deep)
+	assertFTree(ft)
+	return &core.Chunk{FT: ft}, nil
+}
+
+// executeFlat filters materialized rows by closing-edge existence.
+func (o *ExpandInto) executeFlat(ctx *Ctx, in *core.FlatBlock) (*core.Chunk, error) {
+	fi := in.ColIndex(o.From)
+	if fi < 0 {
+		return nil, errNoColumn("expand-into", o.From)
+	}
+	ti := in.ColIndex(o.To)
+	if ti < 0 {
+		return nil, errNoColumn("expand-into", o.To)
+	}
+	out := core.NewFlatBlock(in.Names, in.Kinds)
+	p := adjProbe{ctx: ctx, et: o.Et, dir: o.Dir, dstLabel: o.DstLabel, intersect: !ctx.NoIntersect}
+	for _, row := range in.Rows {
+		p.load(row[fi].AsVID())
+		if p.contains(row[ti].AsVID()) {
+			out.AppendOwned(row)
+		}
+	}
+	return &core.Chunk{Flat: out}, nil
+}
+
+// ancestorOf reports whether a is d or an ancestor of d.
+func ancestorOf(a, d *core.Node) bool {
+	for n := d; n != nil; n = n.Parent {
+		if n == a {
+			return true
+		}
+	}
+	return false
+}
+
+// reverseDir flips Out and In; Both stays Both.
+func reverseDir(d catalog.Direction) catalog.Direction {
+	switch d {
+	case catalog.Out:
+		return catalog.In
+	case catalog.In:
+		return catalog.Out
+	default:
+		return d
+	}
+}
+
+// ownerMap returns, for every deep-node row, the shallow-node (ancestor) row
+// it extends, composed by inverting the index vectors along the parent
+// chain. deep == shallow yields the identity.
+func ownerMap(deep, shallow *core.Node) []int32 {
+	owner := make([]int32, deep.Block.NumRows())
+	for i := range owner {
+		owner[i] = int32(i)
+	}
+	for n := deep; n != shallow; n = n.Parent {
+		inv := make([]int32, n.Block.NumRows())
+		for pi, rg := range n.Index {
+			for j := rg.Start; j < rg.End; j++ {
+				inv[j] = int32(pi)
+			}
+		}
+		for d, r := range owner {
+			owner[d] = inv[r]
+		}
+	}
+	return owner
+}
+
+// adjProbe answers edge-membership queries against one source vertex's
+// adjacency, caching the loaded run across consecutive probes of the same
+// source (owner rows repeat along the deep node). Sorted single-family runs
+// answer through a galloping search with a monotone cursor — consecutive
+// candidates from a CSR-sorted child run advance the cursor instead of
+// restarting, so a whole run intersects in a single merge pass. Unsorted
+// runs, multi-family lookups, and ctx.NoIntersect fall back to a hash set.
+type adjProbe struct {
+	ctx       *Ctx
+	et        catalog.EdgeTypeID
+	dir       catalog.Direction
+	dstLabel  catalog.LabelID
+	intersect bool
+
+	src    vector.VID
+	loaded bool
+	segs   []storage.Segment
+	run    []vector.VID // non-nil: sorted intersection path
+	set    map[vector.VID]struct{}
+	cursor int
+	last   vector.VID
+}
+
+// load points the probe at src's adjacency (no-op when already loaded).
+func (p *adjProbe) load(src vector.VID) {
+	if p.loaded && src == p.src {
+		return
+	}
+	p.src, p.loaded = src, true
+	p.run, p.set = nil, nil
+	p.segs = p.segs[:0]
+	if src == vector.NilVID {
+		return
+	}
+	// One run per owner row, reused across all its deep rows; batching
+	// whole-column lookups would load runs for owners that pruning already
+	// skipped.
+	//geslint:scalar-ok
+	p.segs = p.ctx.View.Neighbors(p.segs, src, p.et, p.dir, p.dstLabel, false)
+	if p.intersect && len(p.segs) == 1 && p.segs[0].Sorted {
+		p.run = p.segs[0].VIDs
+		p.cursor, p.last = 0, 0
+		return
+	}
+	n := 0
+	for _, s := range p.segs {
+		n += len(s.VIDs)
+	}
+	if n == 0 {
+		return
+	}
+	p.set = make(map[vector.VID]struct{}, n)
+	for _, s := range p.segs {
+		for _, v := range s.VIDs {
+			p.set[v] = struct{}{}
+		}
+	}
+}
+
+// contains reports whether v is in the loaded adjacency.
+func (p *adjProbe) contains(v vector.VID) bool {
+	if p.run != nil {
+		if v < p.last {
+			p.cursor = 0
+		}
+		p.last = v
+		p.cursor = gallop(p.run, p.cursor, v)
+		return p.cursor < len(p.run) && p.run[p.cursor] == v
+	}
+	_, ok := p.set[v]
+	return ok
+}
+
+// gallop returns the smallest index >= lo with run[idx] >= v: exponential
+// steps from lo, then binary search within the bracketed window.
+func gallop(run []vector.VID, lo int, v vector.VID) int {
+	if lo >= len(run) || run[lo] >= v {
+		return lo
+	}
+	i, step := lo, 1
+	for i+step < len(run) && run[i+step] < v {
+		i += step
+		step <<= 1
+	}
+	hi := i + step
+	if hi > len(run) {
+		hi = len(run)
+	}
+	l, h := i+1, hi
+	for l < h {
+		mid := int(uint(l+h) >> 1)
+		if run[mid] < v {
+			l = mid + 1
+		} else {
+			h = mid
+		}
+	}
+	return l
+}

@@ -5,6 +5,7 @@ import (
 
 	"ges/internal/catalog"
 	"ges/internal/core"
+	"ges/internal/storage"
 	"ges/internal/vector"
 )
 
@@ -40,8 +41,17 @@ func (o *SeekExpand) Name() string { return "SeekExpand(fused)" }
 func (o *SeekExpand) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 	col := vector.NewLazyVIDColumn(o.To)
 	if src, ok := ctx.View.VertexByExt(o.Label, o.ExtID); ok {
-		for _, seg := range ctx.View.Neighbors(nil, src, o.Et, o.Dir, o.DstLabel, false) {
-			col.AppendSegment(seg.VIDs)
+		if !ctx.NoCSR {
+			var b storage.Batch
+			ctx.View.NeighborsBatch([]vector.VID{src}, o.Et, o.Dir, o.DstLabel, false, &b)
+			if run := b.Run(0); len(run) > 0 {
+				col.AppendSegment(run)
+			}
+		} else {
+			//geslint:scalar-ok
+			for _, seg := range ctx.View.Neighbors(nil, src, o.Et, o.Dir, o.DstLabel, false) {
+				col.AppendSegment(seg.VIDs)
+			}
 		}
 	}
 	return &core.Chunk{FT: core.NewFTree(core.NewFBlock(col))}, nil

@@ -60,6 +60,16 @@ type Ctx struct {
 	NoDictCmp bool
 	NoZoneMap bool
 
+	// CSR ablation knobs. NoCSR forces every expansion back onto the
+	// scalar per-source Neighbors path (per-row family map lookups instead
+	// of the batched prefix-sum kernel), and NoIntersect makes ExpandInto
+	// close cyclic edges with hash-set membership instead of
+	// merge/galloping intersection of sorted adjacency runs. Results are
+	// byte-identical either way; the knobs exist so benchmarks can
+	// attribute the speedup.
+	NoCSR       bool
+	NoIntersect bool
+
 	// Gather counts batch-gather activity. Counters are atomic because fused
 	// predicates batch inside parallel morsels.
 	Gather GatherStats

@@ -49,11 +49,30 @@ func parallelLazyExpand(ctx *Ctx, name string, parent *core.Node, fromCol *vecto
 	ctx.RunMorsels(n, expandMorselSize, func(m sched.Morsel) {
 		sh := &shards[m.Index]
 		sh.index = make([]core.Range, 0, m.End-m.Start)
-		var segBuf []storage.Segment
 		total := 0
+		if !ctx.NoCSR {
+			// One batched call per morsel. The Batch is morsel-local and never
+			// reset, so the run sub-slices the shard retains stay valid through
+			// the merge (shared mode aliases the immutable CSR array; owned
+			// mode keeps its pack buffer).
+			b := new(storage.Batch)
+			ctx.View.NeighborsBatch(expandSrcs(parent, fromCol, m.Start, m.End), et, dir, dstLabel, false, b)
+			for i := range b.Runs {
+				start := total
+				if r := b.Runs[i]; r.End > r.Start {
+					sh.segs = append(sh.segs, b.VIDs[r.Start:r.End])
+					total += int(r.End - r.Start)
+				}
+				sh.index = append(sh.index, core.Range{Start: int32(start), End: int32(total)})
+			}
+			sh.rows = total
+			return
+		}
+		var segBuf []storage.Segment
 		for i := m.Start; i < m.End; i++ {
 			start := total
 			if parent.Valid(i) {
+				//geslint:scalar-ok
 				segBuf = ctx.View.Neighbors(segBuf[:0], fromCol.VIDAt(i), et, dir, dstLabel, false)
 				for _, seg := range segBuf {
 					sh.segs = append(sh.segs, seg.VIDs)
@@ -144,52 +163,23 @@ func parallelFlatExpand(ctx *Ctx, o *Expand, in *core.FlatBlock, fromIdx int,
 	names []string, kinds []vector.Kind, epp edgePropPlan) (*core.FlatBlock, error) {
 
 	n := len(in.Rows)
-	shards := make([][][]vector.Value, sched.NumMorsels(n, expandMorselSize))
-	withProps := len(o.EdgeProps) > 0
+	shards := make([]*core.FlatBlock, sched.NumMorsels(n, expandMorselSize))
 	ctx.RunMorsels(n, expandMorselSize, func(m sched.Morsel) {
 		pred := o.VertexPred
 		if pred != nil {
 			pred = pred.Fork()
 		}
-		var rows [][]vector.Value
-		var segBuf []storage.Segment
-		propVals := make([]vector.Value, len(o.EdgeProps))
-		for ri := m.Start; ri < m.End; ri++ {
-			row := in.Rows[ri]
-			src := row[fromIdx].AsVID()
-			segBuf = ctx.View.Neighbors(segBuf[:0], src, o.Et, o.Dir, o.DstLabel, withProps)
-			for _, seg := range segBuf {
-				keep := testVertexBatch(ctx, pred, seg.VIDs)
-				for k, v := range seg.VIDs {
-					if pred != nil {
-						if keep != nil {
-							if !keep[k] {
-								continue
-							}
-						} else if !pred.Test(ctx, v) {
-							continue
-						}
-					}
-					for p := range o.EdgeProps {
-						propVals[p] = segPropValue(seg, epp, p, k)
-					}
-					if o.EdgePropPred != nil && !o.EdgePropPred(propVals) {
-						continue
-					}
-					nr := make([]vector.Value, 0, len(names))
-					nr = append(nr, row...)
-					nr = append(nr, vector.VIDValue(v))
-					nr = append(nr, propVals...)
-					rows = append(rows, nr)
-				}
-			}
-		}
-		shards[m.Index] = rows
+		sh := core.NewFlatBlock(names, kinds)
+		// expandFlatRows handles both the batched (one NeighborsBatch per
+		// morsel) and the NoCSR scalar paths; errors cannot occur because the
+		// row limit is checked once after the merge.
+		_ = o.expandFlatRows(ctx, pred, in, fromIdx, epp, m.Start, m.End, names, sh)
+		shards[m.Index] = sh
 	})
 
 	out := core.NewFlatBlock(names, kinds)
-	for _, rows := range shards {
-		out.Rows = append(out.Rows, rows...)
+	for _, sh := range shards {
+		out.Rows = append(out.Rows, sh.Rows...)
 	}
 	if ctx.MaxRows > 0 && out.NumRows() > ctx.MaxRows {
 		return nil, errRowLimit("flat expand", out.NumRows(), ctx.MaxRows)

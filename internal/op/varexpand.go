@@ -99,20 +99,39 @@ func (o *VarLengthExpand) traverse(ctx *Ctx, pred VertexPred, src vector.VID, em
 		seen := map[vector.VID]int{src: 0}
 		frontier := []vector.VID{src}
 		var segBuf []storage.Segment
+		var b storage.Batch
+		visit := func(v vector.VID, depth int, next []vector.VID) []vector.VID {
+			if _, ok := seen[v]; ok {
+				return next
+			}
+			seen[v] = depth
+			next = append(next, v)
+			if depth >= o.MinHops {
+				maybeEmit(v)
+			}
+			return next
+		}
 		for depth := 1; depth <= o.MaxHops && len(frontier) > 0; depth++ {
 			var next []vector.VID
+			if !ctx.NoCSR {
+				// One batched call per BFS level: run i holds frontier[i]'s
+				// neighbors in the same order the scalar loop sees them.
+				ctx.View.NeighborsBatch(frontier, o.Et, o.Dir, o.DstLabel, false, &b)
+				for i := range b.Runs {
+					r := b.Runs[i]
+					for _, v := range b.VIDs[r.Start:r.End] {
+						next = visit(v, depth, next)
+					}
+				}
+				frontier = next
+				continue
+			}
 			for _, u := range frontier {
+				//geslint:scalar-ok
 				segBuf = ctx.View.Neighbors(segBuf[:0], u, o.Et, o.Dir, o.DstLabel, false)
 				for _, seg := range segBuf {
 					for _, v := range seg.VIDs {
-						if _, ok := seen[v]; ok {
-							continue
-						}
-						seen[v] = depth
-						next = append(next, v)
-						if depth >= o.MinHops {
-							maybeEmit(v)
-						}
+						next = visit(v, depth, next)
 					}
 				}
 			}
@@ -130,6 +149,9 @@ func (o *VarLengthExpand) traverse(ctx *Ctx, pred VertexPred, src vector.VID, em
 		if depth == o.MaxHops {
 			return
 		}
+		// Path enumeration recurses per vertex; a one-src "batch" would only
+		// add overhead, so the scalar lookup is deliberate.
+		//geslint:scalar-ok
 		segBuf = ctx.View.Neighbors(segBuf[:0], u, o.Et, o.Dir, o.DstLabel, false)
 		// Copy: recursion below reuses segBuf.
 		var level []vector.VID

@@ -33,6 +33,8 @@ func refs(o op.Operator) []string {
 		return []string{n.From}
 	case *op.VarLengthExpand:
 		return []string{n.From}
+	case *op.ExpandInto:
+		return []string{n.From, n.To}
 	case *op.ProjectProps:
 		var out []string
 		for _, s := range n.Specs {

@@ -14,6 +14,8 @@
 package storage
 
 import (
+	"sync/atomic"
+
 	"ges/internal/catalog"
 	"ges/internal/vector"
 )
@@ -50,6 +52,11 @@ type AdjList struct {
 	propStr   [][]string
 
 	deadSlots int // entries abandoned by slot relocation
+
+	// snap is the sealed CSR image (csr.go); nil while unsealed or after
+	// any mutation invalidated it. Readers load it once per operation so a
+	// concurrent re-seal can never mix layouts within one Segment.
+	snap atomic.Pointer[csr]
 }
 
 func newAdjList(propDefs []catalog.PropDef) *AdjList {
@@ -94,6 +101,7 @@ func (a *AdjList) growProps(n int) {
 // append adds dst (with optional edge property values) to src's slot,
 // relocating the slot with doubled capacity when full.
 func (a *AdjList) append(src, dst vector.VID, props []vector.Value) {
+	a.snap.Store(nil) // topology change invalidates the CSR snapshot
 	a.ensure(src)
 	m := &a.meta[src]
 	if m.len == m.cap {
@@ -153,6 +161,9 @@ func (a *AdjList) Compact() bool {
 	if len(a.arr) == 0 || float64(a.deadSlots) <= compactDeadFraction*float64(len(a.arr)) {
 		return false
 	}
+	// The rebuild reshuffles offsets; drop the snapshot now and let the
+	// caller re-Seal, which swaps the fresh image in atomically.
+	a.snap.Store(nil)
 	liveCap := 0
 	for i := range a.meta {
 		liveCap += int(a.meta[i].cap)
@@ -200,6 +211,7 @@ func (a *AdjList) remove(src, dst vector.VID) bool {
 	if int(src) >= len(a.meta) {
 		return false
 	}
+	a.snap.Store(nil) // topology change invalidates the CSR snapshot
 	m := &a.meta[src]
 	for i := m.off; i < m.off+m.len; i++ {
 		if a.arr[i] != dst {

@@ -1,0 +1,392 @@
+package storage
+
+// CSR adjacency snapshots: an immutable, read-optimized image of one
+// adjacency family, sealed from the AdjList at bulk-load finish. The layout
+// is the classic compressed sparse row form — offsets[v] .. offsets[v+1]
+// delimit v's neighbor run inside one dense array — with two additions the
+// executor exploits:
+//
+//   - neighbor runs are sorted by destination VID, so cyclic pattern edges
+//     close by merge/galloping intersection instead of hash probes, and
+//   - edge-property columns are permuted alongside the neighbors, so the
+//     aligned-run contract of Segment holds unchanged.
+//
+// The snapshot hangs off the AdjList behind an atomic pointer: any topology
+// mutation invalidates it (readers fall back to the live slot layout), and
+// re-sealing after a compaction is one atomic store — concurrent readers
+// keep whichever image they already loaded. Sealing is part of the
+// single-writer bulk path; once queries run, the base graph no longer
+// mutates and the snapshot is permanent.
+
+import (
+	"sort"
+
+	"ges/internal/catalog"
+	"ges/internal/vector"
+)
+
+// csr is the sealed image of one adjacency family.
+type csr struct {
+	// offsets has len(meta)+1 entries: vertex v's neighbors occupy
+	// neighbors[offsets[v]:offsets[v+1]], sorted ascending by VID.
+	offsets   []uint32
+	neighbors []vector.VID
+
+	// Edge-property columns aligned with neighbors, permuted by the same
+	// per-run sort. Indexed like AdjList.prop*: one entry per schema
+	// position, only the slice matching propKinds[p] populated.
+	propKinds []vector.Kind
+	propI64   [][]int64
+	propF64   [][]float64
+	propStr   [][]string
+}
+
+// sealCSR builds the sorted CSR image of the family's current live entries.
+func (a *AdjList) sealCSR() *csr {
+	total := 0
+	for i := range a.meta {
+		total += int(a.meta[i].len)
+	}
+	c := &csr{
+		offsets:   make([]uint32, len(a.meta)+1),
+		neighbors: make([]vector.VID, total),
+		propKinds: a.propKinds,
+	}
+	hasProps := len(a.propKinds) > 0
+	if hasProps {
+		c.propI64 = make([][]int64, len(a.propKinds))
+		c.propF64 = make([][]float64, len(a.propKinds))
+		c.propStr = make([][]string, len(a.propKinds))
+		for p, k := range a.propKinds {
+			switch k {
+			case vector.KindInt64, vector.KindDate:
+				c.propI64[p] = make([]int64, total)
+			case vector.KindFloat64:
+				c.propF64[p] = make([]float64, total)
+			case vector.KindString:
+				c.propStr[p] = make([]string, total)
+			}
+		}
+	}
+	off := uint32(0)
+	var perm []int
+	for i := range a.meta {
+		c.offsets[i] = off
+		m := a.meta[i]
+		if m.len == 0 {
+			continue
+		}
+		src := a.arr[m.off : m.off+m.len]
+		dst := c.neighbors[off : off+m.len]
+		if !hasProps {
+			copy(dst, src)
+			sort.Slice(dst, func(x, y int) bool { return dst[x] < dst[y] })
+		} else {
+			// Sort a permutation so the property columns move with their
+			// neighbors.
+			perm = perm[:0]
+			for j := 0; j < int(m.len); j++ {
+				perm = append(perm, j)
+			}
+			sort.Slice(perm, func(x, y int) bool { return src[perm[x]] < src[perm[y]] })
+			for j, pj := range perm {
+				dst[j] = src[pj]
+				at := int(off) + j
+				from := int(m.off) + pj
+				for p, k := range a.propKinds {
+					switch k {
+					case vector.KindInt64, vector.KindDate:
+						c.propI64[p][at] = a.propI64[p][from]
+					case vector.KindFloat64:
+						c.propF64[p][at] = a.propF64[p][from]
+					case vector.KindString:
+						c.propStr[p][at] = a.propStr[p][from]
+					}
+				}
+			}
+		}
+		off += m.len
+	}
+	c.offsets[len(a.meta)] = off
+	return c
+}
+
+// run returns src's sorted neighbor run (nil when src has none).
+func (c *csr) run(src vector.VID) []vector.VID {
+	if int(src) >= len(c.offsets)-1 {
+		return nil
+	}
+	lo, hi := c.offsets[src], c.offsets[src+1]
+	return c.neighbors[lo:hi:hi]
+}
+
+// segment builds the Segment view of src's run, Sorted by construction.
+func (c *csr) segment(src vector.VID, withProps bool) (Segment, bool) {
+	if int(src) >= len(c.offsets)-1 {
+		return Segment{}, false
+	}
+	lo, hi := c.offsets[src], c.offsets[src+1]
+	if lo == hi {
+		return Segment{}, false
+	}
+	seg := Segment{VIDs: c.neighbors[lo:hi:hi], Sorted: true}
+	if withProps {
+		for p, k := range c.propKinds {
+			switch k {
+			case vector.KindInt64, vector.KindDate:
+				seg.PropI64 = append(seg.PropI64, c.propI64[p][lo:hi:hi])
+				seg.PropF64 = append(seg.PropF64, nil)
+				seg.PropStr = append(seg.PropStr, nil)
+			case vector.KindFloat64:
+				seg.PropI64 = append(seg.PropI64, nil)
+				seg.PropF64 = append(seg.PropF64, c.propF64[p][lo:hi:hi])
+				seg.PropStr = append(seg.PropStr, nil)
+			case vector.KindString:
+				seg.PropI64 = append(seg.PropI64, nil)
+				seg.PropF64 = append(seg.PropF64, nil)
+				seg.PropStr = append(seg.PropStr, c.propStr[p][lo:hi:hi])
+			}
+		}
+	}
+	return seg, true
+}
+
+// memBytes approximates the snapshot's resident size.
+func (c *csr) memBytes() int {
+	n := len(c.offsets)*4 + len(c.neighbors)*4
+	for p, k := range c.propKinds {
+		switch k {
+		case vector.KindInt64, vector.KindDate:
+			n += len(c.propI64[p]) * 8
+		case vector.KindFloat64:
+			n += len(c.propF64[p]) * 8
+		case vector.KindString:
+			n += len(c.propStr[p]) * 16
+			for _, s := range c.propStr[p] {
+				n += len(s)
+			}
+		}
+	}
+	return n
+}
+
+// Seal (re)builds the family's CSR snapshot and publishes it atomically.
+// Part of the single-writer bulk path; concurrent readers keep serving from
+// whichever image (or the live slots) they already resolved.
+func (a *AdjList) Seal() { a.snap.Store(a.sealCSR()) }
+
+// Sealed reports whether a current CSR snapshot is published.
+func (a *AdjList) Sealed() bool { return a.snap.Load() != nil }
+
+// SealCSR seals every adjacency family into a sorted CSR snapshot. Call it
+// at bulk-load finish (after CompactAdjacency) and again after any
+// single-writer maintenance pass; each family swaps in atomically. Returns
+// the number of families sealed.
+func (g *Graph) SealCSR() int {
+	n := 0
+	for _, l := range g.adj {
+		l.Seal()
+		n++
+	}
+	return n
+}
+
+// CSRSealed reports whether every adjacency family currently serves from a
+// CSR snapshot (true for an edgeless graph).
+func (g *Graph) CSRSealed() bool {
+	for _, l := range g.adj {
+		if !l.Sealed() {
+			return false
+		}
+	}
+	return true
+}
+
+// NeighborRun delimits one source's rows inside a Batch: Batch.VIDs[Start:End]
+// (and the aligned Prop* rows) are that source's neighbors.
+type NeighborRun struct {
+	Start, End int32
+}
+
+// Len returns the run's neighbor count.
+func (r NeighborRun) Len() int { return int(r.End - r.Start) }
+
+// Batch is the result of one batched neighbor expansion: Runs is aligned
+// with the request's source slice (empty run for NilVID or isolated
+// sources), and every run's rows live in VIDs with edge properties aligned
+// element-for-element.
+//
+// Two storage modes exist. When Shared is set, VIDs and the Prop* columns
+// reference storage-owned CSR arrays directly (zero copy — never mutate)
+// and Runs index into them; otherwise they are buffers owned by the Batch,
+// packed back to back in run order. Either way a consumer may retain
+// sub-slices (lazy columns do): owned buffers are replaced, not recycled,
+// by the next fill.
+type Batch struct {
+	VIDs []vector.VID
+	Runs []NeighborRun
+
+	// Shared marks VIDs/Prop* as views of storage-owned memory.
+	Shared bool
+	// Sorted guarantees every run is ascending by VID — the precondition
+	// for intersection-based joins. Cleared whenever a run merges multiple
+	// families or includes transaction-overlay entries.
+	Sorted bool
+
+	// Edge-property columns aligned with VIDs (populated when requested),
+	// indexed by schema position like Segment.Prop*.
+	PropI64 [][]int64
+	PropF64 [][]float64
+	PropStr [][]string
+}
+
+// Run returns the neighbors of request row i.
+func (b *Batch) Run(i int) []vector.VID {
+	r := b.Runs[i]
+	return b.VIDs[r.Start:r.End]
+}
+
+// reset prepares the batch for refilling with n runs. Owned buffers are
+// dropped rather than reused: consumers may retain sub-slices of the
+// previous fill.
+func (b *Batch) reset(n int) {
+	b.VIDs = nil
+	b.PropI64, b.PropF64, b.PropStr = nil, nil, nil
+	b.Shared, b.Sorted = false, false
+	if cap(b.Runs) < n {
+		b.Runs = make([]NeighborRun, n)
+	} else {
+		b.Runs = b.Runs[:n]
+	}
+}
+
+// NeighborsBatch implements View: one call resolves the neighbors of every
+// source, filling out's runs aligned with srcs. NilVID sources produce empty
+// runs, so callers can pass invalid parent rows without re-aligning.
+//
+// The fast path engages when the request maps to a single sealed family
+// (one direction, concrete dstLabel, uniform source label): runs are pure
+// prefix-sum lookups into the shared CSR arrays — no per-source map lookup,
+// no copying — and Sorted is guaranteed. Everything else (AnyLabel fan-out,
+// Both, unsealed families, mixed source labels) takes the copying reference
+// path, which preserves exactly the scalar Neighbors segment order.
+func (g *Graph) NeighborsBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool, out *Batch) {
+	if dir != catalog.Both && dstLabel != AnyLabel && g.csrBatch(srcs, et, dir, dstLabel, withProps, out) {
+		return
+	}
+	AppendNeighborsBatch(g, srcs, et, dir, dstLabel, withProps, out)
+}
+
+// csrBatch attempts the zero-copy CSR fast path; false means the caller
+// must fall back to the reference path.
+func (g *Graph) csrBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool, out *Batch) bool {
+	// Resolve the single family off the first live source's label; bail to
+	// the general path when source labels mix.
+	var label catalog.LabelID
+	first := -1
+	for i, s := range srcs {
+		if s != vector.NilVID {
+			label = g.labelOf[s]
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		// All-NilVID request: empty runs, trivially sorted.
+		out.reset(len(srcs))
+		for i := range out.Runs {
+			out.Runs[i] = NeighborRun{}
+		}
+		out.Sorted = true
+		return true
+	}
+	l, ok := g.adj[AdjKey{Src: label, Et: et, Dst: dstLabel, Dir: dir}]
+	if !ok {
+		// No family for this label: verify uniformity, then emit empty runs.
+		for _, s := range srcs[first:] {
+			if s != vector.NilVID && g.labelOf[s] != label {
+				return false
+			}
+		}
+		out.reset(len(srcs))
+		for i := range out.Runs {
+			out.Runs[i] = NeighborRun{}
+		}
+		out.Sorted = true
+		return true
+	}
+	c := l.snap.Load()
+	if c == nil {
+		return false
+	}
+	out.reset(len(srcs))
+	last := vector.VID(len(c.offsets) - 1)
+	for i, s := range srcs {
+		if s == vector.NilVID {
+			out.Runs[i] = NeighborRun{}
+			continue
+		}
+		if g.labelOf[s] != label {
+			return false
+		}
+		if s >= last {
+			out.Runs[i] = NeighborRun{}
+			continue
+		}
+		out.Runs[i] = NeighborRun{Start: int32(c.offsets[s]), End: int32(c.offsets[s+1])}
+	}
+	out.VIDs = c.neighbors
+	out.Shared, out.Sorted = true, true
+	if withProps {
+		out.PropI64, out.PropF64, out.PropStr = c.propI64, c.propF64, c.propStr
+	}
+	return true
+}
+
+// AppendNeighborsBatch is the reference implementation of the batched
+// neighbor API: per-source scalar Neighbors calls appended back to back into
+// out's owned buffers. It defines the batch/scalar equivalence contract —
+// run i holds exactly the concatenation of Neighbors(srcs[i])'s segments, in
+// segment order — and any View can use it to satisfy NeighborsBatch.
+func AppendNeighborsBatch(v View, srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool, out *Batch) {
+	out.reset(len(srcs))
+	nProps := 0
+	var kinds []catalog.PropDef
+	if withProps {
+		kinds = v.Catalog().EdgeTypeProps(et)
+		nProps = len(kinds)
+		out.PropI64 = make([][]int64, nProps)
+		out.PropF64 = make([][]float64, nProps)
+		out.PropStr = make([][]string, nProps)
+	}
+	sorted := true
+	var segBuf []Segment
+	total := int32(0)
+	for i, s := range srcs {
+		start := total
+		if s != vector.NilVID {
+			segBuf = v.Neighbors(segBuf[:0], s, et, dir, dstLabel, withProps)
+			for _, seg := range segBuf {
+				out.VIDs = append(out.VIDs, seg.VIDs...)
+				for p := 0; p < nProps; p++ {
+					switch kinds[p].Kind {
+					case vector.KindInt64, vector.KindDate:
+						out.PropI64[p] = append(out.PropI64[p], seg.PropI64[p]...)
+					case vector.KindFloat64:
+						out.PropF64[p] = append(out.PropF64[p], seg.PropF64[p]...)
+					case vector.KindString:
+						out.PropStr[p] = append(out.PropStr[p], seg.PropStr[p]...)
+					}
+				}
+				total += int32(len(seg.VIDs))
+			}
+			// A run stays sorted only as a single sorted segment; merged
+			// families and overlay entries void the guarantee.
+			if len(segBuf) > 1 || (len(segBuf) == 1 && !segBuf[0].Sorted) {
+				sorted = false
+			}
+		}
+		out.Runs[i] = NeighborRun{Start: start, End: total}
+	}
+	out.Sorted = sorted
+}

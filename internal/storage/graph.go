@@ -21,6 +21,11 @@ type Segment struct {
 	PropI64 [][]int64
 	PropF64 [][]float64
 	PropStr [][]string
+
+	// Sorted guarantees VIDs is ascending — true when the segment serves
+	// from a sealed CSR snapshot. Intersection joins require it; consumers
+	// that don't care ignore it.
+	Sorted bool
 }
 
 // View is the read interface the executor runs against. The base *Graph
@@ -49,6 +54,13 @@ type View interface {
 	// direction dir toward dstLabel (or AnyLabel) to buf and returns it.
 	// withProps populates the aligned edge-property runs.
 	Neighbors(buf []Segment, src vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool) []Segment
+	// NeighborsBatch resolves the neighbors of every source in one call,
+	// filling out with one run per source (aligned with srcs; NilVID
+	// sources yield empty runs). Run i holds exactly the concatenation of
+	// Neighbors(srcs[i])'s segments — the batched and scalar paths are
+	// byte-identical — and out.Sorted reports whether every run is
+	// ascending by VID (the precondition for intersection joins).
+	NeighborsBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool, out *Batch)
 	// Degree returns the total neighbor count that Neighbors would yield.
 	Degree(src vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID) int
 	// ScanLabel returns all vertices of a label. The result is shared and
@@ -189,7 +201,13 @@ func (g *Graph) SetProp(v vector.VID, p catalog.PropID, val vector.Value) {
 }
 
 // fillSegment populates a Segment (with optional edge props) for src in l.
+// A sealed family serves the sorted CSR run (loaded once, so neighbors and
+// properties always come from the same image); otherwise the live slot
+// layout is used.
 func fillSegment(l *AdjList, src vector.VID, withProps bool) (Segment, bool) {
+	if c := l.snap.Load(); c != nil {
+		return c.segment(src, withProps)
+	}
 	ns := l.neighbors(src)
 	if len(ns) == 0 {
 		return Segment{}, false
@@ -281,7 +299,8 @@ func (g *Graph) CountLabel(label catalog.LabelID) int {
 }
 
 // MemBytes returns the approximate resident size of the base graph,
-// including topology and properties — the paper's "graph size" (Table 1).
+// including topology, properties, the family indexes and any sealed CSR
+// snapshots — the paper's "graph size" (Table 1).
 func (g *Graph) MemBytes() int {
 	n := len(g.labelOf)*2 + len(g.rowOf)*4 + len(g.extOf)*8
 	for _, t := range g.tables {
@@ -291,6 +310,18 @@ func (g *Graph) MemBytes() int {
 	}
 	for _, l := range g.adj {
 		n += l.memBytes()
+		if c := l.snap.Load(); c != nil {
+			n += c.memBytes()
+		}
+	}
+	// Family hash table: AdjKey (8 bytes) + pointer + bucket overhead per
+	// entry.
+	n += len(g.adj) * (8 + 8 + 16)
+	// AnyLabel family index: per key the famKey + slice header, per entry
+	// one famEntry (label + pointer).
+	n += len(g.famIdx) * (8 + 24)
+	for _, fes := range g.famIdx {
+		n += len(fes) * 16
 	}
 	return n
 }

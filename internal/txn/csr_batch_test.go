@@ -1,0 +1,83 @@
+package txn
+
+import (
+	"testing"
+
+	"ges/internal/catalog"
+	"ges/internal/storage"
+	"ges/internal/testgraph"
+	"ges/internal/vector"
+)
+
+// assertBatchMatchesScalar checks the NeighborsBatch contract on a view: run
+// i must be the exact concatenation of the scalar Neighbors segments of
+// srcs[i].
+func assertBatchMatchesScalar(t *testing.T, v storage.View, srcs []vector.VID,
+	et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID) {
+	t.Helper()
+	var b storage.Batch
+	v.NeighborsBatch(srcs, et, dir, dstLabel, false, &b)
+	if len(b.Runs) != len(srcs) {
+		t.Fatalf("runs = %d, srcs = %d", len(b.Runs), len(srcs))
+	}
+	for i, src := range srcs {
+		var want []vector.VID
+		if src != vector.NilVID {
+			for _, seg := range v.Neighbors(nil, src, et, dir, dstLabel, false) {
+				want = append(want, seg.VIDs...)
+			}
+		}
+		got := b.Run(i)
+		if len(got) != len(want) {
+			t.Fatalf("src %d: run length %d want %d", src, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("src %d: run[%d] = %d want %d", src, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestSnapshotNeighborsBatch covers the three snapshot regimes: no overlays
+// (delegates to the base graph, CSR fast path included), overlays present
+// (reference path preserving base-then-overlay order), and a sealed base
+// under an overlay snapshot.
+func TestSnapshotNeighborsBatch(t *testing.T) {
+	f := testgraph.New()
+	s := f.Schema
+	f.Graph.CompactAdjacency()
+	f.Graph.SealCSR()
+	m := NewManager(f.Graph)
+
+	clean := m.Snapshot()
+	assertBatchMatchesScalar(t, clean, f.Persons, s.Knows, catalog.Out, s.Person)
+	assertBatchMatchesScalar(t, clean, f.Persons, s.Knows, catalog.Out, storage.AnyLabel)
+
+	// Commit new edges through the overlay; the sealed base stays untouched.
+	p0, p9 := f.Persons[0], f.Persons[9]
+	tx := m.Begin([]vector.VID{p0, p9})
+	if err := tx.AddEdge(s.Knows, p0, p9, vector.Date(20000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Graph.CSRSealed() {
+		t.Fatal("overlay commit must not unseal the base CSR")
+	}
+
+	after := m.Snapshot()
+	assertBatchMatchesScalar(t, after, f.Persons, s.Knows, catalog.Out, storage.AnyLabel)
+	assertBatchMatchesScalar(t, after, f.Persons, s.Knows, catalog.In, storage.AnyLabel)
+	assertBatchMatchesScalar(t, after, f.Persons, s.Knows, catalog.Both, storage.AnyLabel)
+
+	// Overlay-contributed runs must not claim sortedness.
+	var b storage.Batch
+	after.NeighborsBatch([]vector.VID{p0}, s.Knows, catalog.Out, storage.AnyLabel, false, &b)
+	if b.Sorted {
+		t.Fatal("overlay-merged batch must not be flagged Sorted")
+	}
+	// The pre-commit snapshot still matches its own scalar view.
+	assertBatchMatchesScalar(t, clean, f.Persons, s.Knows, catalog.Out, storage.AnyLabel)
+}

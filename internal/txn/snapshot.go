@@ -148,6 +148,20 @@ func (s *Snapshot) Neighbors(buf []storage.Segment, src vector.VID, et catalog.E
 	return buf
 }
 
+// NeighborsBatch implements storage.View. Without overlays the call
+// delegates to the base graph's batched kernel (zero-copy CSR fast path
+// included). With overlays it takes the per-source reference path, which
+// preserves the scalar merge order — base segments first, then the visible
+// overlay prefixes — so batched and scalar reads stay byte-identical;
+// Sorted then reports false for any run an overlay contributed to.
+func (s *Snapshot) NeighborsBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool, out *storage.Batch) {
+	if !s.hasOverlays {
+		s.m.graph.NeighborsBatch(srcs, et, dir, dstLabel, withProps, out)
+		return
+	}
+	storage.AppendNeighborsBatch(s, srcs, et, dir, dstLabel, withProps, out)
+}
+
 // Degree implements storage.View.
 func (s *Snapshot) Degree(src vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID) int {
 	n := 0

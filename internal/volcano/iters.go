@@ -148,6 +148,33 @@ func newVarExpandIter(view storage.View, in iter, spec *op.VarLengthExpand) (ite
 	}, nil
 }
 
+// newExpandIntoIter filters tuples by closing-edge existence, one row at a
+// time — the Volcano counterpart of the GES intersection semi-join.
+func newExpandIntoIter(view storage.View, in iter, spec *op.ExpandInto) (iter, error) {
+	fromIdx, err := colIndex(in, spec.From)
+	if err != nil {
+		return nil, err
+	}
+	toIdx, err := colIndex(in, spec.To)
+	if err != nil {
+		return nil, err
+	}
+	return &mapIter{
+		in: in, names: in.schema(), ks: in.kinds(),
+		fn: func(row []vector.Value) ([]vector.Value, bool) {
+			src, want := row[fromIdx].AsVID(), row[toIdx].AsVID()
+			for _, seg := range view.Neighbors(nil, src, spec.Et, spec.Dir, spec.DstLabel, false) {
+				for _, v := range seg.VIDs {
+					if v == want {
+						return row, true
+					}
+				}
+			}
+			return nil, false
+		},
+	}, nil
+}
+
 func (it *varExpandIter) schema() []string     { return it.names }
 func (it *varExpandIter) kinds() []vector.Kind { return it.ks }
 

@@ -116,6 +116,8 @@ func (e *Engine) buildOp(view storage.View, in iter, o op.Operator) (iter, error
 		return newExpandIter(view, in, n)
 	case *op.VarLengthExpand:
 		return newVarExpandIter(view, in, n)
+	case *op.ExpandInto:
+		return newExpandIntoIter(view, in, n)
 	case *op.ProjectProps:
 		return newProjectIter(view, in, n)
 	case *op.ProjectExpr:
