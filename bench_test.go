@@ -412,3 +412,35 @@ func BenchmarkAblation_MV2PLOverhead(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkWCOJ sweeps the multiway-intersection ladder behind
+// BENCH_wcoj.json on each cyclic pattern: the de-fused binary-join baseline
+// (no-wcoj), the multiway operator over hash-set probes (wcoj+hash), then
+// the full leapfrog intersection over sorted CSR runs (wcoj).
+func BenchmarkWCOJ(b *testing.B) {
+	ds := sealedDataset(b)
+	patterns := []struct {
+		name  string
+		build func(*ldbc.Dataset) plan.Plan
+	}{
+		{"Triangle", bench.WCOJTrianglePlan},
+		{"Diamond", bench.WCOJDiamondPlan},
+		{"FourCycle", bench.WCOJFourCyclePlan},
+		{"FourClique", bench.WCOJFourCliquePlan},
+	}
+	for _, pat := range patterns {
+		for _, v := range bench.WCOJVariants {
+			b.Run(pat.name+"/"+v.Name, func(b *testing.B) {
+				eng := v.Engine(exec.ModeFactorized, 1)
+				p := pat.build(ds)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Run(ds.Graph, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -37,6 +37,7 @@ func main() {
 		noGather = flag.Bool("no-gather", false, "disable the vectorized gather path (batch column access, dict-code compares, zone maps); every experiment then runs the scalar per-row reference")
 		noCSR    = flag.Bool("no-csr", false, "disable the batched adjacency kernel (NeighborsBatch over sealed CSR snapshots); expansion runs the per-source scalar reference")
 		noInter  = flag.Bool("no-intersect", false, "disable the merge/galloping intersection in ExpandInto; cyclic joins close through the hash-set probe")
+		noWCOJ   = flag.Bool("no-wcoj", false, "de-fuse ExpandIntersect into the classical binary-join plan (expand then per-edge ExpandInto)")
 	)
 	flag.Parse()
 
@@ -74,6 +75,7 @@ func main() {
 	cfg.NoGather = *noGather
 	cfg.NoCSR = *noCSR
 	cfg.NoIntersect = *noInter
+	cfg.NoWCOJ = *noWCOJ
 
 	exps := bench.All()
 	if *exp != "all" {

@@ -23,7 +23,9 @@ import (
 //	    partial order declared by //geslint:lockorder A < B comments; both
 //	    inversions and undeclared nestings are findings.
 //	R3  selection vectors (core.Node.Sel) are written only by internal/core
-//	    and internal/op/filter.go; //geslint:selwrite-ok opts a file out.
+//	    and the operators sanctioned by name in selWriters (filter.go, and
+//	    expandinto.go whose in-place closure narrows the child selection);
+//	    //geslint:selwrite-ok opts a file out.
 //	R4  f-Block columns are never appended to outside internal/core — growing
 //	    a column breaks the equal-cardinality invariant (I1) behind the
 //	    block's back.
@@ -33,6 +35,16 @@ import (
 
 var directiveRe = regexp.MustCompile(`^//geslint:([a-z-]+)\s*(.*?)\s*$`)
 var lockOrderRe = regexp.MustCompile(`^(\S+)\s*<\s*(\S+)$`)
+
+// selWriters are the internal/op files sanctioned by name to write selection
+// vectors (R3): the Filter operator, and ExpandInto, whose intersection
+// closure narrows the child node's selection in place instead of copying the
+// tree through a Filter. New operators must earn a named entry here — a
+// file-scope directive would also exempt future unrelated writes in the file.
+var selWriters = map[string]bool{
+	"filter.go":     true,
+	"expandinto.go": true,
+}
 
 // bitsetWrites are the vector.Bitset mutators R3 polices.
 var bitsetWrites = map[string]bool{
@@ -291,8 +303,8 @@ func (a *analysis) isSelField(pkg *Package, e ast.Expr) bool {
 // writers.
 func (a *analysis) checkSelWrites(pkg *Package, f *ast.File) {
 	fname := a.mod.Fset.Position(f.Pos()).Filename
-	if pkg.Rel == "internal/op" && filepath.Base(fname) == "filter.go" {
-		return // the Filter operator is the sanctioned selection writer
+	if pkg.Rel == "internal/op" && selWriters[filepath.Base(fname)] {
+		return
 	}
 	isSel := func(e ast.Expr) bool { return a.isSelField(pkg, e) }
 	tainted := taintedObjs(pkg, f, isSel)
@@ -317,7 +329,7 @@ func (a *analysis) checkSelWrites(pkg *Package, f *ast.File) {
 		}
 		if selRecv {
 			a.report(call.Pos(), "R3",
-				"selection-vector write %s outside internal/core and internal/op/filter.go; route through Filter or annotate the file //geslint:selwrite-ok",
+				"selection-vector write %s outside internal/core and the sanctioned internal/op writers (filter.go, expandinto.go); route through Filter or annotate the file //geslint:selwrite-ok",
 				fn.Name())
 		}
 		return true

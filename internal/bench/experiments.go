@@ -45,13 +45,16 @@ type Config struct {
 	// NoIntersect disables the merge/galloping intersection in ExpandInto;
 	// cyclic pattern edges close through the hash-set probe instead.
 	NoIntersect bool
+	// NoWCOJ de-fuses ExpandIntersect into the classical binary-join plan
+	// (expand the candidate set, close each edge with ExpandInto).
+	NoWCOJ bool
 }
 
 // newEngine returns an engine honoring the ablation switches.
 func (cfg Config) newEngine(mode exec.Mode) *exec.Engine {
 	e := exec.New(mode)
 	e.NoGather, e.NoDictCmp, e.NoZoneMap = cfg.NoGather, cfg.NoGather, cfg.NoGather
-	e.NoCSR, e.NoIntersect = cfg.NoCSR, cfg.NoIntersect
+	e.NoCSR, e.NoIntersect, e.NoWCOJ = cfg.NoCSR, cfg.NoIntersect, cfg.NoWCOJ
 	return e
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ges/internal/bench"
+	"ges/internal/driver"
 )
 
 // tinyConfig keeps the smoke test fast.
@@ -42,9 +43,10 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"parallel": "hit rate",
 		"gather":   "read path",
 		"csr":      "triangle closure",
+		"wcoj":     "cross-check",
 	}
 	if len(bench.All()) != len(wantFragments) {
-		t.Fatalf("registry has %d experiments, want %d (one per table/figure + parallel + gather + csr)",
+		t.Fatalf("registry has %d experiments, want %d (one per table/figure + parallel + gather + csr + wcoj)",
 			len(bench.All()), len(wantFragments))
 	}
 	for _, e := range bench.All() {
@@ -125,5 +127,27 @@ func TestFig3ExpandDominates(t *testing.T) {
 	}
 	if matPct < 50 {
 		t.Fatalf("materialization operators only account for %.1f%% of IC9:\n%s", matPct, section)
+	}
+}
+
+// TestWCOJCrossCheck runs the multiway-intersection determinism sweep at
+// small scale: every cyclic pattern must return the identical aggregate
+// under every knob ladder point and worker count, and the dataset must
+// actually contain matches for the speedup claim to be meaningful.
+func TestWCOJCrossCheck(t *testing.T) {
+	ds, err := driver.SharedDataset(0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Graph.SealCSR()
+	counts, err := bench.WCOJCrossCheck(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pat := range bench.WCOJPatterns {
+		if counts[i] <= 0 && pat.Name != "4-clique" {
+			t.Errorf("%s: no matches at simSF 0.03", pat.Name)
+		}
+		t.Logf("%s: %d matches", pat.Name, counts[i])
 	}
 }

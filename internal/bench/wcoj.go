@@ -1,0 +1,255 @@
+// The "wcoj" experiment measures the worst-case-optimal multiway expansion
+// (op.ExpandIntersect) on cyclic patterns — triangle, diamond, 4-cycle and
+// 4-clique over LDBC KNOWS — against the classical binary-join plan the
+// NoWCOJ knob de-fuses to (Expand the candidate set, then close each edge
+// with ExpandInto). A ladder separates the leapfrog intersection over sorted
+// CSR runs from its hash-set fallback, and a worker-count cross-check proves
+// every knob combination returns the identical aggregate. It emits the
+// machine-readable BENCH_wcoj.json artifact when Config.JSONPath is set.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"ges/internal/catalog"
+	"ges/internal/driver"
+	"ges/internal/exec"
+	"ges/internal/ldbc"
+	"ges/internal/op"
+	"ges/internal/plan"
+)
+
+func init() {
+	register(Experiment{"wcoj", "WCOJ: multiway intersection expansion vs binary joins on cyclic patterns", wcojExp})
+}
+
+// WCOJVariant is one ablation point of the multiway-join ladder.
+type WCOJVariant struct {
+	Name        string
+	NoWCOJ      bool
+	NoIntersect bool
+}
+
+// WCOJVariants lists the knob ladder, baseline first: the de-fused classical
+// plan (expand + per-edge ExpandInto), then the multiway operator probing
+// hash sets, then the full leapfrog intersection over sorted CSR runs.
+var WCOJVariants = []WCOJVariant{
+	{Name: "no-wcoj", NoWCOJ: true},
+	{Name: "wcoj+hash", NoIntersect: true},
+	{Name: "wcoj"},
+}
+
+// Engine builds an engine with the variant's knobs applied.
+func (v WCOJVariant) Engine(mode exec.Mode, workers int) *exec.Engine {
+	e := exec.New(mode)
+	e.Parallel = workers
+	e.NoWCOJ, e.NoIntersect = v.NoWCOJ, v.NoIntersect
+	return e
+}
+
+// wcojAgg closes every pattern plan with the same divergence-sensitive
+// aggregate: the match count plus a Sum over the intersected variable's
+// external id, so a single wrong vertex anywhere shows in the cross-check.
+func wcojAgg(newVar string) []op.Operator {
+	return []op.Operator{
+		&op.ProjectProps{Specs: []op.ProjSpec{{Var: newVar, As: "v.id", ExtID: true}}},
+		&op.Aggregate{Aggs: []op.AggSpec{
+			{Func: op.Count, As: "n"},
+			{Func: op.Sum, Arg: "v.id", As: "sum"},
+		}},
+	}
+}
+
+// WCOJTrianglePlan counts directed KNOWS triangles a→b→c→a: c is the
+// intersection of b's out-neighbors and a's in-neighbors.
+func WCOJTrianglePlan(ds *ldbc.Dataset) plan.Plan {
+	h := ds.H
+	return append(plan.Plan{
+		&op.NodeScan{Var: "a", Label: h.Person},
+		&op.Expand{From: "a", To: "b", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.ExpandIntersect{To: "c", Sides: []op.IntersectSide{
+			{Var: "b", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person, SrcLabel: h.Person},
+			{Var: "a", Et: h.Knows, Dir: catalog.In, DstLabel: h.Person, SrcLabel: h.Person},
+		}},
+	}, wcojAgg("c")...)
+}
+
+// WCOJDiamondPlan counts diamonds a→b→d, a→c→d: after materializing the two
+// independent hops, c is the intersection of a's out- and d's in-neighbors.
+func WCOJDiamondPlan(ds *ldbc.Dataset) plan.Plan {
+	h := ds.H
+	return append(plan.Plan{
+		&op.NodeScan{Var: "a", Label: h.Person},
+		&op.Expand{From: "a", To: "b", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.Expand{From: "b", To: "d", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.ExpandIntersect{To: "c", Sides: []op.IntersectSide{
+			{Var: "a", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person, SrcLabel: h.Person},
+			{Var: "d", Et: h.Knows, Dir: catalog.In, DstLabel: h.Person, SrcLabel: h.Person},
+		}},
+	}, wcojAgg("c")...)
+}
+
+// WCOJFourCyclePlan counts directed 4-cycles a→b→c→d→a: d intersects c's
+// out-neighbors with a's in-neighbors.
+func WCOJFourCyclePlan(ds *ldbc.Dataset) plan.Plan {
+	h := ds.H
+	return append(plan.Plan{
+		&op.NodeScan{Var: "a", Label: h.Person},
+		&op.Expand{From: "a", To: "b", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.Expand{From: "b", To: "c", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.ExpandIntersect{To: "d", Sides: []op.IntersectSide{
+			{Var: "c", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person, SrcLabel: h.Person},
+			{Var: "a", Et: h.Knows, Dir: catalog.In, DstLabel: h.Person, SrcLabel: h.Person},
+		}},
+	}, wcojAgg("d")...)
+}
+
+// WCOJFourCliquePlan counts directed 4-cliques (all six edges oriented by
+// discovery order): two stacked intersections, the second three-way.
+func WCOJFourCliquePlan(ds *ldbc.Dataset) plan.Plan {
+	h := ds.H
+	return append(plan.Plan{
+		&op.NodeScan{Var: "a", Label: h.Person},
+		&op.Expand{From: "a", To: "b", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.ExpandIntersect{To: "c", Sides: []op.IntersectSide{
+			{Var: "a", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person, SrcLabel: h.Person},
+			{Var: "b", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person, SrcLabel: h.Person},
+		}},
+		&op.ExpandIntersect{To: "d", Sides: []op.IntersectSide{
+			{Var: "a", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person, SrcLabel: h.Person},
+			{Var: "b", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person, SrcLabel: h.Person},
+			{Var: "c", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person, SrcLabel: h.Person},
+		}},
+	}, wcojAgg("d")...)
+}
+
+// WCOJPatterns enumerates the experiment's cyclic workloads.
+var WCOJPatterns = []struct {
+	Name  string
+	Build func(ds *ldbc.Dataset) plan.Plan
+}{
+	{"triangle", WCOJTrianglePlan},
+	{"diamond", WCOJDiamondPlan},
+	{"4-cycle", WCOJFourCyclePlan},
+	{"4-clique", WCOJFourCliquePlan},
+}
+
+// wcojVariantPoint is one measured point in BENCH_wcoj.json.
+type wcojVariantPoint struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"nsPerOp"`
+	Speedup float64 `json:"speedup"` // vs the ladder's no-wcoj baseline
+}
+
+// wcojPattern is one cyclic pattern's section of BENCH_wcoj.json.
+type wcojPattern struct {
+	Name     string             `json:"name"`
+	Count    int64              `json:"count"`
+	Variants []wcojVariantPoint `json:"variants"`
+	Speedup  float64            `json:"speedup"` // full wcoj vs no-wcoj
+}
+
+// wcojReport is the schema of BENCH_wcoj.json.
+type wcojReport struct {
+	SimSF          float64       `json:"simSF"`
+	SealedFamilies int           `json:"sealedFamilies"`
+	Patterns       []wcojPattern `json:"patterns"`
+	// CrossCheck is true when every pattern × knob × worker count returned
+	// the identical aggregate row.
+	CrossCheck bool `json:"crossCheck"`
+}
+
+// wcojWorkerSweep is the worker sweep for the determinism cross-check.
+var wcojWorkerSweep = []int{1, 2, 4, 8}
+
+// WCOJCrossCheck runs every pattern under every knob × worker combination
+// and fails on any aggregate divergence. Counts per pattern are returned in
+// WCOJPatterns order. Shared by the experiment and the test suite.
+func WCOJCrossCheck(ds *ldbc.Dataset) ([]int64, error) {
+	counts := make([]int64, len(WCOJPatterns))
+	for pi, pat := range WCOJPatterns {
+		var want string
+		for _, workers := range wcojWorkerSweep {
+			for _, v := range WCOJVariants {
+				res, err := v.Engine(exec.ModeFactorized, workers).Run(ds.Graph, pat.Build(ds))
+				if err != nil {
+					return nil, fmt.Errorf("%s %s workers=%d: %w", pat.Name, v.Name, workers, err)
+				}
+				got := fmt.Sprint(res.Block.Rows)
+				if want == "" {
+					want = got
+					counts[pi] = res.Block.Rows[0][0].I
+				} else if got != want {
+					return nil, fmt.Errorf("%s %s workers=%d diverges: %s != %s", pat.Name, v.Name, workers, got, want)
+				}
+			}
+		}
+	}
+	return counts, nil
+}
+
+func wcojExp(w io.Writer, cfg Config) error {
+	sf := cfg.SFs[len(cfg.SFs)-1]
+	ds, err := driver.SharedDataset(sf)
+	if err != nil {
+		return err
+	}
+	report := wcojReport{SimSF: sf}
+	report.SealedFamilies = ds.Graph.SealCSR()
+	fmt.Fprintf(w, "sealed %d adjacency families, simSF=%.4g\n", report.SealedFamilies, sf)
+
+	counts, err := WCOJCrossCheck(ds)
+	if err != nil {
+		return err
+	}
+	report.CrossCheck = true
+	fmt.Fprintf(w, "cross-check: identical aggregates across workers %v and all knobs\n", wcojWorkerSweep)
+
+	timeRun := func(eng *exec.Engine, build func(*ldbc.Dataset) plan.Plan) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ds.Graph, build(ds)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+
+	for pi, pat := range WCOJPatterns {
+		rp := wcojPattern{Name: pat.Name, Count: counts[pi]}
+		fmt.Fprintf(w, "--- %s (%d matches) ---\n", pat.Name, rp.Count)
+		fmt.Fprintf(w, "%-12s %14s %9s\n", "variant", "ns/op", "speedup")
+		var baseNs float64
+		for _, v := range WCOJVariants {
+			ns := timeRun(v.Engine(exec.ModeFactorized, 1), pat.Build)
+			if baseNs == 0 {
+				baseNs = ns
+			}
+			p := wcojVariantPoint{Name: v.Name, NsPerOp: ns}
+			if ns > 0 {
+				p.Speedup = baseNs / ns
+			}
+			rp.Variants = append(rp.Variants, p)
+			fmt.Fprintf(w, "%-12s %14.0f %8.2fx\n", p.Name, p.NsPerOp, p.Speedup)
+		}
+		rp.Speedup = rp.Variants[len(rp.Variants)-1].Speedup
+		report.Patterns = append(report.Patterns, rp)
+	}
+
+	if cfg.JSONPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", cfg.JSONPath, err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

@@ -47,7 +47,10 @@ func Bind(q *Query, cat *catalog.Catalog) (plan.Plan, error) {
 	if err := b.bindReturn(&q.Return); err != nil {
 		return nil, err
 	}
-	return b.plan, nil
+	// Cyclic subpatterns with >= 2 edges constraining one new vertex bind as
+	// Expand + ExpandInto chains; lower them to worst-case-optimal multiway
+	// intersections (exec's NoWCOJ knob restores the classical chain).
+	return plan.LowerWCOJ(b.plan), nil
 }
 
 func (b *binder) labelOf(n NodePat) (catalog.LabelID, error) {

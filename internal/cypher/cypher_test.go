@@ -206,14 +206,13 @@ func TestVarLengthDefaultBound(t *testing.T) {
 	}
 }
 
-// TestCyclicPatternCompilesToExpandInto checks that a triangle pattern —
-// whose closing relationship targets an already-bound variable — lowers to
-// the intersection semi-join and returns the right count in every mode.
-func TestCyclicPatternCompilesToExpandInto(t *testing.T) {
+// triangleFixture returns the shared fixture with a symmetric p1-p2 edge
+// added, closing two KNOWS triangles ({p0,p1,p2} via p0's edges and
+// {p1,p2,p4} via p4's).
+func triangleFixture(t *testing.T) *testgraph.Fixture {
+	t.Helper()
 	f := testgraph.New()
 	s := f.Schema
-	// The base fixture has no triangles; the symmetric p1-p2 edge closes two
-	// ({p0,p1,p2} via p0's edges and {p1,p2,p4} via p4's).
 	for _, e := range [][2]int{{1, 2}} {
 		a, b := f.Persons[e[0]], f.Persons[e[1]]
 		if err := f.Graph.AddEdge(s.Knows, a, b, vector.Date(21000)); err != nil {
@@ -225,21 +224,117 @@ func TestCyclicPatternCompilesToExpandInto(t *testing.T) {
 	}
 	f.Graph.CompactAdjacency()
 	f.Graph.SealCSR()
+	return f
+}
 
+// TestCyclicPatternCompilesToExpandIntersect checks that a triangle pattern —
+// whose closing relationship targets an already-bound variable — lowers to
+// the multiway intersection operator and returns the right count in every
+// mode, with and without the WCOJ lowering enabled.
+func TestCyclicPatternCompilesToExpandIntersect(t *testing.T) {
+	f := triangleFixture(t)
 	src := `MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person)-[:KNOWS]->(a)
 	        RETURN count(*) AS n`
 	p, err := cypher.Compile(src, f.Cat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(p.String(), "ExpandInto") {
-		t.Fatalf("cyclic pattern did not lower to ExpandInto: %s", p)
+	if !strings.Contains(p.String(), "ExpandIntersect") {
+		t.Fatalf("cyclic pattern did not lower to ExpandIntersect: %s", p)
 	}
 	for _, mode := range []exec.Mode{exec.ModeFlat, exec.ModeFactorized, exec.ModeFused} {
 		fb := runCypher(t, f, mode, src)
 		// Two triangles, six ordered traversals each.
 		if fb.NumRows() != 1 || fb.Rows[0][0].I != 12 {
 			t.Fatalf("mode %s: got %v, want one row with n=12", mode, fb.Rows)
+		}
+		// The NoWCOJ knob de-fuses inside the operator; the count must not
+		// change.
+		e := exec.New(mode)
+		e.NoWCOJ = true
+		res, err := e.Run(f.Graph, p)
+		if err != nil {
+			t.Fatalf("no-wcoj run: %v", err)
+		}
+		if res.Block.NumRows() != 1 || res.Block.Rows[0][0].I != 12 {
+			t.Fatalf("mode %s no-wcoj: got %v", mode, res.Block.Rows)
+		}
+	}
+}
+
+// TestDiamondLowersToExpandIntersect pins the lowering for a two-closure
+// diamond pattern and cross-checks the WCOJ plan against the de-fused
+// execution path.
+func TestDiamondLowersToExpandIntersect(t *testing.T) {
+	f := triangleFixture(t)
+	src := `MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(d:Person)
+	        MATCH (a)-[:KNOWS]->(c:Person)-[:KNOWS]->(d)
+	        RETURN count(*) AS n`
+	p, err := cypher.Compile(src, f.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "ExpandIntersect") {
+		t.Fatalf("diamond did not lower to ExpandIntersect: %s", p)
+	}
+	var want int64 = -1
+	for _, mode := range []exec.Mode{exec.ModeFlat, exec.ModeFactorized, exec.ModeFused} {
+		for _, noWCOJ := range []bool{false, true} {
+			e := exec.New(mode)
+			e.NoWCOJ = noWCOJ
+			res, err := e.Run(f.Graph, p)
+			if err != nil {
+				t.Fatalf("mode %s no-wcoj=%v: %v", mode, noWCOJ, err)
+			}
+			got := res.Block.Rows[0][0].I
+			if want < 0 {
+				want = got
+			}
+			if got != want || got <= 0 {
+				t.Fatalf("mode %s no-wcoj=%v: count = %d, want %d", mode, noWCOJ, got, want)
+			}
+		}
+	}
+}
+
+// TestCyclicVarLengthRejected pins the binder's error for var-length
+// relationships that close a cycle (bind.go): those cannot lower to the
+// intersection operator and must be rejected with a rewrite hint.
+func TestCyclicVarLengthRejected(t *testing.T) {
+	f := testgraph.New()
+	src := `MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS*1..2]->(a)
+	        RETURN count(*) AS n`
+	_, err := cypher.Compile(src, f.Cat)
+	if err == nil {
+		t.Fatal("cyclic var-length pattern compiled; want error")
+	}
+	const want = `cypher: cyclic var-length patterns ("a" already bound) are not supported; rewrite with separate MATCH clauses and joins`
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestCyclicVarLengthRewriteWorkaround exercises the rewrite the error
+// message recommends: bind the closing endpoint under a fresh variable in a
+// separate MATCH and equate the ids in WHERE.
+func TestCyclicVarLengthRewriteWorkaround(t *testing.T) {
+	f := triangleFixture(t)
+	rewritten := `MATCH (a:Person)-[:KNOWS]->(b:Person)
+	        MATCH (b)-[:KNOWS*1..1]->(c:Person)
+	        WHERE id(c) = id(a)
+	        RETURN count(*) AS n`
+	// The single-hop form of the same cycle is supported directly; both must
+	// count the mutual KNOWS pairs (no parallel edges in the fixture).
+	direct := `MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(a)
+	        RETURN count(*) AS n`
+	for _, mode := range []exec.Mode{exec.ModeFlat, exec.ModeFactorized, exec.ModeFused} {
+		got := runCypher(t, f, mode, rewritten)
+		want := runCypher(t, f, mode, direct)
+		if got.NumRows() != 1 || want.NumRows() != 1 {
+			t.Fatalf("mode %s: rows = %d / %d", mode, got.NumRows(), want.NumRows())
+		}
+		if got.Rows[0][0].I != want.Rows[0][0].I || want.Rows[0][0].I <= 0 {
+			t.Fatalf("mode %s: rewrite = %d, direct cycle = %d", mode, got.Rows[0][0].I, want.Rows[0][0].I)
 		}
 	}
 }

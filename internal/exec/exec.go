@@ -98,6 +98,10 @@ type Engine struct {
 	// byte-identical either way.
 	NoCSR       bool
 	NoIntersect bool
+	// NoWCOJ makes ExpandIntersect run its de-fused classical plan (Expand +
+	// per-side ExpandInto) instead of the worst-case-optimal k-way
+	// intersection — the WCOJ ablation knob. Results are identical.
+	NoWCOJ bool
 }
 
 // New returns an engine in the given mode with a fresh memory pool.
@@ -112,7 +116,7 @@ func (e *Engine) Run(view storage.View, p plan.Plan) (*Result, error) {
 	}
 	ctx := &op.Ctx{View: view, Pool: e.Pool, MaxRows: e.MaxRows, Parallel: e.Parallel, Sched: e.Sched,
 		NoGather: e.NoGather, NoDictCmp: e.NoDictCmp, NoZoneMap: e.NoZoneMap,
-		NoCSR: e.NoCSR, NoIntersect: e.NoIntersect}
+		NoCSR: e.NoCSR, NoIntersect: e.NoIntersect, NoWCOJ: e.NoWCOJ}
 	start := time.Now()
 
 	var ch *core.Chunk

@@ -1,0 +1,292 @@
+package op
+
+import (
+	"fmt"
+
+	"ges/internal/catalog"
+	"ges/internal/core"
+	"ges/internal/sched"
+	"ges/internal/storage"
+	"ges/internal/vector"
+)
+
+// IntersectSide is one bound input of an ExpandIntersect: the produced
+// vertex must be reachable from Var along Et in direction Dir. Dir points
+// from Var toward the produced vertex, so DstLabel names the label bound to
+// the *new* variable and SrcLabel the label bound to Var (either may be
+// storage.AnyLabel).
+type IntersectSide struct {
+	Var      string
+	Et       catalog.EdgeTypeID
+	Dir      catalog.Direction
+	DstLabel catalog.LabelID
+	SrcLabel catalog.LabelID
+}
+
+// ExpandIntersect produces a new vertex variable as the k-way intersection
+// of bound variables' adjacencies — the worst-case-optimal (Leapfrog
+// Triejoin / EmptyHeaded) counterpart of Expand + ExpandInto chains for
+// cyclic subpatterns with two or more closing edges. Where the classical
+// plan expands all of side 0's neighbors and then semi-joins (or worse,
+// de-factors and hash-joins) each remaining edge, this operator intersects
+// the k sorted CSR runs per owner row and materializes only the survivors,
+// so diamonds, 4-cycles, and cliques never touch the flat blowup.
+//
+// Sides[0] is the base: its adjacency enumeration order (with multiplicity)
+// defines the output, so results are byte-identical to the de-fused
+// Expand(Sides[0]) + ExpandInto(Sides[1:]) reference — which is exactly
+// what executeReference runs under ctx.NoWCOJ. Sorted runs intersect by
+// leapfrog/galloping (storage.Intersector), unsealed or overlay segments
+// fall back to per-source hash sets, byte-identical either way.
+//
+// The new f-Tree child hangs under the deepest side owner — the LCA-closed
+// placement: every other side owner must be an ancestor of it so each deep
+// row determines one source vertex per side. Sides on sibling branches fall
+// back to de-factored flat execution, like ExpandInto.
+type ExpandIntersect struct {
+	To    string
+	Sides []IntersectSide
+}
+
+// Name implements Operator.
+func (o *ExpandIntersect) Name() string { return "ExpandIntersect" }
+
+// Execute implements Operator.
+func (o *ExpandIntersect) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
+	if len(o.Sides) < 2 {
+		return nil, fmt.Errorf("op: expand-intersect needs >= 2 sides, got %d", len(o.Sides))
+	}
+	if ctx.NoWCOJ {
+		return o.executeReference(ctx, in)
+	}
+	if in.IsFlat() {
+		return o.executeFlat(ctx, in.Flat)
+	}
+	ft := in.FT
+	nodes := make([]*core.Node, len(o.Sides))
+	cols := make([]*vector.Column, len(o.Sides))
+	for i, s := range o.Sides {
+		n, c, err := vidColumn(ft, s.Var)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i], cols[i] = n, c
+	}
+
+	// The child hangs under the deepest side owner; all other owners must
+	// lie on its root path so every deep row fixes one vertex per side.
+	deep := nodes[0]
+	for _, n := range nodes[1:] {
+		switch {
+		case ancestorOf(deep, n):
+			deep = n
+		case ancestorOf(n, deep):
+			// n is already an ancestor: nothing to do.
+		default:
+			// Sibling owners: no single node determines all sides — de-factor
+			// and intersect flat (the paper's "ultimate solution" fallback).
+			fb, err := ensureFlat(ctx, in)
+			if err != nil {
+				return nil, err
+			}
+			return o.executeFlat(ctx, fb)
+		}
+	}
+	owners := make([][]int32, len(o.Sides))
+	for i := range nodes {
+		owners[i] = ownerMap(deep, nodes[i])
+	}
+
+	n := deep.Block.NumRows()
+	if ctx.Parallel > 1 && n >= parallelMinRows {
+		toCol, index := o.parallelIntersect(ctx, deep, cols, owners)
+		ft.AddChild(deep, core.NewFBlock(toCol), index)
+		assertFTree(ft)
+		return &core.Chunk{FT: ft}, nil
+	}
+	toCol := vector.NewColumn(o.To, vector.KindVID)
+	index := o.intersectRows(ctx, deep, cols, owners, 0, n, toCol, make([]core.Range, 0, n))
+	ft.AddChild(deep, core.NewFBlock(toCol), index)
+	assertFTree(ft)
+	return &core.Chunk{FT: ft}, nil
+}
+
+// sideSrcs builds side si's source column for deep rows [lo,hi): the side
+// vertex of each valid row, NilVID (an empty run) otherwise.
+func sideSrcs(deep *core.Node, col *vector.Column, owner []int32, lo, hi int) []vector.VID {
+	srcs := make([]vector.VID, hi-lo)
+	for i := lo; i < hi; i++ {
+		if deep.Valid(i) {
+			srcs[i-lo] = col.VIDAt(int(owner[i]))
+		} else {
+			srcs[i-lo] = vector.NilVID
+		}
+	}
+	return srcs
+}
+
+// fillSide resolves one side's adjacency for a source column: the batched
+// CSR kernel, or the scalar reference path under ctx.NoCSR. Both fill runs
+// aligned with srcs and are byte-identical.
+func fillSide(ctx *Ctx, s IntersectSide, srcs []vector.VID, out *storage.Batch) {
+	if ctx.NoCSR {
+		storage.AppendNeighborsBatch(ctx.View, srcs, s.Et, s.Dir, s.DstLabel, false, out)
+		return
+	}
+	ctx.View.NeighborsBatch(srcs, s.Et, s.Dir, s.DstLabel, false, out)
+}
+
+// intersectRows intersects deep rows [lo,hi), appending survivors to toCol
+// and one range per row to index (ranges relative to toCol's state at
+// entry). It is the single implementation behind the sequential path and
+// each parallel morsel, so parallel output is byte-identical by
+// construction.
+func (o *ExpandIntersect) intersectRows(ctx *Ctx, deep *core.Node, cols []*vector.Column,
+	owners [][]int32, lo, hi int, toCol *vector.Column, index []core.Range) []core.Range {
+
+	base := new(storage.Batch)
+	fillSide(ctx, o.Sides[0], sideSrcs(deep, cols[0], owners[0], lo, hi), base)
+	probes := make([]*storage.Batch, len(o.Sides)-1)
+	probeSrcs := make([][]vector.VID, len(o.Sides)-1)
+	for p := range probes {
+		probeSrcs[p] = sideSrcs(deep, cols[p+1], owners[p+1], lo, hi)
+		probes[p] = new(storage.Batch)
+		fillSide(ctx, o.Sides[p+1], probeSrcs[p], probes[p])
+	}
+	var x storage.Intersector
+	x.Reset(base, probes, probeSrcs, !ctx.NoIntersect)
+
+	total := toCol.Len()
+	var buf []vector.VID
+	for i := 0; i < hi-lo; i++ {
+		start := total
+		buf = x.Row(buf[:0], i)
+		for _, v := range buf {
+			toCol.AppendVID(v)
+		}
+		total += len(buf)
+		index = append(index, core.Range{Start: int32(start), End: int32(total)})
+	}
+	return index
+}
+
+// parallelIntersect shards deep rows into morsels, each with its own side
+// batches and intersector, and merges shard outputs in morsel order.
+func (o *ExpandIntersect) parallelIntersect(ctx *Ctx, deep *core.Node, cols []*vector.Column,
+	owners [][]int32) (*vector.Column, []core.Range) {
+
+	n := deep.Block.NumRows()
+	shards := make([]matShard, sched.NumMorsels(n, expandMorselSize))
+	ctx.RunMorsels(n, expandMorselSize, func(m sched.Morsel) {
+		sh := &shards[m.Index]
+		sh.toCol = vector.NewColumn(o.To, vector.KindVID)
+		sh.index = o.intersectRows(ctx, deep, cols, owners, m.Start, m.End,
+			sh.toCol, make([]core.Range, 0, m.End-m.Start))
+	})
+
+	toCol := vector.NewColumn(o.To, vector.KindVID)
+	index := make([]core.Range, 0, n)
+	offset := int32(0)
+	for si := range shards {
+		sh := &shards[si]
+		toCol.Extend(sh.toCol)
+		for _, rg := range sh.index {
+			index = append(index, core.Range{Start: rg.Start + offset, End: rg.End + offset})
+		}
+		offset += int32(sh.toCol.Len())
+	}
+	return toCol, index
+}
+
+// executeFlat intersects over materialized rows, appending one output row
+// per survivor.
+func (o *ExpandIntersect) executeFlat(ctx *Ctx, in *core.FlatBlock) (*core.Chunk, error) {
+	idxs := make([]int, len(o.Sides))
+	for i, s := range o.Sides {
+		idxs[i] = in.ColIndex(s.Var)
+		if idxs[i] < 0 {
+			return nil, errNoColumn("expand-intersect", s.Var)
+		}
+	}
+	names := append(append([]string(nil), in.Names...), o.To)
+	kinds := append(append([]vector.Kind(nil), in.Kinds...), vector.KindVID)
+
+	emitRows := func(lo, hi int, out *core.FlatBlock) {
+		base := new(storage.Batch)
+		probes := make([]*storage.Batch, len(o.Sides)-1)
+		probeSrcs := make([][]vector.VID, len(o.Sides)-1)
+		srcsOf := func(si int) []vector.VID {
+			srcs := make([]vector.VID, hi-lo)
+			for i := lo; i < hi; i++ {
+				srcs[i-lo] = in.Rows[i][idxs[si]].AsVID()
+			}
+			return srcs
+		}
+		fillSide(ctx, o.Sides[0], srcsOf(0), base)
+		for p := range probes {
+			probeSrcs[p] = srcsOf(p + 1)
+			probes[p] = new(storage.Batch)
+			fillSide(ctx, o.Sides[p+1], probeSrcs[p], probes[p])
+		}
+		var x storage.Intersector
+		x.Reset(base, probes, probeSrcs, !ctx.NoIntersect)
+		var buf []vector.VID
+		for i := 0; i < hi-lo; i++ {
+			buf = x.Row(buf[:0], i)
+			for _, v := range buf {
+				nr := make([]vector.Value, 0, len(names))
+				nr = append(nr, in.Rows[lo+i]...)
+				nr = append(nr, vector.VIDValue(v))
+				out.AppendOwned(nr)
+			}
+		}
+	}
+
+	n := len(in.Rows)
+	out := core.NewFlatBlock(names, kinds)
+	if ctx.Parallel > 1 && n >= parallelMinRows {
+		shards := make([]*core.FlatBlock, sched.NumMorsels(n, expandMorselSize))
+		ctx.RunMorsels(n, expandMorselSize, func(m sched.Morsel) {
+			sh := core.NewFlatBlock(names, kinds)
+			emitRows(m.Start, m.End, sh)
+			shards[m.Index] = sh
+		})
+		for _, sh := range shards {
+			out.Rows = append(out.Rows, sh.Rows...)
+		}
+	} else {
+		emitRows(0, n, out)
+	}
+	if ctx.MaxRows > 0 && out.NumRows() > ctx.MaxRows {
+		return nil, errRowLimit("flat expand-intersect", out.NumRows(), ctx.MaxRows)
+	}
+	return &core.Chunk{Flat: out}, nil
+}
+
+// executeReference runs the de-fused classical plan — Expand along side 0,
+// then one ExpandInto closure per remaining side — in place of the
+// intersection. This is the ctx.NoWCOJ ablation baseline: it reproduces the
+// exact operator chain the planner would emit without WCOJ lowering
+// (including the de-factored flat fallback when a closure's endpoints land
+// on sibling branches), and its final results are byte-identical to the
+// intersection paths.
+func (o *ExpandIntersect) executeReference(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
+	s0 := o.Sides[0]
+	ops := []Operator{
+		&Expand{From: s0.Var, To: o.To, Et: s0.Et, Dir: s0.Dir, DstLabel: s0.DstLabel},
+	}
+	for _, s := range o.Sides[1:] {
+		ops = append(ops, &ExpandInto{From: s.Var, To: o.To, Et: s.Et, Dir: s.Dir,
+			DstLabel: s.DstLabel, SrcLabel: s.SrcLabel})
+	}
+	ch := in
+	for _, sub := range ops {
+		var err error
+		ch, err = sub.Execute(ctx, ch)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Observe(ch)
+	}
+	return ch, nil
+}

@@ -1,7 +1,6 @@
 // ExpandInto closes cyclic pattern edges by filtering selection vectors in
-// place, which requires direct Sel writes outside Filter.
-//
-//geslint:selwrite-ok
+// place; geslint R3 sanctions this file's Sel writes by name (see
+// cmd/geslint/rules.go) rather than through a blanket file directive.
 package op
 
 import (
@@ -200,10 +199,9 @@ type adjProbe struct {
 	src    vector.VID
 	loaded bool
 	segs   []storage.Segment
-	run    []vector.VID // non-nil: sorted intersection path
+	sorted bool // true: cur answers probes over the single sorted run
+	cur    vector.RunCursor
 	set    map[vector.VID]struct{}
-	cursor int
-	last   vector.VID
 }
 
 // load points the probe at src's adjacency (no-op when already loaded).
@@ -212,7 +210,7 @@ func (p *adjProbe) load(src vector.VID) {
 		return
 	}
 	p.src, p.loaded = src, true
-	p.run, p.set = nil, nil
+	p.sorted, p.set = false, nil
 	p.segs = p.segs[:0]
 	if src == vector.NilVID {
 		return
@@ -223,8 +221,8 @@ func (p *adjProbe) load(src vector.VID) {
 	//geslint:scalar-ok
 	p.segs = p.ctx.View.Neighbors(p.segs, src, p.et, p.dir, p.dstLabel, false)
 	if p.intersect && len(p.segs) == 1 && p.segs[0].Sorted {
-		p.run = p.segs[0].VIDs
-		p.cursor, p.last = 0, 0
+		p.sorted = true
+		p.cur.Reset(p.segs[0].VIDs)
 		return
 	}
 	n := 0
@@ -244,41 +242,9 @@ func (p *adjProbe) load(src vector.VID) {
 
 // contains reports whether v is in the loaded adjacency.
 func (p *adjProbe) contains(v vector.VID) bool {
-	if p.run != nil {
-		if v < p.last {
-			p.cursor = 0
-		}
-		p.last = v
-		p.cursor = gallop(p.run, p.cursor, v)
-		return p.cursor < len(p.run) && p.run[p.cursor] == v
+	if p.sorted {
+		return p.cur.Contains(v)
 	}
 	_, ok := p.set[v]
 	return ok
-}
-
-// gallop returns the smallest index >= lo with run[idx] >= v: exponential
-// steps from lo, then binary search within the bracketed window.
-func gallop(run []vector.VID, lo int, v vector.VID) int {
-	if lo >= len(run) || run[lo] >= v {
-		return lo
-	}
-	i, step := lo, 1
-	for i+step < len(run) && run[i+step] < v {
-		i += step
-		step <<= 1
-	}
-	hi := i + step
-	if hi > len(run) {
-		hi = len(run)
-	}
-	l, h := i+1, hi
-	for l < h {
-		mid := int(uint(l+h) >> 1)
-		if run[mid] < v {
-			l = mid + 1
-		} else {
-			h = mid
-		}
-	}
-	return l
 }

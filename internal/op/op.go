@@ -70,6 +70,13 @@ type Ctx struct {
 	NoCSR       bool
 	NoIntersect bool
 
+	// NoWCOJ makes ExpandIntersect run its de-fused classical plan (Expand
+	// along side 0, then per-side ExpandInto closures — de-factoring to a
+	// flat hash join when the closure endpoints land on sibling branches)
+	// instead of the worst-case-optimal k-way intersection. Results are
+	// identical; the knob exists so benchmarks can attribute the speedup.
+	NoWCOJ bool
+
 	// Gather counts batch-gather activity. Counters are atomic because fused
 	// predicates batch inside parallel morsels.
 	Gather GatherStats

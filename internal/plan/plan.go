@@ -35,6 +35,12 @@ func refs(o op.Operator) []string {
 		return []string{n.From}
 	case *op.ExpandInto:
 		return []string{n.From, n.To}
+	case *op.ExpandIntersect:
+		var out []string
+		for _, s := range n.Sides {
+			out = append(out, s.Var)
+		}
+		return out
 	case *op.ProjectProps:
 		var out []string
 		for _, s := range n.Specs {

@@ -1,0 +1,147 @@
+package vector
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// naiveIntersect is the reference: linear membership scans, base order and
+// multiplicity preserved.
+func naiveIntersect(base []VID, probes [][]VID) []VID {
+	out := []VID{}
+	for _, v := range base {
+		ok := true
+		for _, p := range probes {
+			found := false
+			for _, w := range p {
+				if w == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestGallop(t *testing.T) {
+	run := []VID{2, 4, 4, 8, 16, 32}
+	cases := []struct {
+		lo   int
+		v    VID
+		want int
+	}{
+		{0, 1, 0}, {0, 2, 0}, {0, 3, 1}, {0, 4, 1}, {0, 5, 3},
+		{2, 4, 2}, {3, 4, 3}, {0, 16, 4}, {0, 33, 6}, {6, 1, 6},
+		{4, 32, 5}, {0, 32, 5},
+	}
+	for _, c := range cases {
+		if got := Gallop(run, c.lo, c.v); got != c.want {
+			t.Errorf("Gallop(run, %d, %d) = %d, want %d", c.lo, c.v, got, c.want)
+		}
+	}
+	if got := Gallop(nil, 0, 1); got != 0 {
+		t.Errorf("Gallop(nil, 0, 1) = %d, want 0", got)
+	}
+}
+
+func TestRunCursor(t *testing.T) {
+	var c RunCursor
+	c.Reset([]VID{3, 5, 9, 9, 12})
+	// Ascending probes advance the cursor monotonically.
+	probes := []struct {
+		v    VID
+		want bool
+	}{{1, false}, {3, true}, {4, false}, {5, true}, {9, true}, {10, false}, {12, true}, {13, false}}
+	for _, p := range probes {
+		if got := c.Contains(p.v); got != p.want {
+			t.Errorf("Contains(%d) = %v, want %v", p.v, got, p.want)
+		}
+	}
+	// A regressing probe resets the cursor and still answers correctly.
+	if !c.Contains(3) {
+		t.Error("Contains(3) after regression = false, want true")
+	}
+	if c.Contains(4) {
+		t.Error("Contains(4) after regression = true, want false")
+	}
+	c.Reset(nil)
+	if c.Contains(3) {
+		t.Error("Contains on empty run = true, want false")
+	}
+}
+
+func TestIntersectSortedBasic(t *testing.T) {
+	cases := []struct {
+		base   []VID
+		probes [][]VID
+	}{
+		{nil, [][]VID{{1, 2}}},
+		{[]VID{1, 2}, [][]VID{nil}},
+		{[]VID{1, 2, 3}, [][]VID{{2, 3, 4}}},
+		{[]VID{1, 2, 3}, [][]VID{{2, 3, 4}, {3, 5}}},
+		{[]VID{1, 5, 9}, [][]VID{{2, 6, 10}}},
+		// Duplicates in base are preserved; duplicates in probes are not.
+		{[]VID{2, 2, 3}, [][]VID{{2, 3}}},
+		{[]VID{2, 3}, [][]VID{{2, 2, 3, 3}}},
+		// Probe overshoot skips the base far ahead.
+		{[]VID{1, 2, 3, 4, 5, 6, 7, 100}, [][]VID{{100}, {1, 100}}},
+		// Base exhausts first.
+		{[]VID{1, 2}, [][]VID{{1, 2, 3, 4, 5}}},
+	}
+	for _, c := range cases {
+		got := IntersectSorted(nil, c.base, c.probes)
+		want := naiveIntersect(c.base, c.probes)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("IntersectSorted(%v, %v) = %v, want %v", c.base, c.probes, got, want)
+		}
+	}
+}
+
+func TestIntersectSortedAppendsToDst(t *testing.T) {
+	dst := []VID{7}
+	got := IntersectSorted(dst, []VID{1, 2}, [][]VID{{2}})
+	if !reflect.DeepEqual(got, []VID{7, 2}) {
+		t.Errorf("got %v, want [7 2]", got)
+	}
+}
+
+func TestIntersectSortedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sortedRandom := func(n, span int) []VID {
+		run := make([]VID, n)
+		for i := range run {
+			run[i] = VID(rng.Intn(span))
+		}
+		sort.Slice(run, func(i, j int) bool { return run[i] < run[j] })
+		return run
+	}
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(3)
+		base := sortedRandom(rng.Intn(40), 60)
+		probes := make([][]VID, k)
+		for i := range probes {
+			probes[i] = sortedRandom(rng.Intn(40), 60)
+		}
+		got := IntersectSorted(nil, base, probes)
+		want := naiveIntersect(base, probes)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: base=%v probes=%v: got %v, want %v", trial, base, probes, got, want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package volcano
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -487,4 +488,100 @@ func newSortIter(e *Engine, in iter, spec *op.OrderBy) (iter, error) {
 // from the row currently pointed at by cur.
 func bindRow(e expr.Expr, in iter, cur *[]vector.Value) (expr.Getter, error) {
 	return expr.Bind(e, rowBinding{names: in.schema(), cur: cur})
+}
+
+// intersectIter produces the n-way adjacency intersection one tuple at a
+// time: per input row it walks side 0's adjacency and keeps neighbors
+// present in every other side's adjacency — scalar lookups, per-row hash
+// sets, no batching, no galloping (the Volcano counterpart of the WCOJ
+// expand).
+type intersectIter struct {
+	view storage.View
+	in   iter
+	spec *op.ExpandIntersect
+
+	names []string
+	ks    []vector.Kind
+	idxs  []int // input column per side
+
+	curRow []vector.Value
+	queue  []vector.VID
+	pos    int
+}
+
+func newExpandIntersectIter(view storage.View, in iter, spec *op.ExpandIntersect) (iter, error) {
+	if len(spec.Sides) < 2 {
+		return nil, fmt.Errorf("expand-intersect needs >= 2 sides, got %d", len(spec.Sides))
+	}
+	idxs := make([]int, len(spec.Sides))
+	for i, s := range spec.Sides {
+		idx, err := colIndex(in, s.Var)
+		if err != nil {
+			return nil, err
+		}
+		idxs[i] = idx
+	}
+	return &intersectIter{
+		view: view, in: in, spec: spec, idxs: idxs,
+		names: append(append([]string(nil), in.schema()...), spec.To),
+		ks:    append(append([]vector.Kind(nil), in.kinds()...), vector.KindVID),
+	}, nil
+}
+
+func (it *intersectIter) schema() []string     { return it.names }
+func (it *intersectIter) kinds() []vector.Kind { return it.ks }
+
+func (it *intersectIter) next() ([]vector.Value, bool, error) {
+	for {
+		if it.curRow != nil && it.pos < len(it.queue) {
+			v := it.queue[it.pos]
+			it.pos++
+			out := make([]vector.Value, 0, len(it.names))
+			out = append(out, it.curRow...)
+			out = append(out, vector.VIDValue(v))
+			return out, true, nil
+		}
+		row, ok, err := it.in.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.curRow = row
+		it.queue = it.queue[:0]
+		it.pos = 0
+		// Membership sets for the probe sides, rebuilt per row.
+		sets := make([]map[vector.VID]struct{}, len(it.spec.Sides)-1)
+		empty := false
+		for p, s := range it.spec.Sides[1:] {
+			src := row[it.idxs[p+1]].AsVID()
+			set := map[vector.VID]struct{}{}
+			for _, seg := range it.view.Neighbors(nil, src, s.Et, s.Dir, s.DstLabel, false) {
+				for _, v := range seg.VIDs {
+					set[v] = struct{}{}
+				}
+			}
+			if len(set) == 0 {
+				empty = true
+				break
+			}
+			sets[p] = set
+		}
+		if empty {
+			continue
+		}
+		s0 := it.spec.Sides[0]
+		for _, seg := range it.view.Neighbors(nil, row[it.idxs[0]].AsVID(), s0.Et, s0.Dir, s0.DstLabel, false) {
+			for _, v := range seg.VIDs {
+				keep := true
+				for _, set := range sets {
+					if _, ok := set[v]; !ok {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					it.queue = append(it.queue, v)
+				}
+			}
+		}
+	}
 }

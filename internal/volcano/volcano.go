@@ -118,6 +118,8 @@ func (e *Engine) buildOp(view storage.View, in iter, o op.Operator) (iter, error
 		return newVarExpandIter(view, in, n)
 	case *op.ExpandInto:
 		return newExpandIntoIter(view, in, n)
+	case *op.ExpandIntersect:
+		return newExpandIntersectIter(view, in, n)
 	case *op.ProjectProps:
 		return newProjectIter(view, in, n)
 	case *op.ProjectExpr:
