@@ -25,6 +25,7 @@ import (
 
 	"ges/internal/bench"
 	"ges/internal/catalog"
+	"ges/internal/cypher"
 	"ges/internal/driver"
 	"ges/internal/exec"
 	"ges/internal/expr"
@@ -411,6 +412,36 @@ func BenchmarkAblation_MV2PLOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPlanner sweeps the cost-based planning ladder behind
+// BENCH_planner.json: each adversarially-phrased query compiled as written
+// (syntactic) and through the statistics-backed cost model, which re-anchors
+// at the selective end and reverses the expansions.
+func BenchmarkPlanner(b *testing.B) {
+	ds := sealedDataset(b)
+	cm := plan.NewCostModel(ds.Graph.Stats())
+	for _, pq := range bench.PlannerQueries {
+		text := fmt.Sprintf(pq.Text, 1)
+		for _, variant := range []struct {
+			name string
+			cost *plan.CostModel
+		}{{"syntactic", nil}, {"cost", cm}} {
+			b.Run(pq.Name+"/"+variant.name, func(b *testing.B) {
+				c, err := cypher.CompileWith(text, ds.H.Cat, cypher.Options{Cost: variant.cost})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := exec.New(exec.ModeFused).Run(ds.Graph, c.Plan); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkWCOJ sweeps the multiway-intersection ladder behind

@@ -38,6 +38,7 @@ func main() {
 		noCSR    = flag.Bool("no-csr", false, "disable the batched adjacency kernel (NeighborsBatch over sealed CSR snapshots); expansion runs the per-source scalar reference")
 		noInter  = flag.Bool("no-intersect", false, "disable the merge/galloping intersection in ExpandInto; cyclic joins close through the hash-set probe")
 		noWCOJ   = flag.Bool("no-wcoj", false, "de-fuse ExpandIntersect into the classical binary-join plan (expand then per-edge ExpandInto)")
+		noCost   = flag.Bool("no-cost", false, "disable cost-based Cypher planning; plans bind in syntactic order, as written")
 	)
 	flag.Parse()
 
@@ -76,6 +77,7 @@ func main() {
 	cfg.NoCSR = *noCSR
 	cfg.NoIntersect = *noInter
 	cfg.NoWCOJ = *noWCOJ
+	cfg.NoCost = *noCost
 
 	exps := bench.All()
 	if *exp != "all" {

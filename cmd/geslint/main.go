@@ -1,5 +1,5 @@
-// Command geslint is the GES invariant analyzer: five structural rules
-// (R1–R5, see rules.go) enforced over the whole module with nothing but the
+// Command geslint is the GES invariant analyzer: six structural rules
+// (R1–R6, see rules.go) enforced over the whole module with nothing but the
 // standard library's go/ast, go/parser and go/types — no x/tools dependency,
 // so it builds wherever the engine does.
 //
@@ -19,6 +19,7 @@
 //	//geslint:lockorder A < B         declares lock A is acquired before B (R2)
 //	//geslint:selwrite-ok             file may write selection vectors (R3)
 //	//geslint:go-ok                   the go statement on/below this line (R5)
+//	//geslint:statswrite-ok           file may write internal/stats values (R6)
 package main
 
 import (

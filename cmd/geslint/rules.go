@@ -32,6 +32,15 @@ import (
 //	R5  internal/{op,exec,service,driver,bench} spawn goroutines only through
 //	    internal/sched; a raw go statement escapes the scheduler's budget.
 //	    //geslint:go-ok on or above the line opts a single statement out.
+//	R6  statistics snapshots follow the CSR image's ownership discipline:
+//	    once published behind the atomic pointer they are immutable, so the
+//	    fields, maps and histogram buckets of internal/stats value types
+//	    (Snapshot, Family, Column, Histogram, Bucket) are written only
+//	    inside internal/stats, where the Builder assembles them privately.
+//	    The rule is deliberately copy-conservative — mutating even a
+//	    by-value copy of a Family is flagged, because its Histogram shares
+//	    bucket storage with the published snapshot. //geslint:statswrite-ok
+//	    opts a file out.
 
 var directiveRe = regexp.MustCompile(`^//geslint:([a-z-]+)\s*(.*?)\s*$`)
 var lockOrderRe = regexp.MustCompile(`^(\S+)\s*<\s*(\S+)$`)
@@ -71,7 +80,7 @@ type analysis struct {
 	diags []Diag
 }
 
-// runRules applies R1–R5 to every loaded package and returns sorted findings.
+// runRules applies R1–R6 to every loaded package and returns sorted findings.
 func runRules(mod *Module) []Diag {
 	a := &analysis{mod: mod, order: collectLockOrder(mod)}
 	for _, pkg := range mod.Pkgs {
@@ -86,6 +95,9 @@ func runRules(mod *Module) []Diag {
 			}
 			if rel != "internal/core" {
 				a.checkColumnAppends(pkg, f)
+			}
+			if rel != "internal/stats" && !dirs["statswrite-ok"] {
+				a.checkStatsWrites(pkg, f)
 			}
 			for _, scope := range goScope {
 				if hasPrefix(rel, scope) {
@@ -386,6 +398,78 @@ func (a *analysis) checkColumnAppends(pkg *Package, f *ast.File) {
 			a.report(call.Pos(), "R4",
 				"%s on an f-Block column outside internal/core breaks the equal-cardinality invariant (I1); build columns before AddColumn",
 				fn.Name())
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------- R6
+
+// isStatsValue reports whether e's type (possibly behind pointers) is a
+// named type of internal/stats.
+func (a *analysis) isStatsValue(pkg *Package, e ast.Expr) bool {
+	n := namedOf(pkg.Info.TypeOf(e))
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return a.relOf(n.Obj().Pkg()) == "internal/stats"
+}
+
+// checkStatsWrites flags assignments (and ++/--) whose target is reached
+// through a field of an internal/stats value — directly
+// (snap.Vertices = n, snap.Labels[l] = c, fam.Hist.Buckets[0].Count++) or
+// through a local alias of a snapshot map or slice (m := snap.Labels;
+// m[l] = c). Published snapshots are immutable; internal/stats owns every
+// write via its Builder.
+func (a *analysis) checkStatsWrites(pkg *Package, f *ast.File) {
+	isStatsField := func(e ast.Expr) bool {
+		sel, ok := e.(*ast.SelectorExpr)
+		return ok && a.isStatsValue(pkg, sel.X)
+	}
+	tainted := taintedObjs(pkg, f, isStatsField)
+	// statsTarget peels the write target down to the expression that makes
+	// it a statistics write, if any.
+	statsTarget := func(e ast.Expr) bool {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				if id, ok := x.X.(*ast.Ident); ok && tainted[pkg.Info.ObjectOf(id)] {
+					return true
+				}
+				e = x.X
+			case *ast.SelectorExpr:
+				if a.isStatsValue(pkg, x.X) {
+					return true
+				}
+				e = x.X
+			case *ast.Ident:
+				return false
+			default:
+				return false
+			}
+		}
+	}
+	flag := func(pos token.Pos) {
+		a.report(pos, "R6",
+			"write through an internal/stats value in %s; published snapshots are immutable — assemble through stats.Builder or annotate the file //geslint:statswrite-ok",
+			pkg.Rel)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if statsTarget(lhs) {
+					flag(lhs.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if statsTarget(st.X) {
+				flag(st.X.Pos())
+			}
 		}
 		return true
 	})

@@ -1,0 +1,20 @@
+// Package plan is the fixture consumer for R6: it may read statistics
+// snapshots but never write through them.
+package plan
+
+import "ges/internal/stats"
+
+// Card only reads the snapshot (negative case).
+func Card(s *stats.Snapshot, l uint16) int {
+	return s.Labels[l] + s.Vertices + len(s.Families[l].Hist.Buckets)
+}
+
+// Mutate exercises every write shape R6 polices.
+func Mutate(s *stats.Snapshot, l uint16) {
+	s.Vertices = 9     // want R6
+	s.Labels[l] = 3    // want R6
+	f := s.Families[l] // a copy — but its Histogram shares bucket storage
+	f.Hist.Buckets[0].Count++ // want R6
+	m := s.Labels
+	m[l] = 4 // want R6
+}

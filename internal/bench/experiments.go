@@ -48,6 +48,10 @@ type Config struct {
 	// NoWCOJ de-fuses ExpandIntersect into the classical binary-join plan
 	// (expand the candidate set, close each edge with ExpandInto).
 	NoWCOJ bool
+	// NoCost disables cost-based Cypher planning: the planner experiment
+	// (and any cypher compilation the experiments perform) binds plans in
+	// syntactic order, exactly as written.
+	NoCost bool
 }
 
 // newEngine returns an engine honoring the ablation switches.
@@ -55,6 +59,7 @@ func (cfg Config) newEngine(mode exec.Mode) *exec.Engine {
 	e := exec.New(mode)
 	e.NoGather, e.NoDictCmp, e.NoZoneMap = cfg.NoGather, cfg.NoGather, cfg.NoGather
 	e.NoCSR, e.NoIntersect, e.NoWCOJ = cfg.NoCSR, cfg.NoIntersect, cfg.NoWCOJ
+	e.NoCost = cfg.NoCost
 	return e
 }
 

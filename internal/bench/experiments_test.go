@@ -44,9 +44,10 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"gather":   "read path",
 		"csr":      "triangle closure",
 		"wcoj":     "cross-check",
+		"planner":  "plan cache",
 	}
 	if len(bench.All()) != len(wantFragments) {
-		t.Fatalf("registry has %d experiments, want %d (one per table/figure + parallel + gather + csr + wcoj)",
+		t.Fatalf("registry has %d experiments, want %d (one per table/figure + parallel + gather + csr + wcoj + planner)",
 			len(bench.All()), len(wantFragments))
 	}
 	for _, e := range bench.All() {

@@ -1,0 +1,341 @@
+// The "planner" experiment measures cost-based planning (DESIGN.md §10,
+// anchored on the statistics snapshot built at SealCSR time) against
+// the syntactic binder the NoCost knob de-optimizes to. The ladder queries
+// are adversarially written: the left end of each pattern is the expensive
+// side, so binding as written scans a large label and filters late, while
+// the cost model re-anchors at the selective end and reverses every Expand.
+// A second section measures the parameterized plan cache: literal-differing
+// requests normalize onto one cached skeleton (re-binding values per
+// request) versus compiling each request from scratch. Worker-count
+// cross-checks — on the base graph and on a transaction-overlay snapshot —
+// prove both planning modes return byte-identical results. Emits
+// BENCH_planner.json when Config.JSONPath is set.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"ges/internal/cypher"
+	"ges/internal/driver"
+	"ges/internal/exec"
+	"ges/internal/ldbc"
+	"ges/internal/ldbc/queries"
+	"ges/internal/plan"
+	"ges/internal/service"
+	"ges/internal/storage"
+)
+
+func init() {
+	register(Experiment{"planner", "Planner: cost-based anchor/orientation vs syntactic plans + parameterized plan cache", plannerExp})
+}
+
+// PlannerQuery is one adversarially-phrased ladder query: %d marks where a
+// literal is injected, so the cache section can generate literal-differing
+// instances of the same skeleton.
+type PlannerQuery struct {
+	Name string
+	Text string // fmt template with one %d verb
+}
+
+// PlannerQueries is the ladder. Each query is written so the syntactic
+// binder anchors at the expensive left end; SUM over the far variable's
+// external id makes any planning divergence visible in the cross-check.
+var PlannerQueries = []PlannerQuery{
+	// Anchor: as written, scan every Person and expand KNOWS before the
+	// id(b) filter; the cost model seeks b and expands in reverse.
+	{"anchor-seek", `MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE id(b) = %d RETURN COUNT(*) AS n, SUM(id(a)) AS s`},
+	// Direction: as written, scan every Comment (the largest label) and
+	// expand HAS_CREATOR before the Person-side predicate; the cost model
+	// anchors on the filtered Person scan and reverses the expansion.
+	{"reverse-dir", `MATCH (c:Comment)-[:HAS_CREATOR]->(p:Person) WHERE id(p) = %d RETURN COUNT(*) AS n, SUM(id(c)) AS s`},
+	// Two hops between the written anchor and the selective end.
+	{"anchor-2hop", `MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) WHERE id(c) = %d RETURN COUNT(*) AS n, SUM(id(a)) AS s`},
+}
+
+// plannerPersonID is the external id the ladder seeks (person external ids
+// start at 1 in the simulated datasets).
+const plannerPersonID = 1
+
+// plannerCompile compiles one ladder query in both planning modes.
+func plannerCompile(ds *ldbc.Dataset, cm *plan.CostModel, pq PlannerQuery, id int) (cost, syntactic *cypher.Compiled, err error) {
+	text := fmt.Sprintf(pq.Text, id)
+	if cost, err = cypher.CompileWith(text, ds.H.Cat, cypher.Options{Cost: cm}); err != nil {
+		return nil, nil, fmt.Errorf("%s (cost): %w", pq.Name, err)
+	}
+	if syntactic, err = cypher.CompileWith(text, ds.H.Cat, cypher.Options{}); err != nil {
+		return nil, nil, fmt.Errorf("%s (syntactic): %w", pq.Name, err)
+	}
+	return cost, syntactic, nil
+}
+
+// PlannerCrossCheck runs every ladder query in both planning modes across
+// the worker sweep on the given view and fails on any result divergence.
+// Returns the reference result row rendering per query, in PlannerQueries
+// order. Shared by the experiment and the test suite.
+func PlannerCrossCheck(ds *ldbc.Dataset, view storage.View, cm *plan.CostModel) ([]string, error) {
+	refs := make([]string, len(PlannerQueries))
+	for qi, pq := range PlannerQueries {
+		cost, syntactic, err := plannerCompile(ds, cm, pq, plannerPersonID)
+		if err != nil {
+			return nil, err
+		}
+		variants := []struct {
+			name string
+			p    plan.Plan
+		}{{"cost", cost.Plan}, {"syntactic", syntactic.Plan}}
+		var want string
+		for _, workers := range wcojWorkerSweep {
+			for _, v := range variants {
+				eng := exec.New(exec.ModeFused)
+				eng.Parallel = workers
+				res, err := eng.Run(view, v.p)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s workers=%d: %w", pq.Name, v.name, workers, err)
+				}
+				got := fmt.Sprint(res.Block.Rows)
+				if want == "" {
+					want = got
+				} else if got != want {
+					return nil, fmt.Errorf("%s %s workers=%d diverges: %s != %s",
+						pq.Name, v.name, workers, got, want)
+				}
+			}
+		}
+		refs[qi] = want
+	}
+	return refs, nil
+}
+
+// PlannerOverlayView commits a few IU update transactions through a runner
+// and returns the resulting overlay snapshot, so cross-checks also cover
+// the merged base+delta read path.
+func PlannerOverlayView(ds *ldbc.Dataset, seed int64) (storage.View, error) {
+	r := queries.NewRunner(ds, exec.ModeFused, nil)
+	pg := ds.NewParamGen(seed)
+	for _, q := range queries.All() {
+		if q.Kind != queries.IU {
+			continue
+		}
+		if _, _, err := r.Execute(q, q.GenParams(ds, pg)); err != nil {
+			return nil, fmt.Errorf("%s: %w", q.Name, err)
+		}
+	}
+	return r.Mgr.Snapshot(), nil
+}
+
+// plannerQueryPoint is one ladder row of BENCH_planner.json.
+type plannerQueryPoint struct {
+	Name        string  `json:"name"`
+	Anchor      string  `json:"anchor"`  // cost-chosen anchor variable
+	EstRows     float64 `json:"estRows"` // binder's pattern-cardinality estimate
+	SyntacticNs float64 `json:"syntacticNs"`
+	CostNs      float64 `json:"costNs"`
+	Speedup     float64 `json:"speedup"` // syntactic / cost
+}
+
+// plannerCachePoint is the parameterized-cache section of BENCH_planner.json.
+type plannerCachePoint struct {
+	Requests    int     `json:"requests"` // literal-differing service requests
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	FlatMisses  bool    `json:"flatMisses"` // misses stayed at 1 across all requests
+	UncachedQPS float64 `json:"uncachedQPS"`
+	CachedQPS   float64 `json:"cachedQPS"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// plannerReport is the schema of BENCH_planner.json.
+type plannerReport struct {
+	SimSF        float64             `json:"simSF"`
+	NoCost       bool                `json:"noCost"`
+	StatsEpoch   uint64              `json:"statsEpoch"`
+	StatsBuildMs float64             `json:"statsBuildMs"`
+	CrossCheck   bool                `json:"crossCheck"` // base + overlay, workers 1/2/4/8
+	Queries      []plannerQueryPoint `json:"queries"`
+	Cache        plannerCachePoint   `json:"cache"`
+}
+
+func plannerExp(w io.Writer, cfg Config) error {
+	sf := cfg.SFs[len(cfg.SFs)-1]
+	ds, err := driver.SharedDataset(sf)
+	if err != nil {
+		return err
+	}
+	ds.Graph.SealCSR() // publishes the statistics snapshot the model reads
+	cm := plan.NewCostModel(ds.Graph.Stats())
+	if cfg.NoCost {
+		cm = nil
+		fmt.Fprintln(w, "NoCost: the 'cost' column below binds syntactically (de-optimized)")
+	}
+	report := plannerReport{SimSF: sf, NoCost: cfg.NoCost}
+	if snap := ds.Graph.Stats(); snap != nil {
+		report.StatsEpoch = snap.Epoch
+		report.StatsBuildMs = float64(snap.Build.Microseconds()) / 1000
+		fmt.Fprintf(w, "statistics: epoch %d, %d labels, %d families, %d columns, built in %.3fms\n",
+			snap.Epoch, len(snap.Labels), len(snap.Families), len(snap.Columns), report.StatsBuildMs)
+	}
+
+	if _, err := PlannerCrossCheck(ds, ds.Graph, cm); err != nil {
+		return err
+	}
+	overlay, err := PlannerOverlayView(ds, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if _, err := PlannerCrossCheck(ds, overlay, cm); err != nil {
+		return err
+	}
+	report.CrossCheck = true
+	fmt.Fprintf(w, "cross-check: identical results, cost vs syntactic, workers %v, base and overlay views\n",
+		wcojWorkerSweep)
+
+	timePlan := func(p plan.Plan) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.New(exec.ModeFused).Run(ds.Graph, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+
+	fmt.Fprintf(w, "%-12s %-8s %12s %14s %14s %9s\n", "query", "anchor", "estRows", "syntactic", "cost", "speedup")
+	for _, pq := range PlannerQueries {
+		cost, syntactic, err := plannerCompile(ds, cm, pq, plannerPersonID)
+		if err != nil {
+			return err
+		}
+		p := plannerQueryPoint{
+			Name:        pq.Name,
+			Anchor:      cost.Est.Anchor,
+			EstRows:     cost.Est.Rows,
+			SyntacticNs: timePlan(syntactic.Plan),
+			CostNs:      timePlan(cost.Plan),
+		}
+		if p.CostNs > 0 {
+			p.Speedup = p.SyntacticNs / p.CostNs
+		}
+		report.Queries = append(report.Queries, p)
+		fmt.Fprintf(w, "%-12s %-8s %12.1f %12.0fns %12.0fns %8.1fx\n",
+			pq.Name, p.Anchor, p.EstRows, p.SyntacticNs, p.CostNs, p.Speedup)
+	}
+
+	cache, err := plannerCacheSection(w, ds, cm, cfg)
+	if err != nil {
+		return err
+	}
+	report.Cache = cache
+
+	if cfg.JSONPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", cfg.JSONPath, err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}
+
+// plannerCacheSection measures the parameterized plan cache two ways: the
+// library path (compile-per-request vs normalize+re-bind on a cached
+// skeleton) for QPS, and the service path (literal-differing POST /query
+// bodies against one server) for the flat-miss-count property.
+func plannerCacheSection(w io.Writer, ds *ldbc.Dataset, cm *plan.CostModel, cfg Config) (plannerCachePoint, error) {
+	var out plannerCachePoint
+	pq := PlannerQueries[0]
+	nIDs := 16 // cycle through this many literal-differing instances
+
+	// Uncached: every request runs the full lex/parse/bind pipeline.
+	uncached := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			text := fmt.Sprintf(pq.Text, i%nIDs+1)
+			c, err := cypher.CompileWith(text, ds.H.Cat, cypher.Options{Cost: cm})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.New(exec.ModeFused).Run(ds.Graph, c.Plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Cached: one compiled skeleton from the normalized text; each request
+	// only normalizes its literals out and re-binds them via Engine.Params.
+	norm, params, err := cypher.Normalize(fmt.Sprintf(pq.Text, 1))
+	if err != nil {
+		return out, err
+	}
+	skeleton, err := cypher.CompileWith(norm, ds.H.Cat, cypher.Options{Cost: cm, Params: params})
+	if err != nil {
+		return out, err
+	}
+	cached := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, params, err := cypher.Normalize(fmt.Sprintf(pq.Text, i%nIDs+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := exec.New(exec.ModeFused)
+			eng.Params = params
+			if _, err := eng.Run(ds.Graph, skeleton.Plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out.UncachedQPS = 1e9 / float64(uncached.NsPerOp())
+	out.CachedQPS = 1e9 / float64(cached.NsPerOp())
+	if out.UncachedQPS > 0 {
+		out.Speedup = out.CachedQPS / out.UncachedQPS
+	}
+
+	// Service path: literal-differing requests against one server must
+	// produce exactly one miss (the first compile) and hits thereafter.
+	srv := service.NewWith(ds, exec.ModeFused, service.Options{NoCost: cfg.NoCost})
+	ts := httptest.NewServer(srv.Mux())
+	defer ts.Close()
+	out.Requests = nIDs
+	for i := 0; i < nIDs; i++ {
+		body := fmt.Sprintf(`{"query":%q}`, fmt.Sprintf(pq.Text, i+1))
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			return out, err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return out, fmt.Errorf("planner cache: request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		return out, err
+	}
+	var st struct {
+		PlanCache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"planCache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return out, err
+	}
+	out.Hits, out.Misses = st.PlanCache.Hits, st.PlanCache.Misses
+	out.FlatMisses = out.Misses == 1 && out.Hits == uint64(nIDs-1)
+	fmt.Fprintf(w, "plan cache: %d literal-differing requests -> %d miss / %d hits (flat=%v)\n",
+		out.Requests, out.Misses, out.Hits, out.FlatMisses)
+	fmt.Fprintf(w, "plan cache QPS: uncached %.0f, cached %.0f (%.2fx)\n",
+		out.UncachedQPS, out.CachedQPS, out.Speedup)
+	return out, nil
+}

@@ -78,13 +78,17 @@ type PropRef struct{ Var, Prop string }
 // IDRef is id(var).
 type IDRef struct{ Var string }
 
-// Lit is a literal value.
+// Lit is a literal value. When Param > 0 the literal is a $k placeholder
+// for slot Param (1-based: slot k reads params[k-1]) and the value fields
+// are meaningless — the binder resolves the slot against the request's
+// parameter vector.
 type Lit struct {
-	Kind LitKind
-	I    int64
-	F    float64
-	S    string
-	B    bool
+	Kind  LitKind
+	I     int64
+	F     float64
+	S     string
+	B     bool
+	Param int
 }
 
 // LitKind classifies literals.

@@ -14,12 +14,42 @@ import (
 
 // Compile parses and binds a Cypher query against a catalog, producing a
 // physical plan for the GES engine (any variant) or the volcano engine.
+// The plan is the syntactic one — anchored and oriented as written; use
+// CompileWith to let the cost model shape it.
 func Compile(src string, cat *catalog.Catalog) (plan.Plan, error) {
+	c, err := CompileWith(src, cat, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return c.Plan, nil
+}
+
+// Options configures compilation.
+type Options struct {
+	// Cost is the statistics-driven cost model; nil (or Engine.NoCost)
+	// binds the syntactic plan exactly as written.
+	Cost *plan.CostModel
+	// Params carries the values for $k placeholders in the query text
+	// (slot k = Params[k-1]), as produced by Normalize. The binder uses
+	// them for selectivity estimation and id()-seek detection; the plan
+	// skeleton keeps the slots, so it can be cached and re-bound per
+	// request via Engine.Params.
+	Params []vector.Value
+}
+
+// Compiled couples a physical plan with the binder's cardinality estimate.
+type Compiled struct {
+	Plan plan.Plan
+	Est  plan.Estimate
+}
+
+// CompileWith parses and binds a query under the given options.
+func CompileWith(src string, cat *catalog.Catalog, opts Options) (*Compiled, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Bind(q, cat)
+	return BindWith(q, cat, opts)
 }
 
 // binder carries binding state.
@@ -29,15 +59,37 @@ type binder struct {
 	bound     map[string]bool            // pattern variables bound so far
 	labels    map[string]catalog.LabelID // var -> label (AnyLabel when free)
 	projected map[string]bool            // canonical columns already projected
+
+	cost   *plan.CostModel // nil = syntactic binding
+	params []vector.Value  // $k slot values (may be empty)
+	rows   float64         // running cardinality estimate (cost mode)
+	anchor string          // first clause's chosen anchor variable
 }
 
-// Bind lowers a parsed query to a physical plan.
+// Bind lowers a parsed query to the syntactic physical plan.
 func Bind(q *Query, cat *catalog.Catalog) (plan.Plan, error) {
+	c, err := BindWith(q, cat, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return c.Plan, nil
+}
+
+// BindWith lowers a parsed query to a physical plan under the given
+// options. With a cost model the binder picks the scan anchor, orients
+// every Expand and orders the frontier by estimated cardinality; the
+// chosen anchor also becomes the f-Tree root, minimizing de-factoring
+// under the highest-fanout prefix. Without one it binds the pattern as
+// written. Both shapes return identical results.
+func BindWith(q *Query, cat *catalog.Catalog, opts Options) (*Compiled, error) {
 	b := &binder{
 		cat:       cat,
 		bound:     map[string]bool{},
 		labels:    map[string]catalog.LabelID{},
 		projected: map[string]bool{},
+		cost:      opts.Cost,
+		params:    opts.Params,
+		rows:      1,
 	}
 	for i := range q.Matches {
 		if err := b.bindMatch(&q.Matches[i], i == 0); err != nil {
@@ -50,7 +102,18 @@ func Bind(q *Query, cat *catalog.Catalog) (plan.Plan, error) {
 	// Cyclic subpatterns with >= 2 edges constraining one new vertex bind as
 	// Expand + ExpandInto chains; lower them to worst-case-optimal multiway
 	// intersections (exec's NoWCOJ knob restores the classical chain).
-	return plan.LowerWCOJ(b.plan), nil
+	return &Compiled{
+		Plan: plan.LowerWCOJ(b.plan),
+		Est:  plan.Estimate{Rows: b.rows, CostBased: b.cost != nil, Anchor: b.anchor},
+	}, nil
+}
+
+// bindMatch lowers one MATCH clause, dispatching on the planning mode.
+func (b *binder) bindMatch(m *MatchClause, first bool) error {
+	if b.cost != nil {
+		return b.bindMatchCosted(m, first)
+	}
+	return b.bindMatchSyntactic(m, first)
 }
 
 func (b *binder) labelOf(n NodePat) (catalog.LabelID, error) {
@@ -71,8 +134,10 @@ func (b *binder) labelOf(n NodePat) (catalog.LabelID, error) {
 	return l, nil
 }
 
-// bindMatch lowers one MATCH clause: the pattern expansion, then its WHERE.
-func (b *binder) bindMatch(m *MatchClause, first bool) error {
+// bindMatchSyntactic lowers one MATCH clause exactly as written: the scan
+// anchors on the first node, expansion follows syntax order and direction,
+// and the WHERE filters at the end of the clause.
+func (b *binder) bindMatchSyntactic(m *MatchClause, first bool) error {
 	start := m.Nodes[0]
 	startLabel, err := b.labelOf(start)
 	if err != nil {
@@ -82,12 +147,13 @@ func (b *binder) bindMatch(m *MatchClause, first bool) error {
 		if !first {
 			return fmt.Errorf("cypher: MATCH must start from an already-bound variable (%q is new)", start.Var)
 		}
+		b.anchor = start.Var
 		// Seek by id when the WHERE contains id(start) = <int>; else scan.
-		if ext, rest, ok := extractIDSeek(m.Where, start.Var); ok {
+		if seek, rest, ok := b.extractIDSeek(m.Where, start.Var); ok {
 			if startLabel == storage.AnyLabel {
 				return fmt.Errorf("cypher: id() seek on %q requires a label", start.Var)
 			}
-			b.plan = append(b.plan, &op.NodeByIdSeek{Var: start.Var, Label: startLabel, ExtID: ext})
+			b.plan = append(b.plan, &op.NodeByIdSeek{Var: start.Var, Label: startLabel, ExtID: seek.ext, ExtParam: seek.slot})
 			m.Where = rest
 		} else {
 			if startLabel == storage.AnyLabel {
@@ -154,41 +220,74 @@ func (b *binder) bindMatch(m *MatchClause, first bool) error {
 	return nil
 }
 
-// extractIDSeek finds a conjunct `id(v) = <int>` (either side) and returns
-// the literal plus the remaining predicate.
-func extractIDSeek(e Expr, v string) (int64, Expr, bool) {
+// idSeek is an extracted `id(v) = <int>` conjunct: an inline external id,
+// or a parameter slot when the literal was normalized out (slot > 0; the
+// value, when available, still fills ext for estimation).
+type idSeek struct {
+	ext  int64
+	slot int
+}
+
+// extractIDSeek finds a conjunct `id(v) = <int literal or int parameter>`
+// (either side) and returns the seek plus the remaining predicate.
+func (b *binder) extractIDSeek(e Expr, v string) (idSeek, Expr, bool) {
 	switch n := e.(type) {
 	case Bin:
 		if n.Op == "AND" {
-			if ext, rest, ok := extractIDSeek(n.L, v); ok {
+			if seek, rest, ok := b.extractIDSeek(n.L, v); ok {
 				if rest == nil {
-					return ext, n.R, true
+					return seek, n.R, true
 				}
-				return ext, Bin{Op: "AND", L: rest, R: n.R}, true
+				return seek, Bin{Op: "AND", L: rest, R: n.R}, true
 			}
-			if ext, rest, ok := extractIDSeek(n.R, v); ok {
+			if seek, rest, ok := b.extractIDSeek(n.R, v); ok {
 				if rest == nil {
-					return ext, n.L, true
+					return seek, n.L, true
 				}
-				return ext, Bin{Op: "AND", L: n.L, R: rest}, true
+				return seek, Bin{Op: "AND", L: n.L, R: rest}, true
 			}
-			return 0, nil, false
+			return idSeek{}, nil, false
 		}
 		if n.Op != "=" {
-			return 0, nil, false
+			return idSeek{}, nil, false
 		}
 		if id, ok := n.L.(IDRef); ok && id.Var == v {
-			if lit, ok := n.R.(Lit); ok && lit.Kind == LitInt {
-				return lit.I, nil, true
+			if seek, ok := b.seekLit(n.R); ok {
+				return seek, nil, true
 			}
 		}
 		if id, ok := n.R.(IDRef); ok && id.Var == v {
-			if lit, ok := n.L.(Lit); ok && lit.Kind == LitInt {
-				return lit.I, nil, true
+			if seek, ok := b.seekLit(n.L); ok {
+				return seek, nil, true
 			}
 		}
 	}
-	return 0, nil, false
+	return idSeek{}, nil, false
+}
+
+// seekLit accepts an integer literal or an integer-valued parameter as the
+// right-hand side of an id() seek.
+func (b *binder) seekLit(e Expr) (idSeek, bool) {
+	lit, ok := e.(Lit)
+	if !ok {
+		return idSeek{}, false
+	}
+	if lit.Param > 0 {
+		if lit.Param <= len(b.params) {
+			v := b.params[lit.Param-1]
+			if v.Kind != vector.KindInt64 {
+				return idSeek{}, false
+			}
+			return idSeek{ext: v.I, slot: lit.Param}, true
+		}
+		// No values supplied (skeleton-only compile): keep the slot, the
+		// executor binds it per request.
+		return idSeek{slot: lit.Param}, true
+	}
+	if lit.Kind != LitInt {
+		return idSeek{}, false
+	}
+	return idSeek{ext: lit.I}, true
 }
 
 // canonical returns the engine column name of a simple reference.
@@ -261,6 +360,12 @@ func (b *binder) toExpr(e Expr) (expr.Expr, error) {
 		name, _ := canonical(n)
 		return expr.C(name), nil
 	case Lit:
+		if n.Param > 0 {
+			// Placeholder literal: the plan skeleton carries the slot;
+			// plan.BindParams substitutes the request's value before
+			// execution.
+			return expr.Param{Idx: n.Param - 1}, nil
+		}
 		return expr.Lit{Val: litValue(n)}, nil
 	case Bin:
 		l, err := b.toExpr(n.L)
@@ -311,7 +416,7 @@ func (b *binder) toExpr(e Expr) (expr.Expr, error) {
 		}
 		list := make([]vector.Value, len(n.List))
 		for i, l := range n.List {
-			list[i] = litValue(l)
+			list[i] = b.litValue(l)
 		}
 		return expr.In{X: x, List: list}, nil
 	case StrPred:
@@ -346,6 +451,17 @@ func litValue(l Lit) vector.Value {
 	default:
 		return vector.Bool(l.B)
 	}
+}
+
+// litValue resolves a possibly-parameterized literal. IN-lists bake their
+// values into the compiled plan, so hand-written $k inside them resolves at
+// bind time (Normalize never parameterizes inside brackets, keeping cached
+// skeletons value-free there).
+func (b *binder) litValue(l Lit) vector.Value {
+	if l.Param > 0 && l.Param <= len(b.params) {
+		return b.params[l.Param-1]
+	}
+	return litValue(l)
 }
 
 // bindReturn lowers projection, aggregation, ordering and pagination.

@@ -50,6 +50,7 @@ const (
 	tkPlus
 	tkSlash
 	tkPercent
+	tkParam // $k placeholder; text is the decimal slot number k >= 1
 )
 
 var keywords = map[string]bool{
@@ -170,6 +171,16 @@ func lex(src string) ([]token, error) {
 			} else {
 				return nil, fmt.Errorf("cypher: unexpected '!' at %d", i)
 			}
+		case c == '$':
+			j := i + 1
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("cypher: expected parameter number after '$' at %d", i)
+			}
+			emit(tkParam, src[i+1:j], i)
+			i = j
 		case c == '\'' || c == '"':
 			quote := c
 			j := i + 1

@@ -533,6 +533,12 @@ func (p *parser) parseLit() (Lit, error) {
 		return Lit{Kind: LitFloat, F: v}, nil
 	case tkString:
 		return Lit{Kind: LitString, S: t.text}, nil
+	case tkParam:
+		k, err := strconv.Atoi(t.text)
+		if err != nil || k < 1 {
+			return Lit{}, fmt.Errorf("cypher: bad parameter $%s at %d", t.text, t.pos)
+		}
+		return Lit{Param: k}, nil
 	case tkKeyword:
 		if t.text == "TRUE" {
 			return Lit{Kind: LitBool, B: true}, nil

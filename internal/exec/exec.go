@@ -15,6 +15,7 @@ import (
 	"ges/internal/plan"
 	"ges/internal/sched"
 	"ges/internal/storage"
+	"ges/internal/vector"
 )
 
 // Mode selects the engine variant.
@@ -102,6 +103,17 @@ type Engine struct {
 	// per-side ExpandInto) instead of the worst-case-optimal k-way
 	// intersection — the WCOJ ablation knob. Results are identical.
 	NoWCOJ bool
+	// NoCost makes the cypher binder emit today's syntactic plan instead
+	// of consulting the statistics-driven cost model — the planner
+	// ablation knob. Plans differ in shape but results are identical. The
+	// knob lives on the engine for gesbench/Config conformity; it is read
+	// by the compile helpers, not by Run.
+	NoCost bool
+	// Params is the per-execution parameter vector for plans compiled
+	// from normalized query text ($k placeholders). Bound once per Run via
+	// plan.BindParams, before fusion, so every downstream operator and
+	// vectorized fast path sees plain literals.
+	Params []vector.Value
 }
 
 // New returns an engine in the given mode with a fresh memory pool.
@@ -111,6 +123,9 @@ func New(mode Mode) *Engine {
 
 // Run executes the plan and returns the flat result block.
 func (e *Engine) Run(view storage.View, p plan.Plan) (*Result, error) {
+	if len(e.Params) > 0 {
+		p = plan.BindParams(p, e.Params)
+	}
 	if e.Mode == ModeFused {
 		p = plan.Fuse(p)
 	}

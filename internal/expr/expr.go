@@ -66,6 +66,70 @@ type Lit struct{ Val vector.Value }
 func (l Lit) String() string                { return l.Val.String() }
 func (l Lit) Columns(dst []string) []string { return dst }
 
+// Param is a placeholder for the Idx-th element of a per-execution
+// parameter vector (the $k literals the service's parameterized plan cache
+// normalizes out of query text). Cached plan skeletons carry Params;
+// SubstParams replaces them with Lits before the plan executes, so the
+// compiled evaluators and the vectorized filter fast paths only ever see
+// constants.
+type Param struct{ Idx int }
+
+func (p Param) String() string                { return fmt.Sprintf("$%d", p.Idx) }
+func (p Param) Columns(dst []string) []string { return dst }
+
+// SubstParams returns e with every Param replaced by the matching literal.
+// Nodes without parameters are returned as-is, so shared plan skeletons are
+// never mutated.
+func SubstParams(e Expr, params []vector.Value) Expr {
+	switch n := e.(type) {
+	case Param:
+		if n.Idx >= 0 && n.Idx < len(params) {
+			return Lit{Val: params[n.Idx]}
+		}
+		return n
+	case Cmp:
+		return Cmp{Op: n.Op, L: SubstParams(n.L, params), R: SubstParams(n.R, params)}
+	case And:
+		return And{L: SubstParams(n.L, params), R: SubstParams(n.R, params)}
+	case Or:
+		return Or{L: SubstParams(n.L, params), R: SubstParams(n.R, params)}
+	case Not:
+		return Not{X: SubstParams(n.X, params)}
+	case Arith:
+		return Arith{Op: n.Op, L: SubstParams(n.L, params), R: SubstParams(n.R, params)}
+	case In:
+		return In{X: SubstParams(n.X, params), List: n.List}
+	case StrPred:
+		return StrPred{Op: n.Op, L: SubstParams(n.L, params), R: n.R}
+	default:
+		return e
+	}
+}
+
+// HasParams reports whether e contains any Param node.
+func HasParams(e Expr) bool {
+	switch n := e.(type) {
+	case Param:
+		return true
+	case Cmp:
+		return HasParams(n.L) || HasParams(n.R)
+	case And:
+		return HasParams(n.L) || HasParams(n.R)
+	case Or:
+		return HasParams(n.L) || HasParams(n.R)
+	case Not:
+		return HasParams(n.X)
+	case Arith:
+		return HasParams(n.L) || HasParams(n.R)
+	case In:
+		return HasParams(n.X)
+	case StrPred:
+		return HasParams(n.L)
+	default:
+		return false
+	}
+}
+
 // Cmp compares two sub-expressions.
 type Cmp struct {
 	Op   CmpOp
@@ -318,6 +382,8 @@ func compile(e Expr, bind Binding) (Getter, error) {
 			}
 			return vector.Bool(ok)
 		}, nil
+	case Param:
+		return nil, fmt.Errorf("expr: unbound parameter $%d — plans with parameters must pass through SubstParams before execution", n.Idx)
 	default:
 		return nil, fmt.Errorf("expr: unsupported expression %T", e)
 	}

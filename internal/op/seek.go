@@ -15,6 +15,11 @@ type NodeByIdSeek struct {
 	Var   string
 	Label catalog.LabelID
 	ExtID int64
+	// ExtParam, when positive, names the parameter slot (1-based: slot k
+	// reads params[k-1]) that supplies the external id. Cached plan
+	// skeletons carry the slot; plan.BindParams copies the operator with
+	// ExtID filled in before execution, so Execute only ever sees ExtID.
+	ExtParam int
 }
 
 // Name implements Operator.

@@ -88,13 +88,16 @@ func TestPlanCacheHitCounter(t *testing.T) {
 
 // TestPlanCacheEviction bounds the cache: with capacity 2, a third distinct
 // query evicts the least recently used entry and the size never exceeds the
-// bound.
+// bound. The queries differ structurally (not just in literals — those
+// normalize onto one entry).
 func TestPlanCacheEviction(t *testing.T) {
 	ts := testServerWith(t, service.Options{PlanCacheSize: 2})
-	queryFor := func(id int) string {
-		return fmt.Sprintf(`MATCH (p:Person)-[:KNOWS]->(f) WHERE id(p) = %d
-		                    RETURN COUNT(*) AS friends`, id)
+	shapes := []string{
+		`MATCH (p:Person)-[:KNOWS]->(f) WHERE id(p) = 1 RETURN COUNT(*) AS friends`,
+		`MATCH (p:Person) RETURN COUNT(*) AS persons`,
+		`MATCH (p:Person)-[:KNOWS]->(f)-[:KNOWS]->(g) WHERE id(p) = 1 RETURN COUNT(*) AS fof`,
 	}
+	queryFor := func(id int) string { return shapes[id-1] }
 	for id := 1; id <= 3; id++ {
 		resp, out := post(t, ts, "/query", service.QueryRequest{Query: queryFor(id)})
 		if resp.StatusCode != http.StatusOK {
@@ -123,6 +126,68 @@ func TestPlanCacheEviction(t *testing.T) {
 	}
 	if size != 2 {
 		t.Fatalf("size = %d after re-insertions, want 2", size)
+	}
+}
+
+// TestPlanCacheParameterized asserts that queries differing only in literal
+// values normalize onto one cached skeleton (one miss, then hits) while each
+// execution re-binds its own literals and returns its own answer.
+func TestPlanCacheParameterized(t *testing.T) {
+	ts := testServerWith(t, service.Options{})
+	for i, id := range []int{1, 2, 3, 7} {
+		q := fmt.Sprintf(
+			`MATCH (p:Person)-[:KNOWS]->(f) WHERE id(p) = %d RETURN id(p) AS who, COUNT(*) AS friends`, id)
+		resp, out := post(t, ts, "/query", service.QueryRequest{Query: q})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d: %v", id, resp.StatusCode, out)
+		}
+		rows := out["rows"].([]any)
+		if len(rows) != 1 {
+			t.Fatalf("query %d: %d rows, want 1", id, len(rows))
+		}
+		if who := int(rows[0].([]any)[0].(float64)); who != id {
+			t.Fatalf("query %d returned who = %d: cached plan did not re-bind the literal", id, who)
+		}
+		hits, misses, size, _ := planCacheStats(t, ts)
+		if misses != 1 || hits != i || size != 1 {
+			t.Fatalf("after query %d: hits/misses/size = %d/%d/%d, want %d/1/1 (literal-differing queries must share one entry)",
+				id, hits, misses, size, i)
+		}
+	}
+}
+
+// TestPlanCacheStatsEpochInvalidation re-seals the graph and asserts the
+// cached skeleton stops being hit: the statistics epoch is part of the key,
+// so plans shaped for stale cardinalities age out instead of being reused.
+func TestPlanCacheStatsEpochInvalidation(t *testing.T) {
+	ds, err := ldbc.Generate(ldbc.Config{SF: 0.03, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.NewWith(ds, exec.ModeFused, service.Options{})
+	ts := httptest.NewServer(srv.Mux())
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		resp, out := post(t, ts, "/query", service.QueryRequest{Query: countFriendsQuery})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %v", resp.StatusCode, out)
+		}
+	}
+	hits, misses, _, _ := planCacheStats(t, ts)
+	if hits != 1 || misses != 1 {
+		t.Fatalf("before re-seal: hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+	epoch := ds.Graph.StatsEpoch()
+	ds.Graph.SealCSR() // rebuilds statistics under a bumped epoch
+	if got := ds.Graph.StatsEpoch(); got <= epoch {
+		t.Fatalf("StatsEpoch after re-seal = %d, want > %d", got, epoch)
+	}
+	resp, out := post(t, ts, "/query", service.QueryRequest{Query: countFriendsQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if _, misses, _, _ = planCacheStats(t, ts); misses != 2 {
+		t.Fatalf("misses after re-seal = %d, want 2 (stale-epoch plan must not be reused)", misses)
 	}
 }
 

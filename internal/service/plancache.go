@@ -12,12 +12,20 @@ import (
 // configured.
 const DefaultPlanCacheSize = 128
 
-// planKey identifies a cached compiled plan: the exact query text plus the
-// catalog schema version it was bound against. A schema change bumps the
-// version, so stale plans simply stop being hit and age out of the LRU.
+// planKey identifies a cached compiled plan: the normalized query text
+// (literals replaced by $k placeholders, so literal-differing requests
+// share one entry), the catalog schema version it was bound against, the
+// statistics epoch that shaped it, and the parameter-kind fingerprint. A
+// schema change or a re-seal (Compact + SealCSR publishes fresh
+// cardinalities under a new epoch) makes stale plans stop being hit and
+// age out of the LRU; the kind fingerprint keeps a request whose literal
+// kinds differ (e.g. a string where the cached plan seeks an integer id)
+// from reusing a skeleton shaped for other types.
 type planKey struct {
 	query   string
 	catalog uint64
+	stats   uint64
+	kinds   string
 }
 
 // planCache is a bounded LRU of compiled (unfused) plans, letting repeated
@@ -38,6 +46,7 @@ type planCache struct {
 type planEntry struct {
 	key planKey
 	p   plan.Plan
+	est plan.Estimate
 }
 
 // newPlanCache returns a cache bounded to capacity entries (values < 1 use
@@ -53,31 +62,34 @@ func newPlanCache(capacity int) *planCache {
 	}
 }
 
-// get returns the cached plan for key, promoting it to most recently used.
-func (c *planCache) get(key planKey) (plan.Plan, bool) {
+// get returns the cached plan skeleton and its estimate for key, promoting
+// the entry to most recently used.
+func (c *planCache) get(key planKey) (plan.Plan, plan.Estimate, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
 		c.misses.Add(1)
-		return nil, false
+		return nil, plan.Estimate{}, false
 	}
 	c.order.MoveToFront(el)
 	c.hits.Add(1)
-	return el.Value.(*planEntry).p, true
+	e := el.Value.(*planEntry)
+	return e.p, e.est, true
 }
 
 // put inserts (or refreshes) a compiled plan, evicting the least recently
 // used entry when over capacity.
-func (c *planCache) put(key planKey, p plan.Plan) {
+func (c *planCache) put(key planKey, p plan.Plan, est plan.Estimate) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*planEntry).p = p
+		e := el.Value.(*planEntry)
+		e.p, e.est = p, est
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&planEntry{key: key, p: p})
+	c.byKey[key] = c.order.PushFront(&planEntry{key: key, p: p, est: est})
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)

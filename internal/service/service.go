@@ -9,6 +9,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ges/internal/core"
@@ -16,6 +17,7 @@ import (
 	"ges/internal/exec"
 	"ges/internal/ldbc"
 	"ges/internal/ldbc/queries"
+	"ges/internal/plan"
 	"ges/internal/storage"
 	"ges/internal/vector"
 )
@@ -31,8 +33,18 @@ type Server struct {
 	pool     *storage.Pool
 	parallel int
 	cache    *planCache
+	noCost   bool
 	// now is injectable for deterministic tests.
 	now func() time.Time
+
+	// Estimator drift: totals over cost-based /query executions. estRows is
+	// the planner's pattern-cardinality estimate; actRows counts the rows
+	// each query actually returned. Aggregating queries return fewer rows
+	// than the pattern produced, so this is a coarse drift signal, not a
+	// per-query q-error.
+	estQueries atomic.Uint64
+	estRows    atomic.Uint64
+	actRows    atomic.Uint64
 }
 
 // Options tunes a server beyond the engine mode.
@@ -43,6 +55,9 @@ type Options struct {
 	// PlanCacheSize bounds the compiled-plan LRU; values < 1 use
 	// DefaultPlanCacheSize.
 	PlanCacheSize int
+	// NoCost disables cost-based planning for /query: plans bind in
+	// syntactic order, as written. Mirrors gesbench -no-cost.
+	NoCost bool
 }
 
 // New wires a server for a dataset in the given engine mode with default
@@ -60,6 +75,7 @@ func NewWith(ds *ldbc.Dataset, mode exec.Mode, opts Options) *Server {
 		pool:     storage.NewPool(),
 		parallel: opts.Parallel,
 		cache:    newPlanCache(opts.PlanCacheSize),
+		noCost:   opts.NoCost,
 		now:      time.Now,
 	}
 }
@@ -99,30 +115,73 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	// The cache keys on (query text, catalog version): a hit skips the
-	// lex/parse/bind pipeline entirely, and schema changes invalidate by
-	// version mismatch.
-	key := planKey{query: req.Query, catalog: s.ds.H.Cat.Version()}
-	p, ok := s.cache.get(key)
+	// Literals are normalized into $k placeholders so literal-differing
+	// requests share one plan skeleton; the cache keys on the normalized
+	// text plus the catalog version, the statistics epoch and the parameter
+	// kind fingerprint. A hit skips the lex/parse/bind pipeline and only
+	// re-binds the literal values; schema changes and statistics re-seals
+	// invalidate by key mismatch.
+	norm, params, err := cypher.Normalize(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := planKey{
+		query:   norm,
+		catalog: s.ds.H.Cat.Version(),
+		stats:   s.ds.Graph.StatsEpoch(),
+		kinds:   paramKinds(params),
+	}
+	p, est, ok := s.cache.get(key)
 	if !ok {
-		var err error
-		p, err = cypher.Compile(req.Query, s.ds.H.Cat)
+		var cm *plan.CostModel
+		if !s.noCost {
+			cm = plan.NewCostModel(s.ds.Graph.Stats())
+		}
+		c, err := cypher.CompileWith(norm, s.ds.H.Cat, cypher.Options{Cost: cm, Params: params})
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		s.cache.put(key, p)
+		p, est = c.Plan, c.Est
+		s.cache.put(key, p, est)
 	}
+	eng := s.newEngine()
+	eng.Params = params
 	start := s.now()
-	res, err := s.newEngine().Run(s.runner.Mgr.Snapshot(), p)
+	res, err := eng.Run(s.runner.Mgr.Snapshot(), p)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, toResult(res.Block, map[string]any{
+	reqStats := map[string]any{
 		"durationMs":            float64(s.now().Sub(start).Microseconds()) / 1000,
 		"peakIntermediateBytes": res.PeakMem,
-	}))
+	}
+	if est.CostBased {
+		s.estQueries.Add(1)
+		s.estRows.Add(uint64(est.Rows + 0.5))
+		if res.Block != nil {
+			s.actRows.Add(uint64(len(res.Block.Rows)))
+		}
+		reqStats["estimatedRows"] = est.Rows
+		reqStats["anchor"] = est.Anchor
+	}
+	writeJSON(w, toResult(res.Block, reqStats))
+}
+
+// paramKinds fingerprints the extracted literal kinds so a query whose
+// literals re-lex to different types cannot reuse a plan skeleton shaped
+// for other kinds (e.g. an id() seek compiled against an integer).
+func paramKinds(params []vector.Value) string {
+	if len(params) == 0 {
+		return ""
+	}
+	b := make([]byte, len(params))
+	for i, p := range params {
+		b[i] = byte('0' + int(p.Kind))
+	}
+	return string(b)
 }
 
 // LDBCRequest is the body of POST /ldbc. Params may be omitted to draw
@@ -216,7 +275,57 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"size":     s.cache.size(),
 			"capacity": s.cache.capacity(),
 		},
+		"statistics": s.statsSection(),
+		"planner": map[string]any{
+			"costBased":     !s.noCost,
+			"estQueries":    s.estQueries.Load(),
+			"estimatedRows": s.estRows.Load(),
+			"actualRows":    s.actRows.Load(),
+		},
 	})
+}
+
+// statsSection renders the planner's statistics snapshot: build cost, label
+// cardinalities and per-family degree summaries in deterministic key order.
+func (s *Server) statsSection() map[string]any {
+	snap := s.ds.Graph.Stats()
+	if snap == nil {
+		return map[string]any{"present": false}
+	}
+	cat := s.ds.H.Cat
+	labels := make(map[string]int, len(snap.Labels))
+	for l, card := range snap.Labels {
+		labels[cat.LabelName(l)] = card
+	}
+	fams := make([]map[string]any, 0, len(snap.Families))
+	for _, k := range snap.FamKeys() {
+		f := snap.Families[k]
+		dst := "*"
+		if k.Dst != storage.AnyLabel {
+			dst = cat.LabelName(k.Dst)
+		}
+		fams = append(fams, map[string]any{
+			"src":       cat.LabelName(k.Src),
+			"type":      cat.EdgeTypeName(k.Et),
+			"dst":       dst,
+			"dir":       k.Dir.String(),
+			"edges":     f.Edges,
+			"sources":   f.Sources,
+			"maxDegree": f.MaxDegree,
+			"p50Degree": f.Hist.Quantile(0.5),
+			"p90Degree": f.Hist.Quantile(0.9),
+		})
+	}
+	return map[string]any{
+		"present":  true,
+		"epoch":    snap.Epoch,
+		"buildMs":  float64(snap.Build.Microseconds()) / 1000,
+		"vertices": snap.Vertices,
+		"edges":    snap.Edges,
+		"columns":  len(snap.Columns),
+		"labels":   labels,
+		"families": fams,
+	}
 }
 
 func toResult(fb *core.FlatBlock, stats map[string]any) Result {

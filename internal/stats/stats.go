@@ -1,0 +1,364 @@
+// Package stats holds the statistics snapshot the planner reads: per-family
+// degree histograms, label cardinalities and per-column selectivity
+// summaries, all derived in one pass over the sealed CSR at
+// Graph.SealCSR() time (§10 of DESIGN.md).
+//
+// A Snapshot follows the same ownership discipline as the CSR image it is
+// built from: it is assembled privately through a Builder, sealed by
+// Finish, and published behind an atomic pointer in internal/storage.
+// After publication nothing may mutate it — any base-graph mutation
+// invalidates the pointer and the next seal rebuilds from scratch. geslint
+// rule R6 enforces the no-write-outside-stats part statically.
+package stats
+
+import (
+	"sort"
+	"time"
+
+	"ges/internal/catalog"
+	"ges/internal/vector"
+)
+
+// FamKey identifies one adjacency family: edges of type Et seen from
+// Src-labeled vertices toward Dst-labeled vertices in direction Dir. It
+// mirrors storage.AdjKey (not imported to keep stats dependency-free).
+type FamKey struct {
+	Src catalog.LabelID
+	Et  catalog.EdgeTypeID
+	Dst catalog.LabelID
+	Dir catalog.Direction
+}
+
+// Family summarizes one adjacency family's degree distribution.
+type Family struct {
+	// Edges is the total neighbor count over all sources (directed).
+	Edges int
+	// Sources is the number of vertices with degree >= 1.
+	Sources int
+	// MaxDegree is the largest per-source degree.
+	MaxDegree int
+	// Hist is the equi-depth histogram over log2-degree.
+	Hist Histogram
+}
+
+// ColKey identifies one vertex property column by label and property name.
+type ColKey struct {
+	Label catalog.LabelID
+	Prop  string
+}
+
+// Column summarizes one property column for selectivity estimation: value
+// bounds for ordered kinds (rolled up from the zone map) and a distinct
+// count for dictionary-encoded strings.
+type Column struct {
+	Kind vector.Kind
+	Rows int
+	// MinI/MaxI bound int64 and date columns; MinF/MaxF bound float64
+	// columns. Meaningless when Rows == 0.
+	MinI, MaxI int64
+	MinF, MaxF float64
+	// Distinct is the number of distinct values (exact for dict-encoded
+	// strings — the dictionary size; 0 when unknown).
+	Distinct int
+}
+
+// Snapshot is one immutable statistics image of a sealed base graph.
+type Snapshot struct {
+	// Epoch increments on every rebuild; the service folds it into plan
+	// cache keys so a re-seal (e.g. after Compact) invalidates plans
+	// shaped for stale cardinalities.
+	Epoch uint64
+	// Build is how long the one-pass derivation took.
+	Build time.Duration
+
+	Vertices int
+	Edges    int
+
+	Labels   map[catalog.LabelID]int
+	Families map[FamKey]Family
+	Columns  map[ColKey]Column
+}
+
+// Label returns the cardinality of a label (0 if unseen).
+func (s *Snapshot) Label(l catalog.LabelID) int {
+	if s == nil {
+		return 0
+	}
+	return s.Labels[l]
+}
+
+// Family returns the summary of one adjacency family.
+func (s *Snapshot) Family(k FamKey) (Family, bool) {
+	if s == nil {
+		return Family{}, false
+	}
+	f, ok := s.Families[k]
+	return f, ok
+}
+
+// Column returns the summary of one property column.
+func (s *Snapshot) Column(k ColKey) (Column, bool) {
+	if s == nil {
+		return Column{}, false
+	}
+	c, ok := s.Columns[k]
+	return c, ok
+}
+
+// histDepth is the number of equi-depth buckets a Histogram targets.
+const histDepth = 8
+
+// Bucket is one equi-depth histogram bucket: Count sources have degree in
+// [Lo, Hi].
+type Bucket struct {
+	Lo, Hi int
+	Count  int
+}
+
+// Histogram is an equi-depth summary of a degree distribution at
+// log2-degree resolution: degrees are first folded into power-of-two cells
+// (1, 2, 3-4, 5-8, ...), then the cumulative distribution is split into up
+// to histDepth buckets of roughly equal source count. Zero-degree vertices
+// are not represented — they produce no expansion work.
+type Histogram struct {
+	Buckets []Bucket
+}
+
+// logCell returns the log2-degree cell of d (d >= 1): cell c covers degrees
+// (2^(c-1), 2^c], so cell 0 = {1}, cell 1 = {2}, cell 2 = {3,4}, ...
+func logCell(d int) int {
+	c := 0
+	for 1<<c < d {
+		c++
+	}
+	return c
+}
+
+// cellBounds returns the degree range covered by cell c.
+func cellBounds(c int) (lo, hi int) {
+	if c == 0 {
+		return 1, 1
+	}
+	return 1<<(c-1) + 1, 1 << c
+}
+
+// buildHistogram folds the per-cell source counts into equi-depth buckets.
+func buildHistogram(cells []int, sources int) Histogram {
+	var h Histogram
+	if sources == 0 {
+		return h
+	}
+	target := (sources + histDepth - 1) / histDepth
+	cur := Bucket{Lo: -1}
+	for c, n := range cells {
+		if n == 0 {
+			continue
+		}
+		lo, hi := cellBounds(c)
+		if cur.Lo < 0 {
+			cur.Lo = lo
+		}
+		cur.Hi = hi
+		cur.Count += n
+		if cur.Count >= target {
+			h.Buckets = append(h.Buckets, cur)
+			cur = Bucket{Lo: -1}
+		}
+	}
+	if cur.Lo >= 0 {
+		h.Buckets = append(h.Buckets, cur)
+	}
+	return h
+}
+
+// Sources returns the total source count the histogram covers.
+func (h Histogram) Sources() int {
+	n := 0
+	for _, b := range h.Buckets {
+		n += b.Count
+	}
+	return n
+}
+
+// FracAtLeast estimates the fraction of sources with degree >= d, assuming
+// a uniform spread within each bucket's degree range.
+func (h Histogram) FracAtLeast(d int) float64 {
+	total := h.Sources()
+	if total == 0 {
+		return 0
+	}
+	n := 0.0
+	for _, b := range h.Buckets {
+		switch {
+		case b.Lo >= d:
+			n += float64(b.Count)
+		case b.Hi >= d:
+			span := float64(b.Hi - b.Lo + 1)
+			n += float64(b.Count) * float64(b.Hi-d+1) / span
+		}
+	}
+	return n / float64(total)
+}
+
+// Quantile returns the smallest degree bound that covers at least fraction
+// q of sources (0 for an empty histogram).
+func (h Histogram) Quantile(q float64) int {
+	total := h.Sources()
+	if total == 0 {
+		return 0
+	}
+	want := q * float64(total)
+	acc := 0.0
+	for _, b := range h.Buckets {
+		acc += float64(b.Count)
+		if acc >= want {
+			return b.Hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1].Hi
+}
+
+// SummarizeColumn rolls a property column's zone map (ordered kinds) or
+// dictionary (strings) into the single-column summary the cost model reads.
+// It lives here, not in the caller, so geslint R6 can hold that stats types
+// are only ever written inside this package.
+func SummarizeColumn(c *vector.Column) Column {
+	s := Column{Kind: c.Kind, Rows: c.Len()}
+	switch c.Kind {
+	case vector.KindInt64, vector.KindDate:
+		if zm := c.ZoneMap(); zm != nil && zm.Zones() > 0 {
+			s.MinI, s.MaxI = zm.IntBounds(0)
+			for zi := 1; zi < zm.Zones(); zi++ {
+				lo, hi := zm.IntBounds(zi)
+				if lo < s.MinI {
+					s.MinI = lo
+				}
+				if hi > s.MaxI {
+					s.MaxI = hi
+				}
+			}
+		}
+	case vector.KindFloat64:
+		if zm := c.ZoneMap(); zm != nil && zm.Zones() > 0 {
+			s.MinF, s.MaxF = zm.FloatBounds(0)
+			for zi := 1; zi < zm.Zones(); zi++ {
+				lo, hi := zm.FloatBounds(zi)
+				if lo < s.MinF {
+					s.MinF = lo
+				}
+				if hi > s.MaxF {
+					s.MaxF = hi
+				}
+			}
+		}
+	case vector.KindString:
+		if d := c.Dict(); d != nil {
+			s.Distinct = d.Len()
+		}
+	}
+	return s
+}
+
+// Builder accumulates a Snapshot. It is single-writer; Finish seals the
+// result and the builder must not be reused.
+type Builder struct {
+	snap *Snapshot
+	acc  map[FamKey]*famAcc
+}
+
+type famAcc struct {
+	cells   []int
+	edges   int
+	sources int
+	max     int
+}
+
+// NewBuilder starts a snapshot at the given epoch.
+func NewBuilder(epoch uint64) *Builder {
+	return &Builder{
+		snap: &Snapshot{
+			Epoch:    epoch,
+			Labels:   make(map[catalog.LabelID]int),
+			Families: make(map[FamKey]Family),
+			Columns:  make(map[ColKey]Column),
+		},
+		acc: make(map[FamKey]*famAcc),
+	}
+}
+
+// Label records the cardinality of a label.
+func (b *Builder) Label(l catalog.LabelID, card int) {
+	b.snap.Labels[l] = card
+	b.snap.Vertices += card
+}
+
+// Column records one property column summary.
+func (b *Builder) Column(k ColKey, c Column) { b.snap.Columns[k] = c }
+
+// AddDegree folds one source vertex's degree into a family accumulator.
+// Zero degrees are ignored.
+func (b *Builder) AddDegree(k FamKey, d int) {
+	if d <= 0 {
+		return
+	}
+	a := b.acc[k]
+	if a == nil {
+		a = &famAcc{}
+		b.acc[k] = a
+	}
+	c := logCell(d)
+	for len(a.cells) <= c {
+		a.cells = append(a.cells, 0)
+	}
+	a.cells[c]++
+	a.edges += d
+	a.sources++
+	if d > a.max {
+		a.max = d
+	}
+}
+
+// Finish seals the snapshot. The builder must not be used afterwards.
+func (b *Builder) Finish(build time.Duration) *Snapshot {
+	for k, a := range b.acc {
+		b.snap.Families[k] = Family{
+			Edges:     a.edges,
+			Sources:   a.sources,
+			MaxDegree: a.max,
+			Hist:      buildHistogram(a.cells, a.sources),
+		}
+		if k.Dir == catalog.Out {
+			b.snap.Edges += a.edges
+		}
+	}
+	b.snap.Build = build
+	s := b.snap
+	b.snap, b.acc = nil, nil
+	return s
+}
+
+// FamKeys returns the snapshot's family keys in deterministic order (for
+// observability endpoints and tests).
+func (s *Snapshot) FamKeys() []FamKey {
+	if s == nil {
+		return nil
+	}
+	ks := make([]FamKey, 0, len(s.Families))
+	for k := range s.Families {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		a, b := ks[i], ks[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Et != b.Et {
+			return a.Et < b.Et
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Dir < b.Dir
+	})
+	return ks
+}

@@ -188,6 +188,9 @@ func (g *Graph) SealCSR() int {
 		l.Seal()
 		n++
 	}
+	// The statistics snapshot is derived from the same sealed image, in
+	// the same single-writer pass, and swaps in under the same discipline.
+	g.sealStats()
 	return n
 }
 

@@ -2,8 +2,10 @@ package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ges/internal/catalog"
+	"ges/internal/stats"
 	"ges/internal/vector"
 )
 
@@ -87,6 +89,12 @@ type Graph struct {
 	famIdx map[famKey][]famEntry
 
 	edgeCount int
+
+	// statsSnap is the planner's statistics snapshot (stats.go), rebuilt
+	// by SealCSR and cleared by any base mutation. statsEpoch outlives
+	// invalidations so every rebuild publishes under a fresh epoch.
+	statsSnap  atomic.Pointer[stats.Snapshot]
+	statsEpoch atomic.Uint64
 }
 
 type famKey struct {
@@ -130,6 +138,7 @@ func (g *Graph) AddVertex(label catalog.LabelID, extID int64, props ...vector.Va
 	g.labelOf = append(g.labelOf, label)
 	g.rowOf = append(g.rowOf, row)
 	g.extOf = append(g.extOf, extID)
+	g.invalidateStats()
 	return vid, nil
 }
 
@@ -144,6 +153,7 @@ func (g *Graph) AddEdge(et catalog.EdgeTypeID, src, dst vector.VID, props ...vec
 	g.family(AdjKey{Src: sl, Et: et, Dst: dl, Dir: catalog.Out}).append(src, dst, props)
 	g.family(AdjKey{Src: dl, Et: et, Dst: sl, Dir: catalog.In}).append(dst, src, props)
 	g.edgeCount++
+	g.invalidateStats()
 	return nil
 }
 
@@ -157,6 +167,7 @@ func (g *Graph) DeleteEdge(et catalog.EdgeTypeID, src, dst vector.VID) bool {
 	okIn := g.family(AdjKey{Src: dl, Et: et, Dst: sl, Dir: catalog.In}).remove(dst, src)
 	if okOut && okIn {
 		g.edgeCount--
+		g.invalidateStats()
 		return true
 	}
 	return false
@@ -198,6 +209,7 @@ func (g *Graph) Prop(v vector.VID, p catalog.PropID) vector.Value {
 // single-writer bulk path; transactional updates go through overlays.
 func (g *Graph) SetProp(v vector.VID, p catalog.PropID, val vector.Value) {
 	g.tables[g.labelOf[v]].set(g.rowOf[v], p, val)
+	g.invalidateStats()
 }
 
 // fillSegment populates a Segment (with optional edge props) for src in l.

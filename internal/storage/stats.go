@@ -1,0 +1,56 @@
+package storage
+
+import (
+	"time"
+
+	"ges/internal/catalog"
+	"ges/internal/stats"
+)
+
+// sealStats derives the planner's statistics snapshot in one pass over the
+// freshly sealed graph: label cardinalities from the property tables,
+// per-family degree histograms from the adjacency slot descriptors, and
+// per-column selectivity summaries rolled up from the zone maps and string
+// dictionaries the gather path already maintains. Published behind the same
+// atomic-pointer discipline as the CSR: any base mutation clears it, the
+// next SealCSR rebuilds it under a bumped epoch.
+func (g *Graph) sealStats() {
+	start := time.Now()
+	b := stats.NewBuilder(g.statsEpoch.Add(1))
+	for label, t := range g.tables {
+		if t == nil {
+			continue
+		}
+		b.Label(catalog.LabelID(label), len(t.vids))
+		for i, c := range t.cols {
+			b.Column(
+				stats.ColKey{Label: catalog.LabelID(label), Prop: t.defs[i].Name},
+				stats.SummarizeColumn(c),
+			)
+		}
+	}
+	for key, l := range g.adj {
+		fk := stats.FamKey{Src: key.Src, Et: key.Et, Dst: key.Dst, Dir: key.Dir}
+		for i := range l.meta {
+			b.AddDegree(fk, int(l.meta[i].len))
+		}
+	}
+	g.statsSnap.Store(b.Finish(time.Since(start)))
+}
+
+// Stats returns the current statistics snapshot, or nil while invalidated
+// (after any base mutation, before the next SealCSR).
+func (g *Graph) Stats() *stats.Snapshot { return g.statsSnap.Load() }
+
+// StatsEpoch returns the epoch of the current snapshot, or 0 while
+// invalidated. The service folds it into plan-cache keys.
+func (g *Graph) StatsEpoch() uint64 {
+	if s := g.statsSnap.Load(); s != nil {
+		return s.Epoch
+	}
+	return 0
+}
+
+// invalidateStats drops the published snapshot. Called from every
+// base-graph mutation alongside the per-family CSR invalidation.
+func (g *Graph) invalidateStats() { g.statsSnap.Store(nil) }

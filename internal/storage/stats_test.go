@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"testing"
+
+	"ges/internal/catalog"
+	"ges/internal/stats"
+	"ges/internal/vector"
+)
+
+// statsGraph builds a small sealed two-label graph: 3 persons, 2 cities,
+// LIVES_IN edges with fan-out 2/1/0.
+func statsGraph(t *testing.T) (*Graph, catalog.LabelID, catalog.LabelID, catalog.EdgeTypeID) {
+	t.Helper()
+	g, person, city, livesIn := twoLabelGraph(t)
+	p1, _ := g.AddVertex(person, 1, vector.String_("a"), vector.Int64(30))
+	p2, _ := g.AddVertex(person, 2, vector.String_("b"), vector.Int64(40))
+	if _, err := g.AddVertex(person, 3, vector.String_("c"), vector.Int64(50)); err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := g.AddVertex(city, 100, vector.String_("rome"))
+	c2, _ := g.AddVertex(city, 101, vector.String_("oslo"))
+	for _, e := range [][2]vector.VID{{p1, c1}, {p1, c2}, {p2, c1}} {
+		if err := g.AddEdge(livesIn, e[0], e[1], vector.Date(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.SealCSR()
+	return g, person, city, livesIn
+}
+
+func TestSealPublishesStats(t *testing.T) {
+	g, person, city, livesIn := statsGraph(t)
+	s := g.Stats()
+	if s == nil {
+		t.Fatal("no snapshot after SealCSR")
+	}
+	if s.Epoch == 0 || g.StatsEpoch() != s.Epoch {
+		t.Fatalf("epoch = %d, StatsEpoch = %d", s.Epoch, g.StatsEpoch())
+	}
+	if s.Label(person) != 3 || s.Label(city) != 2 || s.Vertices != 5 {
+		t.Fatalf("label cards = %d/%d, vertices = %d", s.Label(person), s.Label(city), s.Vertices)
+	}
+	out := stats.FamKey{Src: person, Et: livesIn, Dst: city, Dir: catalog.Out}
+	f, ok := s.Family(out)
+	if !ok {
+		t.Fatalf("missing family %+v; have %v", out, s.FamKeys())
+	}
+	if f.Edges != 3 || f.Sources != 2 || f.MaxDegree != 2 {
+		t.Fatalf("out family = %+v, want edges 3, sources 2, max 2", f)
+	}
+
+	// Column summaries: age bounds from the zone map, name distincts from
+	// the dictionary.
+	age, ok := s.Column(stats.ColKey{Label: person, Prop: "age"})
+	if !ok || age.MinI != 30 || age.MaxI != 50 || age.Rows != 3 {
+		t.Fatalf("age column = %+v, %v", age, ok)
+	}
+	// The dictionary pre-seeds the empty string, so 3 names yield >= 3
+	// distincts without encoding the exact dictionary layout here.
+	name, ok := s.Column(stats.ColKey{Label: person, Prop: "name"})
+	if !ok || name.Distinct < 3 || name.Distinct > 4 {
+		t.Fatalf("name column = %+v, %v", name, ok)
+	}
+}
+
+func TestMutationInvalidatesStats(t *testing.T) {
+	g, person, _, _ := statsGraph(t)
+	epoch := g.StatsEpoch()
+	if _, err := g.AddVertex(person, 4); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats() != nil || g.StatsEpoch() != 0 {
+		t.Fatal("mutation must drop the snapshot")
+	}
+	g.SealCSR()
+	s := g.Stats()
+	if s == nil || s.Epoch <= epoch {
+		t.Fatalf("re-seal epoch = %v, want > %d", s, epoch)
+	}
+	if s.Label(person) != 4 {
+		t.Fatalf("re-sealed person card = %d, want 4", s.Label(person))
+	}
+}
+
+func TestSetPropAndDeleteEdgeInvalidateStats(t *testing.T) {
+	g, person, city, livesIn := statsGraph(t)
+	p1, _ := g.VertexByExt(person, 1)
+	g.SetProp(p1, 1, vector.Int64(31))
+	if g.Stats() != nil {
+		t.Fatal("SetProp must drop the snapshot")
+	}
+	g.SealCSR()
+	c1, _ := g.VertexByExt(city, 100)
+	if !g.DeleteEdge(livesIn, p1, c1) {
+		t.Fatal("DeleteEdge failed")
+	}
+	if g.Stats() != nil {
+		t.Fatal("DeleteEdge must drop the snapshot")
+	}
+}
