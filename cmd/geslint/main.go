@@ -1,7 +1,12 @@
-// Command geslint is the GES invariant analyzer: six structural rules
-// (R1–R6, see rules.go) enforced over the whole module with nothing but the
-// standard library's go/ast, go/parser and go/types — no x/tools dependency,
-// so it builds wherever the engine does.
+// Command geslint is the GES invariant analyzer: ten rules (R1–R10, see
+// internal/lint) enforced over the whole module with nothing but the
+// standard library's go/ast, go/parser and go/types — no x/tools
+// dependency, so it builds wherever the engine does.
+//
+// R1–R6 are structural ownership rules; R7–R10 are interprocedural,
+// answered from module-wide per-function summaries (allocations, lock
+// acquisitions, spawns, parameter retention, discarded errors) computed to
+// a fixed point over the call graph by internal/lint.
 //
 // Usage:
 //
@@ -9,23 +14,34 @@
 //
 // Package patterns are accepted for familiarity but the analyzer always
 // loads the enclosing module in full: the rules are module-scoped (lock
-// orders and ownership boundaries cross package lines). Exit status is 0
-// when the module is clean, 1 when findings are reported, 2 on load or
-// type-check failure.
+// orders, call graphs, and ownership boundaries cross package lines). Exit
+// status is 0 when the module is clean, 1 when findings are reported, 2 on
+// load or type-check failure.
 //
-// Deliberate exceptions are annotated in source:
+// Deliberate exceptions and markers are annotated in source; directives
+// marked <why> require a one-line justification or they are inert and
+// themselves a finding:
 //
 //	//geslint:scalar-ok               file may use scalar View.Prop/ExtID (R1)
 //	//geslint:lockorder A < B         declares lock A is acquired before B (R2)
 //	//geslint:selwrite-ok             file may write selection vectors (R3)
 //	//geslint:go-ok                   the go statement on/below this line (R5)
 //	//geslint:statswrite-ok           file may write internal/stats values (R6)
+//	//geslint:kernel                  func must be transitively pure (R7)
+//	//geslint:alloc-ok <why>          waives one impure site in a kernel path (R7)
+//	//geslint:snapshot-owner <why>    type may hold snapshot-derived values (R8)
+//	//geslint:retain-ok <why>         waives one snapshot escape site (R8)
+//	//geslint:atomicptr               field read via Load, written at seals (R9)
+//	//geslint:seal <why>              func is a sanctioned publication site (R9)
+//	//geslint:err-ok <why>            waives one discarded-error site (R10)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+
+	"ges/internal/lint"
 )
 
 func main() {
@@ -33,19 +49,19 @@ func main() {
 	dir := flag.String("C", ".", "analyze the module containing this directory")
 	flag.Parse()
 
-	mod, err := loadModule(*dir)
+	mod, err := lint.LoadModule(*dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	diags := runRules(mod)
+	diags := lint.Run(mod)
 	if *jsonOut {
-		if err := writeJSON(os.Stdout, diags); err != nil {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 	} else {
-		writeText(os.Stdout, diags)
+		lint.WriteText(os.Stdout, diags)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "geslint: %d finding(s) in %s\n", len(diags), mod.Path)

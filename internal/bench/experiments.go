@@ -109,6 +109,17 @@ func icNames() []string {
 	return names
 }
 
+// mustQuery resolves a registered query by name. Experiment tables iterate
+// names that come from the registry itself (icNames and fixed IC subsets),
+// so a lookup failure is a programming error, not a runtime condition.
+func mustQuery(name string) *queries.Query {
+	q, err := queries.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
 func icNum(name string) int {
 	n := 0
 	fmt.Sscanf(name, "IC%d", &n)
@@ -176,7 +187,7 @@ func fig2(w io.Writer, cfg Config) error {
 	fmt.Fprintf(w, "flat GES engine, simSF=%.4g, %d runs per query, single worker\n", sf, cfg.Runs)
 	fmt.Fprintln(w, "query   total(ms)    avg(ms)")
 	for _, name := range icNames() {
-		q, _ := queries.ByName(name)
+		q := mustQuery(name)
 		st, err := driver.MeasureQuery(r, q, cfg.Runs, cfg.Seed, false)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -195,7 +206,7 @@ func fig3(w io.Writer, cfg Config) error {
 	r := cfg.newRunner(ds, exec.ModeFlat)
 	fmt.Fprintf(w, "operator breakdown of long-running queries, flat engine, simSF=%.4g\n", sf)
 	for _, name := range []string{"IC5", "IC6", "IC9", "IC12"} {
-		q, _ := queries.ByName(name)
+		q := mustQuery(name)
 		st, err := driver.MeasureQuery(r, q, cfg.Runs, cfg.Seed, true)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -231,7 +242,7 @@ func fig11(w io.Writer, cfg Config) error {
 		fmt.Fprintf(w, "--- simSF=%.4g ---\n", sf)
 		fmt.Fprintf(w, "%-7s %12s %12s %12s %9s %9s\n", "query", "GES", "GES_f", "GES_f*", "f-spdup", "f*-spdup")
 		for _, name := range icNames() {
-			q, _ := queries.ByName(name)
+			q := mustQuery(name)
 			var avg [3]time.Duration
 			for mi, mode := range Modes {
 				r := cfg.newRunner(ds, mode)
@@ -259,7 +270,7 @@ func fig12(w io.Writer, cfg Config) error {
 	fmt.Fprintf(w, "tail latency (ms), simSF=%.4g, %d samples per query\n", sf, runs)
 	fmt.Fprintf(w, "%-7s %-8s %12s %12s %12s\n", "query", "pct", "GES", "GES_f", "GES_f*")
 	for _, name := range icNames() {
-		q, _ := queries.ByName(name)
+		q := mustQuery(name)
 		var p99, p999 [3]time.Duration
 		for mi, mode := range Modes {
 			r := cfg.newRunner(ds, mode)
@@ -285,7 +296,7 @@ func table2(w io.Writer, cfg Config) error {
 		fmt.Fprintf(w, "--- simSF=%.4g ---\n", sf)
 		fmt.Fprintf(w, "%-7s %12s %12s %12s %8s\n", "query", "GES", "GES_f", "GES_f*", "R.R.")
 		for _, name := range icNames() {
-			q, _ := queries.ByName(name)
+			q := mustQuery(name)
 			var mem [3]int
 			for mi, mode := range Modes {
 				r := cfg.newRunner(ds, mode)
@@ -412,7 +423,7 @@ func fig15(w io.Writer, cfg Config) error {
 			names = append(names, q.Name)
 		}
 		for _, name := range names {
-			q, _ := queries.ByName(name)
+			q := mustQuery(name)
 			line := fmt.Sprintf("%-7s", name)
 			for _, eng := range crossOrder {
 				st, err := driver.MeasureQuery(engines[eng], q, cfg.Runs, cfg.Seed, false)

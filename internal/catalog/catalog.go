@@ -88,6 +88,17 @@ func New() *Catalog {
 	}
 }
 
+// Must unwraps an (ID, error) registration result, panicking on error. It
+// exists for static schema definitions (test fixtures, the LDBC schema)
+// where a registration failure is a programming error, so call sites stay
+// declarative without silently discarding errors.
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // AddLabel registers a vertex label with its property schema and returns its
 // ID. Registering an existing label returns the existing ID and an error if
 // the schema differs.

@@ -53,48 +53,48 @@ func NewHandles() *Handles {
 	date := func(n string) catalog.PropDef { return catalog.PropDef{Name: n, Kind: vector.KindDate} }
 	i64 := func(n string) catalog.PropDef { return catalog.PropDef{Name: n, Kind: vector.KindInt64} }
 
-	h.Person, _ = cat.AddLabel("Person",
+	h.Person = catalog.Must(cat.AddLabel("Person",
 		str("firstName"), str("lastName"), str("gender"),
-		date("birthday"), date("creationDate"), str("locationIP"), str("browserUsed"))
+		date("birthday"), date("creationDate"), str("locationIP"), str("browserUsed")))
 	h.PFirstName, h.PLastName, h.PGender, h.PBirthday, h.PCreation, h.PLocationIP, h.PBrowser =
 		0, 1, 2, 3, 4, 5, 6
 
 	// Post and Comment share the first five property slots so that
 	// Message-supertype queries project them uniformly.
-	h.Post, _ = cat.AddLabel("Post",
+	h.Post = catalog.Must(cat.AddLabel("Post",
 		str("content"), i64("length"), date("creationDate"), str("browserUsed"), str("locationIP"),
-		str("language"))
-	h.Comment, _ = cat.AddLabel("Comment",
-		str("content"), i64("length"), date("creationDate"), str("browserUsed"), str("locationIP"))
+		str("language")))
+	h.Comment = catalog.Must(cat.AddLabel("Comment",
+		str("content"), i64("length"), date("creationDate"), str("browserUsed"), str("locationIP")))
 	h.MContent, h.MLength, h.MCreation, h.MBrowser, h.MLocationIP = 0, 1, 2, 3, 4
 	h.PostLanguage = 5
 
-	h.Forum, _ = cat.AddLabel("Forum", str("title"), date("creationDate"))
+	h.Forum = catalog.Must(cat.AddLabel("Forum", str("title"), date("creationDate")))
 	h.FTitle, h.FCreation = 0, 1
 
-	h.Tag, _ = cat.AddLabel("Tag", str("name"))
-	h.TagClass, _ = cat.AddLabel("TagClass", str("name"))
-	h.City, _ = cat.AddLabel("City", str("name"))
-	h.Country, _ = cat.AddLabel("Country", str("name"))
-	h.Continent, _ = cat.AddLabel("Continent", str("name"))
-	h.University, _ = cat.AddLabel("University", str("name"))
-	h.Company, _ = cat.AddLabel("Company", str("name"))
+	h.Tag = catalog.Must(cat.AddLabel("Tag", str("name")))
+	h.TagClass = catalog.Must(cat.AddLabel("TagClass", str("name")))
+	h.City = catalog.Must(cat.AddLabel("City", str("name")))
+	h.Country = catalog.Must(cat.AddLabel("Country", str("name")))
+	h.Continent = catalog.Must(cat.AddLabel("Continent", str("name")))
+	h.University = catalog.Must(cat.AddLabel("University", str("name")))
+	h.Company = catalog.Must(cat.AddLabel("Company", str("name")))
 	h.NameProp = 0
 
-	h.Knows, _ = cat.AddEdgeType("KNOWS", date("creationDate"))
-	h.HasCreator, _ = cat.AddEdgeType("HAS_CREATOR")
-	h.Likes, _ = cat.AddEdgeType("LIKES", date("creationDate"))
-	h.ReplyOf, _ = cat.AddEdgeType("REPLY_OF")
-	h.ContainerOf, _ = cat.AddEdgeType("CONTAINER_OF")
-	h.HasMember, _ = cat.AddEdgeType("HAS_MEMBER", date("joinDate"))
-	h.HasModerator, _ = cat.AddEdgeType("HAS_MODERATOR")
-	h.HasTag, _ = cat.AddEdgeType("HAS_TAG")
-	h.HasInterest, _ = cat.AddEdgeType("HAS_INTEREST")
-	h.IsLocatedIn, _ = cat.AddEdgeType("IS_LOCATED_IN")
-	h.IsPartOf, _ = cat.AddEdgeType("IS_PART_OF")
-	h.HasType, _ = cat.AddEdgeType("HAS_TYPE")
-	h.StudyAt, _ = cat.AddEdgeType("STUDY_AT", i64("classYear"))
-	h.WorkAt, _ = cat.AddEdgeType("WORK_AT", i64("workFrom"))
+	h.Knows = catalog.Must(cat.AddEdgeType("KNOWS", date("creationDate")))
+	h.HasCreator = catalog.Must(cat.AddEdgeType("HAS_CREATOR"))
+	h.Likes = catalog.Must(cat.AddEdgeType("LIKES", date("creationDate")))
+	h.ReplyOf = catalog.Must(cat.AddEdgeType("REPLY_OF"))
+	h.ContainerOf = catalog.Must(cat.AddEdgeType("CONTAINER_OF"))
+	h.HasMember = catalog.Must(cat.AddEdgeType("HAS_MEMBER", date("joinDate")))
+	h.HasModerator = catalog.Must(cat.AddEdgeType("HAS_MODERATOR"))
+	h.HasTag = catalog.Must(cat.AddEdgeType("HAS_TAG"))
+	h.HasInterest = catalog.Must(cat.AddEdgeType("HAS_INTEREST"))
+	h.IsLocatedIn = catalog.Must(cat.AddEdgeType("IS_LOCATED_IN"))
+	h.IsPartOf = catalog.Must(cat.AddEdgeType("IS_PART_OF"))
+	h.HasType = catalog.Must(cat.AddEdgeType("HAS_TYPE"))
+	h.StudyAt = catalog.Must(cat.AddEdgeType("STUDY_AT", i64("classYear")))
+	h.WorkAt = catalog.Must(cat.AddEdgeType("WORK_AT", i64("workFrom")))
 	return h
 }
 

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// R9: atomic publication. A struct field annotated //geslint:atomicptr is a
+// sealed image published behind an atomic pointer (the CSR snapshot, the
+// statistics snapshot). Every access to such a field must be an immediate
+// atomic method call: reads go through Load, and publications
+// (Store/Swap/CompareAndSwap) are legal only inside functions annotated
+// //geslint:seal <why> — the declared seal sites. Anything else — copying
+// the field, taking its address, passing it around — hides a read or write
+// from the analysis and is a finding. The check is purely syntactic over
+// the resolved field objects collected by collectMarkers, using a parent
+// stack so "immediate receiver of an atomic call" is exact.
+
+var atomicWrites = map[string]bool{
+	"Store": true, "Swap": true, "CompareAndSwap": true,
+}
+
+// checkAtomicPtr walks one file looking for accesses to atomicptr fields.
+func (a *Analysis) checkAtomicPtr(pkg *Package, f *ast.File) {
+	if len(a.atomics) == 0 {
+		return
+	}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal && a.atomics[s.Obj()] {
+				a.checkAtomicUse(sel, stack)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// checkAtomicUse classifies one access to an annotated field given the
+// parent stack (top is the field selector's parent).
+func (a *Analysis) checkAtomicUse(sel *ast.SelectorExpr, stack []ast.Node) {
+	field := sel.Sel.Name
+	if len(stack) >= 2 {
+		if psel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && psel.X == sel {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == psel {
+				method := psel.Sel.Name
+				if method == "Load" {
+					return
+				}
+				if atomicWrites[method] {
+					if fd := enclosingFuncDecl(stack); fd != nil && a.sealDecls[fd] {
+						return
+					}
+					a.report(sel.Pos(), "R9",
+						"%s of atomic field %s outside a declared seal site; publications belong in a function annotated //geslint:seal <why>",
+						method, field)
+					return
+				}
+			}
+		}
+	}
+	a.report(sel.Pos(), "R9",
+		"field %s is published behind an atomic pointer (//geslint:atomicptr); access it only as an immediate %s.Load() read or Store/Swap/CompareAndSwap at a //geslint:seal site",
+		field, field)
+}
+
+// enclosingFuncDecl returns the innermost function declaration on the stack.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}

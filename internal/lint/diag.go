@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"encoding/json"
@@ -53,7 +53,7 @@ func sortDiags(ds []Diag) {
 }
 
 // writeText prints one finding per line in the classic file:line:col form.
-func writeText(w io.Writer, ds []Diag) {
+func WriteText(w io.Writer, ds []Diag) {
 	for _, d := range ds {
 		fmt.Fprintln(w, d)
 	}
@@ -61,7 +61,7 @@ func writeText(w io.Writer, ds []Diag) {
 
 // writeJSON prints the findings as a JSON array (-json), one object per
 // finding, for machine consumption in CI annotations.
-func writeJSON(w io.Writer, ds []Diag) error {
+func WriteJSON(w io.Writer, ds []Diag) error {
 	if ds == nil {
 		ds = []Diag{}
 	}

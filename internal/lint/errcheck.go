@@ -1,0 +1,22 @@
+package lint
+
+// R10: error discipline. Errors returned by module-internal functions must
+// not be silently discarded — neither by a bare call statement (`f()`,
+// `defer f()`) nor by blanking the result (`_ = f()`, `v, _ := g()`). The
+// sites were collected during summary construction; a line annotated
+// //geslint:err-ok <why> (on or directly above) waives its site. Calls into
+// external packages are deliberately out of scope: the rule polices the
+// engine's own error contracts, not the stdlib's.
+
+// checkErrDiscards reports every unwaived discard site.
+func (a *Analysis) checkErrDiscards() {
+	for _, fi := range a.funcOrder {
+		for _, s := range fi.ErrDiscards {
+			if s.Waived {
+				continue
+			}
+			a.report(s.Pos, "R10",
+				"%s; handle the error or annotate the line //geslint:err-ok <why>", s.What)
+		}
+	}
+}

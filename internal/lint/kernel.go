@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// R7: kernel purity. A function annotated //geslint:kernel is a batch inner
+// loop that must run allocation-free, lock-free, and spawn-free —
+// *transitively*, through every module-internal call. The check is a pure
+// summary query: closeImpurity has already propagated the first offending
+// site (an allocation, a mutex acquisition, a go statement, or a call whose
+// effects cannot be analyzed — dynamic dispatch or a non-allowlisted
+// external package) through the call graph to a fixed point, so the
+// diagnostic can name both the root site and the call chain that reaches
+// it. Individual sites are waived with //geslint:alloc-ok <why> on or above
+// the offending line; the waiver is visible in the callee's summary, so one
+// justified amortized-growth append does not poison every kernel above it.
+
+// checkKernels reports every annotated kernel whose summary is impure.
+func (a *Analysis) checkKernels() {
+	for _, fi := range a.funcOrder {
+		if !fi.Kernel || fi.impure == nil {
+			continue
+		}
+		imp := fi.impure
+		p := a.mod.Fset.Position(imp.Pos)
+		loc := fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+		via := ""
+		if len(imp.Via) > 0 {
+			via = " via " + strings.Join(imp.Via, " -> ")
+		}
+		a.report(fi.Decl.Pos(), "R7",
+			"kernel %s is not transitively allocation/lock/spawn-free: %s at %s%s; fix the site or annotate it //geslint:alloc-ok <why>",
+			funcLabel(fi.Fn), imp.What, loc, via)
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"bytes"
@@ -10,10 +10,17 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 )
 
 // wantRe matches the fixture expectation markers: `// want R3`.
-var wantRe = regexp.MustCompile(`//\s*want\s+(R\d)\b`)
+var wantRe = regexp.MustCompile(`//\s*want\s+(R\d+)\b`)
+
+// wantBelowRe marks the NEXT line as expected. It exists for findings that
+// land on a directive's own line (an unjustified opt-out), where an inline
+// marker would be parsed as the directive's justification and defeat the
+// case it fixes.
+var wantBelowRe = regexp.MustCompile(`//\s*want-below\s+(R\d+)\b`)
 
 // fixtureWants scans the fixture module for `// want Rn` markers and returns
 // them as "file:line:rule" keys (file relative to the fixture root).
@@ -33,6 +40,9 @@ func fixtureWants(t *testing.T, root string) map[string]bool {
 			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
 				want[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), i+1, m[1])] = true
 			}
+			for _, m := range wantBelowRe.FindAllStringSubmatch(line, -1) {
+				want[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), i+2, m[1])] = true
+			}
 		}
 		return nil
 	})
@@ -49,14 +59,14 @@ func fixtureWants(t *testing.T, root string) map[string]bool {
 // flagged (the negative cases).
 func TestRulesOnFixtureModule(t *testing.T) {
 	root := filepath.Join("testdata", "src")
-	mod, err := loadModule(root)
+	mod, err := LoadModule(root)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if mod.Path != "ges" {
 		t.Fatalf("fixture module path = %q, want ges", mod.Path)
 	}
-	diags := runRules(mod)
+	diags := Run(mod)
 
 	got := map[string]bool{}
 	for _, d := range diags {
@@ -86,7 +96,7 @@ func TestRulesOnFixtureModule(t *testing.T) {
 
 	// Every rule must have at least one positive case in the fixture, so a
 	// rule silently dying cannot pass the test.
-	for _, rule := range []string{"R1", "R2", "R3", "R4", "R5"} {
+	for _, rule := range []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"} {
 		found := false
 		for k := range want {
 			if strings.HasSuffix(k, ":"+rule) {
@@ -102,15 +112,63 @@ func TestRulesOnFixtureModule(t *testing.T) {
 
 // TestSelfClean runs the analyzer over the real module: after the deliberate
 // exceptions were annotated, `geslint ./...` must be clean — the same gate
-// CI enforces.
+// CI enforces. It doubles as the analysis-latency smoke: loading,
+// summarizing, and closing the whole module must finish well under the 30s
+// budget CI asserts.
 func TestSelfClean(t *testing.T) {
-	mod, err := loadModule(filepath.Join("..", ".."))
+	start := time.Now()
+	mod, err := LoadModule(filepath.Join("..", ".."))
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := runRules(mod)
+	diags := Run(mod)
+	elapsed := time.Since(start)
 	for _, d := range diags {
 		t.Errorf("module not clean: %s", d)
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("whole-module analysis took %v, budget is 30s", elapsed)
+	}
+}
+
+// TestSummaryConvergence pins the interprocedural fixed points on the
+// recursive fixture functions: a pure mutual-recursion cycle must converge
+// without being marked impure, and impurity entering a cycle must propagate
+// out of it with the call chain intact.
+func TestSummaryConvergence(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(mod)
+	byName := map[string]*FuncInfo{}
+	for _, fi := range a.funcOrder {
+		if fi.Pkg.Rel == "internal/vector" {
+			byName[fi.Fn.Name()] = fi
+		}
+	}
+	for _, name := range []string{"KEvenSteps", "KOddSteps"} {
+		fi := byName[name]
+		if fi == nil {
+			t.Fatalf("fixture function %s not summarized", name)
+		}
+		if !fi.Pure() {
+			t.Errorf("%s: pure recursive cycle marked impure: %+v", name, fi.Impure())
+		}
+	}
+	fi := byName["KBadCycle"]
+	if fi == nil {
+		t.Fatal("fixture function KBadCycle not summarized")
+	}
+	imp := fi.Impure()
+	if imp == nil {
+		t.Fatal("KBadCycle: impurity did not propagate out of the recursive cycle")
+	}
+	if imp.What != "make" {
+		t.Errorf("KBadCycle impurity = %q, want the root make site", imp.What)
+	}
+	if len(imp.Via) == 0 || imp.Via[0] != "badPing" {
+		t.Errorf("KBadCycle impurity chain = %v, want it to enter through badPing", imp.Via)
 	}
 }
 
@@ -118,7 +176,7 @@ func TestSelfClean(t *testing.T) {
 // (not null), and findings round-trip with all fields.
 func TestJSONOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeJSON(&buf, nil); err != nil {
+	if err := WriteJSON(&buf, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := strings.TrimSpace(buf.String()); got != "[]" {
@@ -127,7 +185,7 @@ func TestJSONOutput(t *testing.T) {
 
 	in := []Diag{{File: "internal/op/x.go", Line: 3, Col: 7, Rule: "R5", Msg: "raw go statement"}}
 	buf.Reset()
-	if err := writeJSON(&buf, in); err != nil {
+	if err := WriteJSON(&buf, in); err != nil {
 		t.Fatal(err)
 	}
 	var out []Diag

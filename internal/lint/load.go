@@ -1,4 +1,4 @@
-package main
+package lint
 
 import (
 	"fmt"
@@ -151,7 +151,7 @@ func skipDir(name string) bool {
 
 // loadModule loads every non-test package of the module rooted at (or above)
 // dir. Directories without buildable Go files are skipped silently.
-func loadModule(dir string) (*Module, error) {
+func LoadModule(dir string) (*Module, error) {
 	root, modpath, err := findModuleRoot(dir)
 	if err != nil {
 		return nil, err

@@ -1,8 +1,7 @@
-package main
+package lint
 
 import (
 	"go/ast"
-	"go/types"
 	"sort"
 )
 
@@ -15,9 +14,10 @@ import (
 // or when no declared path connects them (undeclared nesting). Acquisitions
 // are tracked by a linear in-order scan per function — a deliberate
 // approximation (branches are treated sequentially) that favors false
-// negatives over false positives. Same-package calls made while holding a
-// lock check the callee's transitive acquire set, so nesting hidden behind a
-// helper (Commit → ensureOverlay) is still seen.
+// negatives over false positives. Calls made while holding a lock check the
+// callee's transitive acquire set from the interprocedural summaries, so
+// nesting hidden behind a helper — even one declared in another package —
+// is still seen.
 
 // lockOrder is the declared partial order over lock names.
 type lockOrder struct {
@@ -70,7 +70,7 @@ func (o *lockOrder) before(a, b string) bool {
 // mutexOp decomposes a call into a sync.Mutex / sync.RWMutex lock operation:
 // the operation name (Lock/RLock/Unlock/RUnlock) and the lock's derived
 // name. ok is false for every other call.
-func (a *analysis) mutexOp(pkg *Package, call *ast.CallExpr) (op, lock string, ok bool) {
+func (a *Analysis) mutexOp(pkg *Package, call *ast.CallExpr) (op, lock string, ok bool) {
 	recv, fn, ok := methodCall(pkg, call)
 	if !ok {
 		return "", "", false
@@ -93,7 +93,7 @@ func (a *analysis) mutexOp(pkg *Package, call *ast.CallExpr) (op, lock string, o
 // the enclosing struct plus the field name. Index expressions are peeled so
 // striped locks share one name; bare identifiers (local mutexes) name
 // themselves.
-func (a *analysis) lockName(pkg *Package, e ast.Expr) string {
+func (a *Analysis) lockName(pkg *Package, e ast.Expr) string {
 	switch x := e.(type) {
 	case *ast.ParenExpr:
 		return a.lockName(pkg, x.X)
@@ -110,96 +110,25 @@ func (a *analysis) lockName(pkg *Package, e ast.Expr) string {
 	return "?"
 }
 
-// calleeIn resolves a call to a function or method declared in the analyzed
-// package (nil otherwise).
-func calleeIn(pkg *Package, call *ast.CallExpr) *types.Func {
-	var obj types.Object
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		obj = pkg.Info.ObjectOf(fun)
-	case *ast.SelectorExpr:
-		if s := pkg.Info.Selections[fun]; s != nil && s.Kind() == types.MethodVal {
-			obj = s.Obj()
-		} else {
-			obj = pkg.Info.ObjectOf(fun.Sel)
-		}
-	}
-	fn, ok := obj.(*types.Func)
-	if !ok || fn.Pkg() != pkg.Types {
-		return nil
-	}
-	return fn
-}
-
-// checkLockOrder runs R2 over one package.
-func (a *analysis) checkLockOrder(pkg *Package) {
-	// Pass 0: map declared functions to their bodies.
-	bodies := map[*types.Func]*ast.FuncDecl{}
+// checkLockOrder runs R2 over one package. The per-function acquire sets
+// come from the interprocedural summaries (already closed module-wide by
+// closeAcquires), replacing the old same-package-only fixpoint.
+func (a *Analysis) checkLockOrder(pkg *Package) {
 	for _, f := range pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if fn, ok := pkg.Info.ObjectOf(fd.Name).(*types.Func); ok {
-				bodies[fn] = fd
-			}
-		}
-	}
-
-	// Pass 1: per-function acquire sets, closed over same-package calls.
-	acquires := map[*types.Func]map[string]bool{}
-	for fn, fd := range bodies {
-		set := map[string]bool{}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok {
-				if op, lock, ok := a.mutexOp(pkg, call); ok && (op == "Lock" || op == "RLock") {
-					set[lock] = true
-				}
-			}
-			return true
-		})
-		acquires[fn] = set
-	}
-	for changed := true; changed; {
-		changed = false
-		for fn, fd := range bodies {
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				callee := calleeIn(pkg, call)
-				if callee == nil || callee == fn {
-					return true
-				}
-				for lock := range acquires[callee] {
-					if !acquires[fn][lock] {
-						acquires[fn][lock] = true
-						changed = true
-					}
-				}
-				return true
-			})
-		}
-	}
-
-	// Pass 2: in-order scan of every function body tracking the held set.
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			a.scanHeldLocks(pkg, fd, acquires)
+			a.scanHeldLocks(pkg, fd)
 		}
 	}
 }
 
 // scanHeldLocks walks one function body in source order, maintaining the
 // stack of held locks and checking every new acquisition — direct or through
-// a same-package callee — against the declared order.
-func (a *analysis) scanHeldLocks(pkg *Package, fd *ast.FuncDecl, acquires map[*types.Func]map[string]bool) {
+// a resolved callee's transitive acquire set — against the declared order.
+func (a *Analysis) scanHeldLocks(pkg *Package, fd *ast.FuncDecl) {
 	var held []string
 	heldHas := func(lock string) bool {
 		for _, h := range held {
@@ -257,9 +186,13 @@ func (a *analysis) scanHeldLocks(pkg *Package, fd *ast.FuncDecl, acquires map[*t
 			if len(held) == 0 {
 				return true
 			}
-			if callee := calleeIn(pkg, s); callee != nil {
-				locks := make([]string, 0, len(acquires[callee]))
-				for lock := range acquires[callee] {
+			if callee := calleeFunc(pkg, s); callee != nil {
+				ci := a.funcs[callee]
+				if ci == nil {
+					return true
+				}
+				locks := make([]string, 0, len(ci.Acquires))
+				for lock := range ci.Acquires {
 					if !heldHas(lock) {
 						locks = append(locks, lock)
 					}

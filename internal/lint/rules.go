@@ -1,15 +1,14 @@
-package main
+package lint
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
 	"path/filepath"
-	"regexp"
 	"strings"
 )
 
-// The five invariant rules geslint enforces over the engine:
+// The ten invariant rules geslint enforces over the engine:
 //
 //	R1  no scalar storage reads in internal/op. View.Prop / View.ExtID must
 //	    go through the vectorized gather path; files implementing the
@@ -21,7 +20,9 @@ import (
 //	    cannot silently exempt new per-source adjacency loops.
 //	R2  lock acquisition in internal/storage and internal/txn must follow the
 //	    partial order declared by //geslint:lockorder A < B comments; both
-//	    inversions and undeclared nestings are findings.
+//	    inversions and undeclared nestings are findings. Acquire sets come
+//	    from the interprocedural summaries, so nesting hidden behind a helper
+//	    in another package is still seen.
 //	R3  selection vectors (core.Node.Sel) are written only by internal/core
 //	    and the operators sanctioned by name in selWriters (filter.go, and
 //	    expandinto.go whose in-place closure narrows the child selection);
@@ -40,10 +41,22 @@ import (
 //	    The rule is deliberately copy-conservative — mutating even a
 //	    by-value copy of a Family is flagged, because its Histogram shares
 //	    bucket storage with the published snapshot. //geslint:statswrite-ok
-//	    opts a file out.
-
-var directiveRe = regexp.MustCompile(`^//geslint:([a-z-]+)\s*(.*?)\s*$`)
-var lockOrderRe = regexp.MustCompile(`^(\S+)\s*<\s*(\S+)$`)
+//	    opts a file out. Sites are collected during summary construction.
+//	R7  functions annotated //geslint:kernel are transitively allocation-,
+//	    lock-, and spawn-free with no unanalyzable calls; individual sites
+//	    are waived by //geslint:alloc-ok <why> on or above the line.
+//	R8  values reachable from a sealed snapshot (internal/stats Snapshot, a
+//	    zero-copy storage.Batch run, a shared scan column) must not escape
+//	    into struct fields, package variables, channels, or goroutines that
+//	    outlive the morsel, outside types annotated //geslint:snapshot-owner
+//	    <why>. Escapes through module-internal calls are caught via the
+//	    retention summaries; //geslint:retain-ok <why> waives a line.
+//	R9  struct fields annotated //geslint:atomicptr are read only through
+//	    atomic Load and published (Store/Swap/CompareAndSwap) only inside
+//	    functions annotated //geslint:seal <why>.
+//	R10 errors returned by module-internal functions are never silently
+//	    discarded — neither by a bare call statement nor a blank assign —
+//	    outside lines annotated //geslint:err-ok <why>.
 
 // selWriters are the internal/op files sanctioned by name to write selection
 // vectors (R3): the Filter operator, and ExpandInto, whose intersection
@@ -74,16 +87,49 @@ var columnAppends = map[string]bool{
 var goScope = []string{"internal/op", "internal/exec", "internal/service",
 	"internal/driver", "internal/bench"}
 
-type analysis struct {
-	mod   *Module
-	order *lockOrder
-	diags []Diag
+// Analysis holds the module-wide analysis state: the lock order, the
+// per-function summaries and their deterministic order, the annotated
+// snapshot-owner types and atomic-pointer fields, and the findings.
+type Analysis struct {
+	mod       *Module
+	order     *lockOrder
+	funcs     map[*types.Func]*FuncInfo
+	funcOrder []*FuncInfo
+	sealDecls map[*ast.FuncDecl]bool
+	owners    map[types.Object]string // snapshot-owner types -> justification
+	atomics   map[types.Object]bool   // atomicptr-annotated fields
+	diags     []Diag
 }
 
-// runRules applies R1–R6 to every loaded package and returns sorted findings.
-func runRules(mod *Module) []Diag {
-	a := &analysis{mod: mod, order: collectLockOrder(mod)}
-	for _, pkg := range mod.Pkgs {
+// Analyze builds the interprocedural substrate for a loaded module: markers,
+// per-function summaries, and the fixed-point closures over the call graph.
+func Analyze(mod *Module) *Analysis {
+	a := &Analysis{
+		mod:       mod,
+		order:     collectLockOrder(mod),
+		funcs:     map[*types.Func]*FuncInfo{},
+		sealDecls: map[*ast.FuncDecl]bool{},
+		owners:    map[types.Object]string{},
+		atomics:   map[types.Object]bool{},
+	}
+	a.collectMarkers()
+	a.buildSummaries()
+	for _, fi := range a.funcOrder {
+		if fi.Seal {
+			a.sealDecls[fi.Decl] = true
+		}
+	}
+	a.closeAcquires()
+	a.closeRetains()
+	a.closeImpurity()
+	return a
+}
+
+// Run applies every rule and returns the sorted findings.
+func (a *Analysis) Run() []Diag {
+	a.diags = nil
+	a.checkJustifications()
+	for _, pkg := range a.mod.Pkgs {
 		rel := pkg.Rel
 		for _, f := range pkg.Files {
 			dirs := fileDirectives(f)
@@ -96,25 +142,32 @@ func runRules(mod *Module) []Diag {
 			if rel != "internal/core" {
 				a.checkColumnAppends(pkg, f)
 			}
-			if rel != "internal/stats" && !dirs["statswrite-ok"] {
-				a.checkStatsWrites(pkg, f)
-			}
 			for _, scope := range goScope {
 				if hasPrefix(rel, scope) {
 					a.checkGoStmts(pkg, f)
 					break
 				}
 			}
+			a.checkAtomicPtr(pkg, f)
 		}
 		if rel == "internal/storage" || rel == "internal/txn" {
 			a.checkLockOrder(pkg)
 		}
 	}
+	a.checkStatsSummaries()
+	a.checkKernels()
+	a.checkSnapshotLifetime()
+	a.checkErrDiscards()
 	sortDiags(a.diags)
 	return a.diags
 }
 
-func (a *analysis) report(pos token.Pos, rule, format string, args ...any) {
+// Run is the one-call entry point: analyze the module and apply every rule.
+func Run(mod *Module) []Diag {
+	return Analyze(mod).Run()
+}
+
+func (a *Analysis) report(pos token.Pos, rule, format string, args ...any) {
 	a.diags = append(a.diags, diagAt(a.mod.Root, a.mod.Fset.Position(pos), rule, format, args...))
 }
 
@@ -124,7 +177,7 @@ func hasPrefix(rel, scope string) bool {
 
 // relOf maps a types.Package to its module-relative path ("" for the module
 // root package, the full path for out-of-module packages).
-func (a *analysis) relOf(p *types.Package) string {
+func (a *Analysis) relOf(p *types.Package) string {
 	if p == nil {
 		return ""
 	}
@@ -154,7 +207,7 @@ func namedOf(t types.Type) *types.Named {
 
 // isType reports whether t (possibly behind pointers) is the named type
 // rel.name of this module.
-func (a *analysis) isType(t types.Type, rel, name string) bool {
+func (a *Analysis) isType(t types.Type, rel, name string) bool {
 	n := namedOf(t)
 	if n == nil || n.Obj().Pkg() == nil {
 		return false
@@ -181,31 +234,68 @@ func methodCall(pkg *Package, call *ast.CallExpr) (recv ast.Expr, obj *types.Fun
 	return sel.X, fn, true
 }
 
-// fileDirectives collects the file-scope geslint directives of a file
-// (scalar-ok, selwrite-ok).
-func fileDirectives(f *ast.File) map[string]bool {
-	out := map[string]bool{}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if m := directiveRe.FindStringSubmatch(c.Text); m != nil {
-				out[m[1]] = true
+// collectMarkers gathers the declaration-scope annotations rules key on:
+// //geslint:snapshot-owner on type declarations (R8) and //geslint:atomicptr
+// on struct fields (R9). Kernel and seal markers live on FuncInfo.
+func (a *Analysis) collectMarkers() {
+	fset := a.mod.Fset
+	for _, pkg := range a.mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					docPos := token.NoPos
+					if ts.Doc != nil {
+						docPos = ts.Doc.Pos()
+					} else if gd.Doc != nil {
+						docPos = gd.Doc.Pos()
+					}
+					if r := declDirective(fset, f, "snapshot-owner", docPos, ts.Pos()); r != nil && *r != "" {
+						if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+							a.owners[obj] = *r
+						}
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if !fieldHasDirective(field, "atomicptr") {
+							continue
+						}
+						for _, name := range field.Names {
+							if obj := pkg.Info.Defs[name]; obj != nil {
+								a.atomics[obj] = true
+							}
+						}
+					}
+				}
 			}
 		}
 	}
-	return out
 }
 
-// directiveLines maps source lines carrying the named line-scope directive.
-func directiveLines(fset *token.FileSet, f *ast.File, name string) map[int]bool {
-	out := map[int]bool{}
-	for _, cg := range f.Comments {
+// fieldHasDirective reports an atomicptr-style directive in a struct field's
+// doc or trailing same-line comment.
+func fieldHasDirective(field *ast.Field, name string) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
 		for _, c := range cg.List {
 			if m := directiveRe.FindStringSubmatch(c.Text); m != nil && m[1] == name {
-				out[fset.Position(c.Pos()).Line] = true
+				return true
 			}
 		}
 	}
-	return out
+	return false
 }
 
 // ---------------------------------------------------------------- R1
@@ -217,7 +307,7 @@ func directiveLines(fset *token.FileSet, f *ast.File, name string) map[int]bool 
 // exempts Prop/ExtID only. Neighbors accepts just the line-scope form — a
 // //geslint:scalar-ok comment on or directly above the call — so each
 // deliberate scalar adjacency loop stays individually annotated.
-func (a *analysis) checkScalarProps(pkg *Package, f *ast.File, fileOK bool) {
+func (a *Analysis) checkScalarProps(pkg *Package, f *ast.File, fileOK bool) {
 	okLines := directiveLines(a.mod.Fset, f, "scalar-ok")
 	ast.Inspect(f, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -264,45 +354,8 @@ func recvTypeName(pkg *Package, call *ast.CallExpr) string {
 
 // ---------------------------------------------------------------- R3 / R4
 
-// taintedObjs computes the file's objects assigned (transitively, to a
-// fixpoint) from expressions matched by src — the simple local-alias taint
-// both R3 and R4 use to catch `sel := node.Sel; sel.Clear(i)`.
-func taintedObjs(pkg *Package, f *ast.File, src func(ast.Expr) bool) map[types.Object]bool {
-	tainted := map[types.Object]bool{}
-	isSrc := func(e ast.Expr) bool {
-		if src(e) {
-			return true
-		}
-		if id, ok := e.(*ast.Ident); ok {
-			return tainted[pkg.Info.ObjectOf(id)]
-		}
-		return false
-	}
-	for changed := true; changed; {
-		changed = false
-		ast.Inspect(f, func(n ast.Node) bool {
-			as, ok := n.(*ast.AssignStmt)
-			if !ok || len(as.Lhs) != len(as.Rhs) {
-				return true
-			}
-			for i, lhs := range as.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok || !isSrc(as.Rhs[i]) {
-					continue
-				}
-				if obj := pkg.Info.ObjectOf(id); obj != nil && !tainted[obj] {
-					tainted[obj] = true
-					changed = true
-				}
-			}
-			return true
-		})
-	}
-	return tainted
-}
-
 // isSelField matches `<expr>.Sel` where <expr> is a core.Node.
-func (a *analysis) isSelField(pkg *Package, e ast.Expr) bool {
+func (a *Analysis) isSelField(pkg *Package, e ast.Expr) bool {
 	sel, ok := e.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != "Sel" {
 		return false
@@ -313,7 +366,7 @@ func (a *analysis) isSelField(pkg *Package, e ast.Expr) bool {
 // checkSelWrites flags Bitset mutators applied to a selection vector
 // (core.Node.Sel, directly or through a local alias) outside the sanctioned
 // writers.
-func (a *analysis) checkSelWrites(pkg *Package, f *ast.File) {
+func (a *Analysis) checkSelWrites(pkg *Package, f *ast.File) {
 	fname := a.mod.Fset.Position(f.Pos()).Filename
 	if pkg.Rel == "internal/op" && selWriters[filepath.Base(fname)] {
 		return
@@ -350,7 +403,7 @@ func (a *analysis) checkSelWrites(pkg *Package, f *ast.File) {
 
 // isBlockColumn matches expressions yielding a column owned by an f-Block:
 // b.Column(i), b.ColumnByName(n), b.Columns()[i].
-func (a *analysis) isBlockColumn(pkg *Package, e ast.Expr) bool {
+func (a *Analysis) isBlockColumn(pkg *Package, e ast.Expr) bool {
 	if ix, ok := e.(*ast.IndexExpr); ok {
 		e = ix.X
 	}
@@ -373,7 +426,7 @@ func (a *analysis) isBlockColumn(pkg *Package, e ast.Expr) bool {
 // checkColumnAppends flags cardinality-changing Column mutators applied to a
 // column reached through an f-Block accessor — the runtime counterpart is
 // invariant I1 in core.(*FTree).Invariants.
-func (a *analysis) checkColumnAppends(pkg *Package, f *ast.File) {
+func (a *Analysis) checkColumnAppends(pkg *Package, f *ast.File) {
 	isBlockCol := func(e ast.Expr) bool { return a.isBlockColumn(pkg, e) }
 	tainted := taintedObjs(pkg, f, isBlockCol)
 	ast.Inspect(f, func(n ast.Node) bool {
@@ -407,7 +460,7 @@ func (a *analysis) checkColumnAppends(pkg *Package, f *ast.File) {
 
 // isStatsValue reports whether e's type (possibly behind pointers) is a
 // named type of internal/stats.
-func (a *analysis) isStatsValue(pkg *Package, e ast.Expr) bool {
+func (a *Analysis) isStatsValue(pkg *Package, e ast.Expr) bool {
 	n := namedOf(pkg.Info.TypeOf(e))
 	if n == nil || n.Obj().Pkg() == nil {
 		return false
@@ -415,71 +468,30 @@ func (a *analysis) isStatsValue(pkg *Package, e ast.Expr) bool {
 	return a.relOf(n.Obj().Pkg()) == "internal/stats"
 }
 
-// checkStatsWrites flags assignments (and ++/--) whose target is reached
-// through a field of an internal/stats value — directly
-// (snap.Vertices = n, snap.Labels[l] = c, fam.Hist.Buckets[0].Count++) or
-// through a local alias of a snapshot map or slice (m := snap.Labels;
-// m[l] = c). Published snapshots are immutable; internal/stats owns every
-// write via its Builder.
-func (a *analysis) checkStatsWrites(pkg *Package, f *ast.File) {
-	isStatsField := func(e ast.Expr) bool {
-		sel, ok := e.(*ast.SelectorExpr)
-		return ok && a.isStatsValue(pkg, sel.X)
-	}
-	tainted := taintedObjs(pkg, f, isStatsField)
-	// statsTarget peels the write target down to the expression that makes
-	// it a statistics write, if any.
-	statsTarget := func(e ast.Expr) bool {
-		for {
-			switch x := e.(type) {
-			case *ast.ParenExpr:
-				e = x.X
-			case *ast.StarExpr:
-				e = x.X
-			case *ast.IndexExpr:
-				if id, ok := x.X.(*ast.Ident); ok && tainted[pkg.Info.ObjectOf(id)] {
-					return true
-				}
-				e = x.X
-			case *ast.SelectorExpr:
-				if a.isStatsValue(pkg, x.X) {
-					return true
-				}
-				e = x.X
-			case *ast.Ident:
-				return false
-			default:
-				return false
-			}
+// checkStatsSummaries is R6 as a summary query: the write sites were
+// collected during summary construction (sharing the single AST pass), and
+// the rule just filters them by package and file directive.
+func (a *Analysis) checkStatsSummaries() {
+	for _, fi := range a.funcOrder {
+		if fi.Pkg.Rel == "internal/stats" || len(fi.StatsWrites) == 0 {
+			continue
+		}
+		if fileDirectives(fi.File)["statswrite-ok"] {
+			continue
+		}
+		for _, pos := range fi.StatsWrites {
+			a.report(pos, "R6",
+				"write through an internal/stats value in %s; published snapshots are immutable — assemble through stats.Builder or annotate the file //geslint:statswrite-ok",
+				fi.Pkg.Rel)
 		}
 	}
-	flag := func(pos token.Pos) {
-		a.report(pos, "R6",
-			"write through an internal/stats value in %s; published snapshots are immutable — assemble through stats.Builder or annotate the file //geslint:statswrite-ok",
-			pkg.Rel)
-	}
-	ast.Inspect(f, func(n ast.Node) bool {
-		switch st := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range st.Lhs {
-				if statsTarget(lhs) {
-					flag(lhs.Pos())
-				}
-			}
-		case *ast.IncDecStmt:
-			if statsTarget(st.X) {
-				flag(st.X.Pos())
-			}
-		}
-		return true
-	})
 }
 
 // ---------------------------------------------------------------- R5
 
 // checkGoStmts flags raw go statements in packages that must spawn through
 // internal/sched.
-func (a *analysis) checkGoStmts(pkg *Package, f *ast.File) {
+func (a *Analysis) checkGoStmts(pkg *Package, f *ast.File) {
 	okLines := directiveLines(a.mod.Fset, f, "go-ok")
 	ast.Inspect(f, func(n ast.Node) bool {
 		g, ok := n.(*ast.GoStmt)

@@ -1,0 +1,59 @@
+// Error-discipline fixtures (R10): errors returned by module-internal
+// functions are never silently discarded. Positive cases cover the bare
+// call, the deferred call, the blank assignment, and the tuple blank;
+// negative cases cover handling, a justified err-ok waiver, and an
+// external callee (out of scope by design).
+package op
+
+import "fmt"
+
+// flush is the module-internal error source the R10 cases call.
+func flush() error { return nil }
+
+// open returns a value alongside its error.
+func open(name string) (int, error) { return len(name), nil }
+
+// BadBare drops the error of a bare call.
+func BadBare() {
+	flush() // want R10
+}
+
+// BadDefer drops the error of a deferred call.
+func BadDefer() {
+	defer flush() // want R10
+}
+
+// BadBlank blanks the error explicitly.
+func BadBlank() {
+	_ = flush() // want R10
+}
+
+// BadTuple blanks the error half of a tuple assignment.
+func BadTuple() int {
+	v, _ := open("x") // want R10
+	return v
+}
+
+// OKHandled propagates both error forms (R10 negative).
+func OKHandled() (int, error) {
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	v, err := open("x")
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// OKErrWaived discards deliberately, with a justification (R10 negative).
+func OKErrWaived() {
+	//geslint:err-ok fixture: best-effort flush on the cleanup path
+	_ = flush()
+}
+
+// OKExternal calls an external error-returning function — the rule polices
+// the module's own contracts only (R10 negative).
+func OKExternal() {
+	fmt.Println("fixture")
+}

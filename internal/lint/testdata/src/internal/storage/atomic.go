@@ -1,0 +1,46 @@
+// Atomic-publication fixtures (R9): a field annotated //geslint:atomicptr
+// is read only through an immediate Load and published only inside a
+// declared //geslint:seal site. internal/storage is exempt from R8, not
+// from R9 — publication discipline binds the owner packages too.
+package storage
+
+import "sync/atomic"
+
+// img is a sealed image published behind an atomic pointer.
+type img struct{ n int }
+
+// publisher owns the published pointer.
+type publisher struct {
+	snap atomic.Pointer[img] //geslint:atomicptr
+}
+
+// OKLoad reads through an immediate Load (R9 negative).
+func (p *publisher) OKLoad() int {
+	if s := p.snap.Load(); s != nil {
+		return s.n
+	}
+	return 0
+}
+
+// sealImg publishes a new image at the declared seal site (R9 negative).
+//
+//geslint:seal fixture: the one sanctioned publication point
+func (p *publisher) sealImg(s *img) {
+	p.snap.Store(s)
+}
+
+// BadStore publishes outside a seal site.
+func (p *publisher) BadStore(s *img) {
+	p.snap.Store(s) // want R9
+}
+
+// BadSwap swaps outside a seal site.
+func (p *publisher) BadSwap(s *img) *img {
+	return p.snap.Swap(s) // want R9
+}
+
+// BadAlias leaks the atomic cell itself, hiding future accesses from the
+// analysis.
+func (p *publisher) BadAlias() *atomic.Pointer[img] {
+	return &p.snap // want R9
+}

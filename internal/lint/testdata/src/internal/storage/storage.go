@@ -1,0 +1,33 @@
+// Package storage stubs the read surface operators program against.
+package storage
+
+import (
+	"ges/internal/stats"
+	"ges/internal/vector"
+)
+
+// Segment is one contiguous slice of a vertex's adjacency.
+type Segment struct {
+	VIDs []vector.VID
+}
+
+// View is the per-query read interface; Prop, ExtID, and Neighbors are the
+// scalar reads R1 polices inside internal/op.
+type View interface {
+	Prop(v vector.VID, pid int32) vector.Value
+	ExtID(v vector.VID) int64
+	Neighbors(buf []Segment, v vector.VID, et int32, dir int32, dstLabel int32, withProps bool) []Segment
+}
+
+// Batch is the zero-copy adjacency batch stub: its fields alias sealed CSR
+// memory, so values derived from them are R8 snapshot sources.
+type Batch struct {
+	VIDs []vector.VID
+	Runs []Segment
+}
+
+// Run returns one run of the batch, aliasing sealed memory (R8 source).
+func (b *Batch) Run(i int) []vector.VID { return b.Runs[i].VIDs }
+
+// Stats returns the published statistics snapshot (R8 call-typed source).
+func Stats() *stats.Snapshot { return nil }

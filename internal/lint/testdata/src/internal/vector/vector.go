@@ -56,3 +56,8 @@ func (c *Column) AppendInt64(v int64) { c.i64 = append(c.i64, v) }
 
 // Extend appends all of src.
 func (c *Column) Extend(src *Column) { c.i64 = append(c.i64, src.i64...) }
+
+// ShareScanColumn returns a zero-copy scan view of the column — an R8
+// snapshot source in the fixture, matching the real module's shared-column
+// hand-off.
+func (c *Column) ShareScanColumn() *Column { return c }

@@ -155,16 +155,27 @@ func (o *ExpandIntersect) intersectRows(ctx *Ctx, deep *core.Node, cols []*vecto
 	}
 	var x storage.Intersector
 	x.Reset(base, probes, probeSrcs, !ctx.NoIntersect)
+	return probeLoop(&x, hi-lo, toCol, index)
+}
 
+// probeLoop is the ExpandIntersect inner loop: one Intersector reduction
+// per deep row, survivors appended to toCol and one range per row to index
+// (ranges relative to toCol's state at entry). Split out of intersectRows
+// so the hot loop is a checkable kernel, separate from the per-morsel batch
+// fills and Intersector setup that legitimately allocate.
+//
+//geslint:kernel
+func probeLoop(x *storage.Intersector, n int, toCol *vector.Column, index []core.Range) []core.Range {
 	total := toCol.Len()
 	var buf []vector.VID
-	for i := 0; i < hi-lo; i++ {
+	for i := 0; i < n; i++ {
 		start := total
 		buf = x.Row(buf[:0], i)
 		for _, v := range buf {
 			toCol.AppendVID(v)
 		}
 		total += len(buf)
+		//geslint:alloc-ok callers pre-size index to the morsel row count; append rarely grows
 		index = append(index, core.Range{Start: int32(start), End: int32(total)})
 	}
 	return index

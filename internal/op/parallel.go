@@ -173,6 +173,7 @@ func parallelFlatExpand(ctx *Ctx, o *Expand, in *core.FlatBlock, fromIdx int,
 		// expandFlatRows handles both the batched (one NeighborsBatch per
 		// morsel) and the NoCSR scalar paths; errors cannot occur because the
 		// row limit is checked once after the merge.
+		//geslint:err-ok the row limit is enforced once after the merge; expandFlatRows has no other failure path
 		_ = o.expandFlatRows(ctx, pred, in, fromIdx, epp, m.Start, m.End, names, sh)
 		shards[m.Index] = sh
 	})
@@ -252,6 +253,7 @@ func DefactorNames(ctx *Ctx, ft *core.FTree, names []string) (*core.FlatBlock, e
 	}
 	shards := make([]*core.FlatBlock, sched.NumMorsels(n, expandMorselSize))
 	ctx.RunMorsels(n, expandMorselSize, func(m sched.Morsel) {
+		//geslint:err-ok Resolve validated the name set above; DefactorRange cannot fail for a resolved schema
 		fb, _ := ft.DefactorRange(names, m.Start, m.End)
 		shards[m.Index] = fb
 	})

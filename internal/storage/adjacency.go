@@ -56,7 +56,7 @@ type AdjList struct {
 	// snap is the sealed CSR image (csr.go); nil while unsealed or after
 	// any mutation invalidated it. Readers load it once per operation so a
 	// concurrent re-seal can never mix layouts within one Segment.
-	snap atomic.Pointer[csr]
+	snap atomic.Pointer[csr] //geslint:atomicptr
 }
 
 func newAdjList(propDefs []catalog.PropDef) *AdjList {
@@ -100,6 +100,8 @@ func (a *AdjList) growProps(n int) {
 
 // append adds dst (with optional edge property values) to src's slot,
 // relocating the slot with doubled capacity when full.
+//
+//geslint:seal topology change invalidates the CSR snapshot (publishes nil)
 func (a *AdjList) append(src, dst vector.VID, props []vector.Value) {
 	a.snap.Store(nil) // topology change invalidates the CSR snapshot
 	a.ensure(src)
@@ -157,6 +159,7 @@ const compactDeadFraction = 0.25
 // must ensure no concurrent readers hold segment views they expect to stay
 // in sync with future appends (outstanding views of the old array remain
 // valid — the old memory is simply dropped). Returns true on rebuild.
+//geslint:seal slot relocation invalidates the snapshot before the rebuild; the caller re-Seals
 func (a *AdjList) Compact() bool {
 	if len(a.arr) == 0 || float64(a.deadSlots) <= compactDeadFraction*float64(len(a.arr)) {
 		return false
@@ -207,6 +210,8 @@ func (a *AdjList) Compact() bool {
 
 // remove deletes the first occurrence of dst in src's slot by shifting the
 // last live entry into its place (compacting mark-for-deletion).
+//
+//geslint:seal topology change invalidates the CSR snapshot (publishes nil)
 func (a *AdjList) remove(src, dst vector.VID) bool {
 	if int(src) >= len(a.meta) {
 		return false

@@ -173,6 +173,7 @@ func (c *csr) memBytes() int {
 // Seal (re)builds the family's CSR snapshot and publishes it atomically.
 // Part of the single-writer bulk path; concurrent readers keep serving from
 // whichever image (or the live slots) they already resolved.
+//geslint:seal publishes the freshly built CSR image
 func (a *AdjList) Seal() { a.snap.Store(a.sealCSR()) }
 
 // Sealed reports whether a current CSR snapshot is published.
@@ -244,6 +245,8 @@ type Batch struct {
 }
 
 // Run returns the neighbors of request row i.
+//
+//geslint:kernel
 func (b *Batch) Run(i int) []vector.VID {
 	r := b.Runs[i]
 	return b.VIDs[r.Start:r.End]
@@ -257,6 +260,7 @@ func (b *Batch) reset(n int) {
 	b.PropI64, b.PropF64, b.PropStr = nil, nil, nil
 	b.Shared, b.Sorted = false, false
 	if cap(b.Runs) < n {
+		//geslint:alloc-ok Runs buffer reallocated only on growth; steady-state batches reuse capacity
 		b.Runs = make([]NeighborRun, n)
 	} else {
 		b.Runs = b.Runs[:n]
@@ -282,6 +286,8 @@ func (g *Graph) NeighborsBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir cat
 
 // csrBatch attempts the zero-copy CSR fast path; false means the caller
 // must fall back to the reference path.
+//
+//geslint:kernel
 func (g *Graph) csrBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool, out *Batch) bool {
 	// Resolve the single family off the first live source's label; bail to
 	// the general path when source labels mix.

@@ -93,7 +93,7 @@ type Graph struct {
 	// statsSnap is the planner's statistics snapshot (stats.go), rebuilt
 	// by SealCSR and cleared by any base mutation. statsEpoch outlives
 	// invalidations so every rebuild publishes under a fresh epoch.
-	statsSnap  atomic.Pointer[stats.Snapshot]
+	statsSnap  atomic.Pointer[stats.Snapshot] //geslint:atomicptr
 	statsEpoch atomic.Uint64
 }
 

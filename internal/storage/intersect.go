@@ -70,6 +70,8 @@ func (x *Intersector) Reset(base *Batch, probes []*Batch, probeSrcs [][]vector.V
 // Row appends to dst the intersection for row i: the base run in order,
 // filtered to elements present in every probe run. Duplicates in the base
 // emit duplicates; duplicates in probes do not multiply.
+//
+//geslint:kernel
 func (x *Intersector) Row(dst []vector.VID, i int) []vector.VID {
 	b := x.base.Run(i)
 	if len(b) == 0 {
@@ -86,6 +88,7 @@ func (x *Intersector) Row(dst []vector.VID, i int) []vector.VID {
 	// evaluation-order change — results are unchanged.
 	x.order = x.order[:0]
 	for pi := range x.probes {
+		//geslint:alloc-ok per-row probe-order scratch, k entries; capacity stabilizes after the first row
 		x.order = append(x.order, pi)
 	}
 	for a := 1; a < len(x.order); a++ {
@@ -96,6 +99,7 @@ func (x *Intersector) Row(dst []vector.VID, i int) []vector.VID {
 	if x.allSorted {
 		x.runs = x.runs[:0]
 		for _, pi := range x.order {
+			//geslint:alloc-ok leapfrog run-list scratch, k entries; capacity stabilizes after the first row
 			x.runs = append(x.runs, x.probes[pi].Run(i))
 		}
 		return vector.IntersectSorted(dst, b, x.runs)
@@ -123,6 +127,7 @@ outer:
 				continue outer
 			}
 		}
+		//geslint:alloc-ok append into the caller-owned dst buffer; capacity stabilizes after the first rows
 		dst = append(dst, v)
 	}
 	return dst
@@ -144,6 +149,7 @@ func (x *Intersector) loadSet(pi, i int) {
 	}
 	run := x.probes[pi].Run(i)
 	s.src, s.valid = src, true
+	//geslint:alloc-ok hash-set fallback for unsorted runs; rebuilt only when the probe's source vertex changes
 	s.set = make(map[vector.VID]struct{}, len(run))
 	for _, v := range run {
 		s.set[v] = struct{}{}

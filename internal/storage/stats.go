@@ -14,6 +14,8 @@ import (
 // dictionaries the gather path already maintains. Published behind the same
 // atomic-pointer discipline as the CSR: any base mutation clears it, the
 // next SealCSR rebuilds it under a bumped epoch.
+//
+//geslint:seal publishes the rebuilt statistics snapshot under a fresh epoch
 func (g *Graph) sealStats() {
 	start := time.Now()
 	b := stats.NewBuilder(g.statsEpoch.Add(1))
@@ -53,4 +55,6 @@ func (g *Graph) StatsEpoch() uint64 {
 
 // invalidateStats drops the published snapshot. Called from every
 // base-graph mutation alongside the per-family CSR invalidation.
+//
+//geslint:seal base mutation clears the published statistics (publishes nil)
 func (g *Graph) invalidateStats() { g.statsSnap.Store(nil) }

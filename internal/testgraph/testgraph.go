@@ -29,41 +29,41 @@ type Schema struct {
 // NewSchema registers the test schema on a fresh catalog.
 func NewSchema(cat *catalog.Catalog) *Schema {
 	s := &Schema{}
-	s.Person, _ = cat.AddLabel("Person",
+	s.Person = catalog.Must(cat.AddLabel("Person",
 		catalog.PropDef{Name: "firstName", Kind: vector.KindString},
 		catalog.PropDef{Name: "lastName", Kind: vector.KindString},
 		catalog.PropDef{Name: "creationDate", Kind: vector.KindDate},
-	)
-	s.Post, _ = cat.AddLabel("Post",
+	))
+	s.Post = catalog.Must(cat.AddLabel("Post",
 		catalog.PropDef{Name: "content", Kind: vector.KindString},
 		catalog.PropDef{Name: "length", Kind: vector.KindInt64},
 		catalog.PropDef{Name: "creationDate", Kind: vector.KindDate},
-	)
-	s.Comment, _ = cat.AddLabel("Comment",
+	))
+	s.Comment = catalog.Must(cat.AddLabel("Comment",
 		catalog.PropDef{Name: "content", Kind: vector.KindString},
 		catalog.PropDef{Name: "length", Kind: vector.KindInt64},
 		catalog.PropDef{Name: "creationDate", Kind: vector.KindDate},
-	)
-	s.Forum, _ = cat.AddLabel("Forum",
+	))
+	s.Forum = catalog.Must(cat.AddLabel("Forum",
 		catalog.PropDef{Name: "title", Kind: vector.KindString},
-	)
-	s.Tag, _ = cat.AddLabel("Tag",
+	))
+	s.Tag = catalog.Must(cat.AddLabel("Tag",
 		catalog.PropDef{Name: "name", Kind: vector.KindString},
-	)
+	))
 	s.PFirstName, s.PLastName, s.PCreation = 0, 1, 2
 	s.MContent, s.MLength, s.MCreation = 0, 1, 2
 	s.FTitle, s.TName = 0, 0
 
-	s.Knows, _ = cat.AddEdgeType("KNOWS",
-		catalog.PropDef{Name: "creationDate", Kind: vector.KindDate})
-	s.HasCreator, _ = cat.AddEdgeType("HAS_CREATOR")
-	s.Likes, _ = cat.AddEdgeType("LIKES",
-		catalog.PropDef{Name: "creationDate", Kind: vector.KindDate})
-	s.ReplyOf, _ = cat.AddEdgeType("REPLY_OF")
-	s.ContainerOf, _ = cat.AddEdgeType("CONTAINER_OF")
-	s.HasTag, _ = cat.AddEdgeType("HAS_TAG")
-	s.HasMember, _ = cat.AddEdgeType("HAS_MEMBER",
-		catalog.PropDef{Name: "joinDate", Kind: vector.KindDate})
+	s.Knows = catalog.Must(cat.AddEdgeType("KNOWS",
+		catalog.PropDef{Name: "creationDate", Kind: vector.KindDate}))
+	s.HasCreator = catalog.Must(cat.AddEdgeType("HAS_CREATOR"))
+	s.Likes = catalog.Must(cat.AddEdgeType("LIKES",
+		catalog.PropDef{Name: "creationDate", Kind: vector.KindDate}))
+	s.ReplyOf = catalog.Must(cat.AddEdgeType("REPLY_OF"))
+	s.ContainerOf = catalog.Must(cat.AddEdgeType("CONTAINER_OF"))
+	s.HasTag = catalog.Must(cat.AddEdgeType("HAS_TAG"))
+	s.HasMember = catalog.Must(cat.AddEdgeType("HAS_MEMBER",
+		catalog.PropDef{Name: "joinDate", Kind: vector.KindDate}))
 	return s
 }
 

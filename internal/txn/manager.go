@@ -29,10 +29,13 @@ type extEntry struct {
 // while installing committed values into per-vertex overlays (vertexOverlay.mu)
 // and registering new overlays in the maps (Manager.mu, also via
 // ensureOverlay). No path acquires commitMu while holding either inner lock,
-// and the two inner locks never nest with each other.
+// and the two inner locks never nest with each other. Commit also reads the
+// catalog (edge-type schemas) under commitMu; Catalog.mu is a leaf read
+// lock that no catalog path nests further, so the order is safe.
 //
 //geslint:lockorder Manager.commitMu < Manager.mu
 //geslint:lockorder Manager.commitMu < vertexOverlay.mu
+//geslint:lockorder Manager.commitMu < Catalog.mu
 type Manager struct {
 	graph *storage.Graph
 	pool  *storage.Pool

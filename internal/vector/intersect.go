@@ -10,6 +10,8 @@ package vector
 // steps from lo, then binary search within the bracketed window. run must be
 // sorted ascending from lo on. Cost is O(log d) in the distance d advanced,
 // so a monotone sweep over the whole run totals O(n) comparisons.
+//
+//geslint:kernel
 func Gallop(run []VID, lo int, v VID) int {
 	if lo >= len(run) || run[lo] >= v {
 		return lo
@@ -40,6 +42,8 @@ func Gallop(run []VID, lo int, v VID) int {
 // instead of restarting, so probing a whole sorted candidate sequence against
 // the run costs one merge pass. A probe below the previous one resets the
 // cursor (correct, just slower), so callers may feed unsorted candidates.
+//
+//geslint:snapshot-owner morsel-scoped probe cursor over a shared sorted run; dropped with the expand state at morsel end
 type RunCursor struct {
 	run  []VID
 	pos  int
@@ -47,11 +51,15 @@ type RunCursor struct {
 }
 
 // Reset points the cursor at a new run.
+//
+//geslint:kernel
 func (c *RunCursor) Reset(run []VID) {
 	c.run, c.pos, c.last = run, 0, 0
 }
 
 // Contains reports whether v is in the run.
+//
+//geslint:kernel
 func (c *RunCursor) Contains(v VID) bool {
 	if v < c.last {
 		c.pos = 0
@@ -68,6 +76,8 @@ func (c *RunCursor) Contains(v VID) bool {
 // own cursor to the current base value, and when a probe overshoots to w > v
 // the base cursor gallops forward to w instead of stepping — the
 // worst-case-optimal seek pattern, O(k · min-run · log(max-run/min-run)).
+//
+//geslint:kernel
 func IntersectSorted(dst, base []VID, probes [][]VID) []VID {
 	if len(base) == 0 {
 		return dst
@@ -77,6 +87,7 @@ func IntersectSorted(dst, base []VID, probes [][]VID) []VID {
 			return dst
 		}
 	}
+	//geslint:alloc-ok k-probe cursor array, k bounded by pattern arity; one small alloc amortized over the whole run walk
 	pos := make([]int, len(probes))
 	for i := 0; i < len(base); {
 		v := base[i]
@@ -96,6 +107,7 @@ func IntersectSorted(dst, base []VID, probes [][]VID) []VID {
 			}
 		}
 		if ok {
+			//geslint:alloc-ok append into the caller-owned dst buffer; capacity stabilizes after the first rows
 			dst = append(dst, v)
 			i++
 		}
