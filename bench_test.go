@@ -36,6 +36,7 @@ import (
 	"ges/internal/service"
 	"ges/internal/storage"
 	"ges/internal/txn"
+	"ges/internal/vector"
 )
 
 // benchExperiment runs one paper experiment per iteration; the first
@@ -294,6 +295,48 @@ func BenchmarkCSRTriangle(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkOverlayExpand measures the merged read path under a live delta
+// overlay: the full-person batched KNOWS expansion on a clean sealed image,
+// then with ~5% of the edge set sitting in per-image deltas (inserts plus
+// tombstones), then again after the quiesced reseal drains them. The delta
+// point is the steady-state cost readers pay between background reseals. Uses
+// a private dataset — the deltas must not leak into the shared one.
+func BenchmarkOverlayExpand(b *testing.B) {
+	ds, err := ldbc.Generate(ldbc.Config{SF: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, h := ds.Graph, ds.H
+	expand := func(b *testing.B) {
+		var bt storage.Batch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.NeighborsBatch(ds.Persons, h.Knows, catalog.Out, h.Person, false, &bt)
+		}
+	}
+	b.Run("sealed", expand)
+	// Never reseal mid-benchmark: the overlay point must keep its delta.
+	g.SetResealPolicy(1e9, 1<<30)
+	n := g.NumEdges() / 20
+	for i := 0; i < n; i++ {
+		src := ds.Persons[i%len(ds.Persons)]
+		dst := ds.Persons[(i*7+1)%len(ds.Persons)]
+		if src == dst {
+			continue
+		}
+		if i%3 == 0 {
+			g.DeleteEdge(h.Knows, src, dst)
+		} else {
+			g.AddEdge(h.Knows, src, dst, vector.Date(int64(src)*31+int64(dst)))
+		}
+	}
+	b.Run("overlay", expand)
+	g.CompactAdjacency()
+	g.SealCSR()
+	b.Run("resealed", expand)
 }
 
 // ---------------------------------------------------------------------------

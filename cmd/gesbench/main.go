@@ -39,6 +39,8 @@ func main() {
 		noInter  = flag.Bool("no-intersect", false, "disable the merge/galloping intersection in ExpandInto; cyclic joins close through the hash-set probe")
 		noWCOJ   = flag.Bool("no-wcoj", false, "de-fuse ExpandIntersect into the classical binary-join plan (expand then per-edge ExpandInto)")
 		noCost   = flag.Bool("no-cost", false, "disable cost-based Cypher planning; plans bind in syntactic order, as written")
+		noOvl    = flag.Bool("no-overlay", false, "disable the delta-overlay CSR in -exp update; sealed images invalidate on mutation and the harness serializes readers against the writer")
+		resealFr = flag.Float64("reseal-frac", 0, "background-reseal threshold for -exp update: reseal a family once its delta exceeds this fraction of its sealed entries (0 = storage default)")
 	)
 	flag.Parse()
 
@@ -78,6 +80,8 @@ func main() {
 	cfg.NoIntersect = *noInter
 	cfg.NoWCOJ = *noWCOJ
 	cfg.NoCost = *noCost
+	cfg.NoOverlay = *noOvl
+	cfg.ResealFraction = *resealFr
 
 	exps := bench.All()
 	if *exp != "all" {

@@ -52,6 +52,16 @@ type Config struct {
 	// (and any cypher compilation the experiments perform) binds plans in
 	// syntactic order, exactly as written.
 	NoCost bool
+	// NoOverlay disables the delta-overlay CSR in the update experiment:
+	// sealed images invalidate on mutation (the pre-overlay behavior) and the
+	// harness serializes readers against the writer behind a RWMutex. The
+	// experiment then measures only the ablation side.
+	NoOverlay bool
+	// ResealFraction, when > 0, overrides the background-reseal threshold in
+	// the update experiment: a family reseals once its delta exceeds this
+	// fraction of its sealed entry count (storage.DefaultResealFraction
+	// otherwise).
+	ResealFraction float64
 }
 
 // newEngine returns an engine honoring the ablation switches.

@@ -45,9 +45,10 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"csr":      "triangle closure",
 		"wcoj":     "cross-check",
 		"planner":  "plan cache",
+		"update":   "byte-identical",
 	}
 	if len(bench.All()) != len(wantFragments) {
-		t.Fatalf("registry has %d experiments, want %d (one per table/figure + parallel + gather + csr + wcoj + planner)",
+		t.Fatalf("registry has %d experiments, want %d (one per table/figure + parallel + gather + csr + wcoj + planner + update)",
 			len(bench.All()), len(wantFragments))
 	}
 	for _, e := range bench.All() {

@@ -1,0 +1,291 @@
+// The "update" experiment measures the delta-overlay CSR under the paper's
+// sustained-IU regime (§2.3): reader workers stream batched KNOWS expansions
+// while a writer continuously inserts and deletes edges. With the overlay on,
+// readers stay lock-free on the sealed images and mutations land in per-image
+// deltas drained by background reseals; the -no-overlay ablation restores
+// invalidate-on-mutation, where correctness under concurrent writes requires
+// the harness to serialize readers and the writer behind a RWMutex and reads
+// degrade to the unsorted live-slot fallback. A quiesced full reseal after
+// each overlay run must reproduce the overlay reads byte-for-byte. Emits the
+// BENCH_update.json artifact when Config.JSONPath is set.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ges/internal/catalog"
+	"ges/internal/ldbc"
+	"ges/internal/storage"
+	"ges/internal/vector"
+)
+
+func init() {
+	register(Experiment{"update", "read throughput under sustained IU writes: delta overlay vs -no-overlay", updateExp})
+}
+
+// updateWorkerSweep is the reader worker ladder.
+var updateWorkerSweep = []int{1, 2, 4, 8}
+
+// updateChunk is the batch granularity of one reader expansion call.
+const updateChunk = 256
+
+// Writer pacing: the IU stream is sustained but bounded (an open-loop writer
+// on a small host would measure scheduler starvation, not the read path) —
+// updateWriteBatch ops every updateWritePause (the pause is best-effort on loaded hosts; the applied rate is reported).
+const (
+	updateWriteBatch = 200
+	updateWritePause = time.Millisecond
+)
+
+// writerPair is one (src,dst) the writer toggles. Writer pairs are disjoint
+// from the generated edge set and always carry the same deterministic prop,
+// so every occurrence of a pair is tuple-identical — the regime where overlay
+// reads are byte-identical to a reseal (see internal/storage/delta.go).
+type writerPair struct {
+	src, dst vector.VID
+	present  bool
+}
+
+// updateProp derives a pair's creationDate deterministically from its
+// endpoints.
+func updateProp(src, dst vector.VID) vector.Value {
+	return vector.Date(int64(ldbc.DayStart) + (int64(src)*31+int64(dst)*17)%int64(ldbc.DayEnd-ldbc.DayStart))
+}
+
+// buildWriterPairs draws candidate person pairs absent from the generated
+// KNOWS edge set.
+func buildWriterPairs(ds *ldbc.Dataset, n int, seed int64) []*writerPair {
+	g, h := ds.Graph, ds.H
+	existing := make(map[[2]vector.VID]bool)
+	var b storage.Batch
+	g.NeighborsBatch(ds.Persons, h.Knows, catalog.Out, h.Person, false, &b)
+	for i, src := range ds.Persons {
+		for _, dst := range b.Run(i) {
+			existing[[2]vector.VID{src, dst}] = true
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]*writerPair, 0, n)
+	taken := make(map[[2]vector.VID]bool)
+	for len(pairs) < n {
+		src := ds.Persons[rng.Intn(len(ds.Persons))]
+		dst := ds.Persons[rng.Intn(len(ds.Persons))]
+		k := [2]vector.VID{src, dst}
+		if src == dst || existing[k] || taken[k] {
+			continue
+		}
+		taken[k] = true
+		pairs = append(pairs, &writerPair{src: src, dst: dst})
+	}
+	return pairs
+}
+
+// updateRun is one measured point: `workers` readers batch-expanding KNOWS
+// while one writer toggles pairs for `dur`. lock is non-nil in -no-overlay
+// mode, where the harness must serialize readers against the writer.
+func updateRun(ds *ldbc.Dataset, workers int, dur time.Duration, lock *sync.RWMutex, seed int64) (readSrcs, writes int64) {
+	g, h := ds.Graph, ds.H
+	pairs := buildWriterPairs(ds, 4*len(ds.Persons), seed)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var totalReads, totalWrites atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		// Readers simulate independent clients, outside the engine's
+		// scheduler budget by design (same rationale as the driver's mix
+		// workers).
+		//geslint:go-ok
+		go func(w int) {
+			defer wg.Done()
+			var b storage.Batch
+			n := int64(0)
+			at := (w * 13) % len(ds.Persons)
+			for !stop.Load() {
+				hi := at + updateChunk
+				if hi > len(ds.Persons) {
+					hi = len(ds.Persons)
+					at = 0
+				}
+				chunk := ds.Persons[at:hi]
+				at = hi % len(ds.Persons)
+				if lock != nil {
+					lock.RLock()
+				}
+				g.NeighborsBatch(chunk, h.Knows, catalog.Out, h.Person, true, &b)
+				if lock != nil {
+					lock.RUnlock()
+				}
+				n += int64(len(chunk))
+			}
+			totalReads.Add(n)
+		}(w)
+	}
+	wg.Add(1)
+	// The writer is the sustained IU stream, likewise an external client.
+	//geslint:go-ok
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed + 104729))
+		n := int64(0)
+		for !stop.Load() {
+			for i := 0; i < updateWriteBatch; i++ {
+				p := pairs[rng.Intn(len(pairs))]
+				if lock != nil {
+					lock.Lock()
+				}
+				if p.present {
+					if g.DeleteEdge(h.Knows, p.src, p.dst) {
+						n++
+					}
+				} else if g.AddEdge(h.Knows, p.src, p.dst, updateProp(p.src, p.dst)) == nil {
+					n++
+				}
+				if lock != nil {
+					lock.Unlock()
+				}
+				p.present = !p.present
+			}
+			time.Sleep(updateWritePause)
+		}
+		totalWrites.Add(n)
+	}()
+
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return totalReads.Load(), totalWrites.Load()
+}
+
+// captureExpand snapshots every person's batched KNOWS expansion as one
+// comparable value.
+func captureExpand(ds *ldbc.Dataset) [][]vector.VID {
+	var b storage.Batch
+	ds.Graph.NeighborsBatch(ds.Persons, ds.H.Knows, catalog.Out, ds.H.Person, false, &b)
+	out := make([][]vector.VID, len(b.Runs))
+	for i := range b.Runs {
+		out[i] = append([]vector.VID(nil), b.Run(i)...)
+	}
+	return out
+}
+
+// updatePoint is one worker-count row of BENCH_update.json.
+type updatePoint struct {
+	Workers            int     `json:"workers"`
+	OverlayReadsPerSec float64 `json:"overlayReadsPerSec"` // sources expanded per second, all readers
+	OverlayWritesSec   float64 `json:"overlayWritesPerSec"`
+	NoOverlayReadsSec  float64 `json:"noOverlayReadsPerSec"`
+	NoOverlayWritesSec float64 `json:"noOverlayWritesPerSec"`
+	Speedup            float64 `json:"speedup"` // overlay / no-overlay reader throughput
+}
+
+// updateReport is the schema of BENCH_update.json.
+type updateReport struct {
+	SimSF      float64       `json:"simSF"`
+	DurationMs float64       `json:"durationMs"` // per measured point
+	Points     []updatePoint `json:"points"`
+	MinSpeedup float64       `json:"minSpeedup"`
+	// Reseal counters from the last (widest) overlay run.
+	Reseals          int64   `json:"reseals"`
+	ResealMs         float64 `json:"resealMs"`
+	MaxDeltaFraction float64 `json:"maxDeltaFraction"`
+	StatsEpoch       uint64  `json:"statsEpoch"`
+	// CrossCheck is true when overlay reads after the writer quiesced were
+	// byte-identical to a full reseal, at every worker count.
+	CrossCheck bool `json:"crossCheck"`
+}
+
+func updateExp(w io.Writer, cfg Config) error {
+	sf := cfg.SFs[len(cfg.SFs)-1]
+	dur := 2 * cfg.TraceBucket
+	if dur <= 0 {
+		dur = 400 * time.Millisecond
+	}
+	report := updateReport{SimSF: sf, DurationMs: ms(dur), CrossCheck: true}
+	fmt.Fprintf(w, "mixed read/write KNOWS workload, simSF=%.4g, %v per point, 1 writer, chunk=%d\n",
+		sf, dur, updateChunk)
+	fmt.Fprintf(w, "%-8s %16s %16s %16s %16s %9s\n",
+		"readers", "overlay reads/s", "overlay wr/s", "no-ovl reads/s", "no-ovl wr/s", "speedup")
+
+	for _, workers := range updateWorkerSweep {
+		pt := updatePoint{Workers: workers}
+
+		if !cfg.NoOverlay {
+			// Fresh private dataset per point: the workload mutates it, so the
+			// shared cache must never see it.
+			ds, err := ldbc.Generate(ldbc.Config{SF: sf, Seed: cfg.Seed})
+			if err != nil {
+				return err
+			}
+			if cfg.ResealFraction > 0 {
+				ds.Graph.SetResealPolicy(cfg.ResealFraction, 0)
+			}
+			r, wr := updateRun(ds, workers, dur, nil, cfg.Seed+int64(workers))
+			pt.OverlayReadsPerSec = float64(r) / dur.Seconds()
+			pt.OverlayWritesSec = float64(wr) / dur.Seconds()
+			ov := ds.Graph.Overlay()
+			report.Reseals = ov.Reseals
+			report.ResealMs = ms(ov.ResealTime)
+			report.MaxDeltaFraction = ov.MaxDeltaFraction
+			report.StatsEpoch = ov.StatsEpoch
+
+			// Quiesced cross-check: overlay reads vs a full reseal.
+			before := captureExpand(ds)
+			ds.Graph.CompactAdjacency()
+			ds.Graph.SealCSR()
+			if !reflect.DeepEqual(before, captureExpand(ds)) {
+				report.CrossCheck = false
+				return fmt.Errorf("update: overlay reads diverge from the quiesced reseal at %d workers", workers)
+			}
+		}
+
+		// -no-overlay ablation: invalidate-on-mutation, RWMutex-serialized.
+		ds, err := ldbc.Generate(ldbc.Config{SF: sf, Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		ds.Graph.SetOverlayDisabled(true)
+		var mu sync.RWMutex
+		r, wr := updateRun(ds, workers, dur, &mu, cfg.Seed+int64(workers))
+		pt.NoOverlayReadsSec = float64(r) / dur.Seconds()
+		pt.NoOverlayWritesSec = float64(wr) / dur.Seconds()
+
+		if pt.NoOverlayReadsSec > 0 {
+			pt.Speedup = pt.OverlayReadsPerSec / pt.NoOverlayReadsSec
+		}
+		if report.MinSpeedup == 0 || pt.Speedup < report.MinSpeedup {
+			report.MinSpeedup = pt.Speedup
+		}
+		report.Points = append(report.Points, pt)
+		fmt.Fprintf(w, "%-8d %16.0f %16.0f %16.0f %16.0f %8.1fx\n",
+			workers, pt.OverlayReadsPerSec, pt.OverlayWritesSec,
+			pt.NoOverlayReadsSec, pt.NoOverlayWritesSec, pt.Speedup)
+	}
+
+	if !cfg.NoOverlay {
+		fmt.Fprintf(w, "cross-check: overlay reads byte-identical to the quiesced reseal at workers %v\n", updateWorkerSweep)
+		fmt.Fprintf(w, "reseals: %d (%.1fms total), peak delta fraction %.4f, stats epoch %d\n",
+			report.Reseals, report.ResealMs, report.MaxDeltaFraction, report.StatsEpoch)
+		fmt.Fprintf(w, "min reader-throughput speedup over -no-overlay: %.1fx\n", report.MinSpeedup)
+	}
+
+	if cfg.JSONPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", cfg.JSONPath, err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

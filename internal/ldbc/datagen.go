@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"ges/internal/catalog"
+	"ges/internal/sched"
 	"ges/internal/storage"
 	"ges/internal/vector"
 )
@@ -133,6 +134,10 @@ func Generate(cfg Config) (*Dataset, error) {
 	// sorted CSR snapshot so queries run on the read-optimized layout.
 	g.CompactAdjacency()
 	g.SealCSR()
+	// Post-seal edge mutations land in delta overlays; route the resulting
+	// background family reseals through the shared worker pool so they
+	// never run on a mutator's critical path.
+	g.SetResealSubmit(sched.Global().Submit)
 
 	// The wells hold the current maximum; NewXExt pre-increments.
 	ds.nextPersonExt.Store(int64(len(ds.Persons)))

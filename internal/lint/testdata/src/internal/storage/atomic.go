@@ -44,3 +44,39 @@ func (p *publisher) BadSwap(s *img) *img {
 func (p *publisher) BadAlias() *atomic.Pointer[img] {
 	return &p.snap // want R9
 }
+
+// ---------------------------------------------------------------------------
+// Delta-overlay fixtures: an image paired with a mutable delta is still
+// published through the same atomicptr discipline — draining the delta does
+// not exempt the swap from R9.
+// ---------------------------------------------------------------------------
+
+// deltaImg is a sealed image carrying a mutable overlay, as the delta-overlay
+// CSR does.
+type deltaImg struct {
+	n     int
+	delta []int
+}
+
+// overlayOwner owns the published image+delta pair.
+type overlayOwner struct {
+	snap atomic.Pointer[deltaImg] //geslint:atomicptr
+}
+
+// resealOK rebuilds the image (empty delta) and swaps it in at a declared
+// seal site (R9 negative).
+//
+//geslint:seal fixture: reseal publishes the rebuilt image with a fresh delta
+func (o *overlayOwner) resealOK(n int) {
+	o.snap.Store(&deltaImg{n: n})
+}
+
+// BadDeltaPublish drains the delta into a rebuilt image but publishes it
+// outside any declared seal site.
+func (o *overlayOwner) BadDeltaPublish() {
+	s := o.snap.Load()
+	if s == nil {
+		return
+	}
+	o.snap.Store(&deltaImg{n: s.n + len(s.delta)}) // want R9
+}

@@ -74,6 +74,12 @@ func (s *Scheduler) Workers() int { return s.workers }
 // (tests) call it; the global scheduler lives for the process.
 func (s *Scheduler) Close() { s.close.Do(func() { close(s.tasks) }) }
 
+// Submit enqueues one task on the pool without blocking; false means the
+// queue is saturated and the caller should run the task itself. Background
+// maintenance (the storage layer's family reseals) rides on this so it
+// never stalls a mutating caller.
+func (s *Scheduler) Submit(t func()) bool { return s.trySubmit(t) }
+
 // trySubmit enqueues t unless the queue is full.
 func (s *Scheduler) trySubmit(t func()) bool {
 	select {

@@ -276,6 +276,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"capacity": s.cache.capacity(),
 		},
 		"statistics": s.statsSection(),
+		"overlay":    s.overlaySection(),
 		"planner": map[string]any{
 			"costBased":     !s.noCost,
 			"estQueries":    s.estQueries.Load(),
@@ -283,6 +284,42 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"actualRows":    s.actRows.Load(),
 		},
 	})
+}
+
+// overlaySection renders the delta-overlay and background-reseal gauges:
+// aggregate depth and reseal counters, stats-epoch staleness, and per-family
+// overlay state in deterministic key order.
+func (s *Server) overlaySection() map[string]any {
+	g := s.ds.Graph
+	cat := s.ds.H.Cat
+	ov := g.Overlay()
+	fams := make([]map[string]any, 0, ov.Families)
+	for _, f := range g.OverlayFamilies() {
+		fams = append(fams, map[string]any{
+			"src":           cat.LabelName(f.Key.Src),
+			"type":          cat.EdgeTypeName(f.Key.Et),
+			"dst":           cat.LabelName(f.Key.Dst),
+			"dir":           f.Key.Dir.String(),
+			"sealed":        f.Sealed,
+			"sealedEntries": f.SealedEntries,
+			"inserts":       f.Inserts,
+			"tombstones":    f.Tombstones,
+			"deltaFraction": f.DeltaFraction,
+		})
+	}
+	return map[string]any{
+		"families":         ov.Families,
+		"sealed":           ov.Sealed,
+		"withDelta":        ov.WithDelta,
+		"inserts":          ov.Inserts,
+		"tombstones":       ov.Tombstones,
+		"maxDeltaFraction": ov.MaxDeltaFraction,
+		"reseals":          ov.Reseals,
+		"resealMs":         float64(ov.ResealTime.Microseconds()) / 1000,
+		"statsEpoch":       ov.StatsEpoch,
+		"statsStaleOps":    ov.StatsStale,
+		"perFamily":        fams,
+	}
 }
 
 // statsSection renders the planner's statistics snapshot: build cost, label

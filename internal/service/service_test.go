@@ -11,6 +11,7 @@ import (
 	"ges/internal/exec"
 	"ges/internal/ldbc"
 	"ges/internal/service"
+	"ges/internal/vector"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -162,5 +163,87 @@ func TestLDBCEndpointBadParamType(t *testing.T) {
 	})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpointOverlaySection(t *testing.T) {
+	ds, err := ldbc.Generate(ldbc.Config{SF: 0.03, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inline reseals keep the counters deterministic under `go test`.
+	ds.Graph.SetResealSubmit(nil)
+	srv := service.New(ds, exec.ModeFused)
+	ts := httptest.NewServer(srv.Mux())
+	t.Cleanup(ts.Close)
+
+	getOverlay := func() map[string]any {
+		t.Helper()
+		r, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var st map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		ov, ok := st["overlay"].(map[string]any)
+		if !ok {
+			t.Fatalf("no overlay section in /stats: %v", st)
+		}
+		return ov
+	}
+
+	// Freshly sealed: every family has an image, no delta, no reseals yet.
+	ov := getOverlay()
+	if ov["families"].(float64) <= 0 || ov["sealed"] != ov["families"] {
+		t.Fatalf("sealed/families = %v/%v", ov["sealed"], ov["families"])
+	}
+	if ov["withDelta"].(float64) != 0 || ov["reseals"].(float64) != 0 {
+		t.Fatalf("fresh overlay not empty: %v", ov)
+	}
+	if ov["statsEpoch"].(float64) < 1 {
+		t.Fatalf("statsEpoch = %v", ov["statsEpoch"])
+	}
+	fams := ov["perFamily"].([]any)
+	if len(fams) == 0 {
+		t.Fatal("perFamily empty")
+	}
+	f0 := fams[0].(map[string]any)
+	for _, k := range []string{"src", "type", "dst", "dir", "sealed", "sealedEntries", "inserts", "tombstones", "deltaFraction"} {
+		if _, ok := f0[k]; !ok {
+			t.Fatalf("perFamily missing %q: %v", k, f0)
+		}
+	}
+
+	// Overlay mutations surface as delta depth and staleness; a forced
+	// reseal advances the counters and the stats epoch.
+	epoch := ov["statsEpoch"].(float64)
+	h := ds.Graph
+	if err := h.AddEdge(ds.H.Knows, ds.Persons[0], ds.Persons[1], vector.Date(1)); err != nil {
+		t.Fatal(err)
+	}
+	ov = getOverlay()
+	if ov["withDelta"].(float64) == 0 || ov["inserts"].(float64) == 0 {
+		t.Fatalf("overlay insert not visible: %v", ov)
+	}
+	if ov["statsStaleOps"].(float64) == 0 {
+		t.Fatalf("staleness counter not bumped: %v", ov)
+	}
+	if ov["maxDeltaFraction"].(float64) <= 0 {
+		t.Fatalf("maxDeltaFraction = %v", ov["maxDeltaFraction"])
+	}
+
+	h.SetResealPolicy(1e-9, 1)
+	if err := h.AddEdge(ds.H.Knows, ds.Persons[1], ds.Persons[2], vector.Date(2)); err != nil {
+		t.Fatal(err)
+	}
+	ov = getOverlay()
+	if ov["reseals"].(float64) == 0 {
+		t.Fatalf("reseal counter did not advance: %v", ov)
+	}
+	if ov["statsEpoch"].(float64) <= epoch {
+		t.Fatalf("reseal did not bump the stats epoch: %v <= %v", ov["statsEpoch"], epoch)
 	}
 }

@@ -263,14 +263,71 @@ func SummarizeColumn(c *vector.Column) Column {
 // result and the builder must not be reused.
 type Builder struct {
 	snap *Snapshot
-	acc  map[FamKey]*famAcc
+	acc  map[FamKey]*FamilyAcc
 }
 
-type famAcc struct {
+// FamilyAcc accumulates one adjacency family's degree distribution. It is
+// exported (unlike the Builder's internal use of it) so the storage layer's
+// reseal path can fold a freshly rebuilt family into an existing snapshot
+// via Rebase — the accumulation lives here, not in the caller, so geslint
+// R6 can hold that stats types are only ever written inside this package.
+type FamilyAcc struct {
 	cells   []int
 	edges   int
 	sources int
 	max     int
+}
+
+// Add folds one source vertex's degree in. Zero degrees are ignored.
+func (a *FamilyAcc) Add(d int) {
+	if d <= 0 {
+		return
+	}
+	c := logCell(d)
+	for len(a.cells) <= c {
+		a.cells = append(a.cells, 0)
+	}
+	a.cells[c]++
+	a.edges += d
+	a.sources++
+	if d > a.max {
+		a.max = d
+	}
+}
+
+// Family seals the accumulated distribution into a Family summary.
+func (a *FamilyAcc) Family() Family {
+	return Family{
+		Edges:     a.edges,
+		Sources:   a.sources,
+		MaxDegree: a.max,
+		Hist:      buildHistogram(a.cells, a.sources),
+	}
+}
+
+// Rebase derives a snapshot from s with one family's summary replaced and
+// a fresh epoch — how a background reseal keeps statistics published under
+// sustained writes instead of dropping them. The label and column maps are
+// shared with s (immutable after publication); the family map is copied.
+func Rebase(s *Snapshot, epoch uint64, k FamKey, f Family) *Snapshot {
+	ns := &Snapshot{
+		Epoch:    epoch,
+		Build:    s.Build,
+		Vertices: s.Vertices,
+		Labels:   s.Labels,
+		Columns:  s.Columns,
+		Families: make(map[FamKey]Family, len(s.Families)+1),
+	}
+	for fk, ff := range s.Families {
+		ns.Families[fk] = ff
+	}
+	ns.Families[k] = f
+	for fk, ff := range ns.Families {
+		if fk.Dir == catalog.Out {
+			ns.Edges += ff.Edges
+		}
+	}
+	return ns
 }
 
 // NewBuilder starts a snapshot at the given epoch.
@@ -282,7 +339,7 @@ func NewBuilder(epoch uint64) *Builder {
 			Families: make(map[FamKey]Family),
 			Columns:  make(map[ColKey]Column),
 		},
-		acc: make(map[FamKey]*famAcc),
+		acc: make(map[FamKey]*FamilyAcc),
 	}
 }
 
@@ -298,35 +355,21 @@ func (b *Builder) Column(k ColKey, c Column) { b.snap.Columns[k] = c }
 // AddDegree folds one source vertex's degree into a family accumulator.
 // Zero degrees are ignored.
 func (b *Builder) AddDegree(k FamKey, d int) {
-	if d <= 0 {
-		return
-	}
 	a := b.acc[k]
 	if a == nil {
-		a = &famAcc{}
+		if d <= 0 {
+			return
+		}
+		a = &FamilyAcc{}
 		b.acc[k] = a
 	}
-	c := logCell(d)
-	for len(a.cells) <= c {
-		a.cells = append(a.cells, 0)
-	}
-	a.cells[c]++
-	a.edges += d
-	a.sources++
-	if d > a.max {
-		a.max = d
-	}
+	a.Add(d)
 }
 
 // Finish seals the snapshot. The builder must not be used afterwards.
 func (b *Builder) Finish(build time.Duration) *Snapshot {
 	for k, a := range b.acc {
-		b.snap.Families[k] = Family{
-			Edges:     a.edges,
-			Sources:   a.sources,
-			MaxDegree: a.max,
-			Hist:      buildHistogram(a.cells, a.sources),
-		}
+		b.snap.Families[k] = a.Family()
 		if k.Dir == catalog.Out {
 			b.snap.Edges += a.edges
 		}

@@ -14,6 +14,7 @@
 package storage
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"ges/internal/catalog"
@@ -40,6 +41,15 @@ type adjMeta struct {
 // AdjList is one adjacency family. meta is indexed by *global* VID (the
 // paper's adjMeta of size |V|); arr is the shared neighbor array; per-edge
 // property columns run parallel to arr.
+//
+// Lock order (checked by geslint rule R2): mutators hold wmu and publish
+// delta-run replacements under the delta's map lock (adjDelta.mu); family
+// creation holds Graph.famMu and reads the catalog's edge schemas
+// (Catalog.mu is a leaf read lock no catalog path nests further). Neither
+// inner lock ever nests with the other or back into an outer one.
+//
+//geslint:lockorder AdjList.wmu < adjDelta.mu
+//geslint:lockorder Graph.famMu < Catalog.mu
 type AdjList struct {
 	meta []adjMeta
 	arr  []vector.VID
@@ -53,9 +63,22 @@ type AdjList struct {
 
 	deadSlots int // entries abandoned by slot relocation
 
-	// snap is the sealed CSR image (csr.go); nil while unsealed or after
-	// any mutation invalidated it. Readers load it once per operation so a
-	// concurrent re-seal can never mix layouts within one Segment.
+	// wmu serializes every mutator of the family — insert/del, Compact,
+	// and the background reseal's rebuild. Readers never take it: sealed
+	// reads go through snap (plus its delta's own synchronization), and
+	// live-slot reads only happen while the family is single-writer by
+	// contract (bulk load, or the -no-overlay ablation).
+	wmu sync.Mutex
+
+	// resealing is the claim flag for the family's background reseal: set
+	// by CompareAndSwap when a rebuild is scheduled, cleared when it
+	// publishes, so at most one reseal per family is ever in flight.
+	resealing atomic.Bool
+
+	// snap is the sealed CSR image (csr.go), carrying its delta overlay;
+	// nil while unsealed or after an overlay-disabled mutation invalidated
+	// it. Readers load it once per operation so a concurrent re-seal can
+	// never mix layouts within one Segment.
 	snap atomic.Pointer[csr] //geslint:atomicptr
 }
 
@@ -98,12 +121,57 @@ func (a *AdjList) growProps(n int) {
 	}
 }
 
-// append adds dst (with optional edge property values) to src's slot,
-// relocating the slot with doubled capacity when full.
+// insert routes one edge append through the overlay policy. While a sealed
+// image is published and the overlay is enabled, the mutation lands in both
+// the live arrays (the canonical store the next reseal rebuilds from) and
+// the image's delta, so readers keep the sealed fast paths; with the
+// overlay disabled the image is invalidated wholesale (the pre-overlay
+// behavior, kept as the -no-overlay ablation); unsealed families take the
+// plain bulk path.
 //
-//geslint:seal topology change invalidates the CSR snapshot (publishes nil)
+//geslint:seal overlay-disabled topology change invalidates the CSR snapshot (publishes nil)
+func (a *AdjList) insert(src, dst vector.VID, props []vector.Value, overlay bool) {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if c := a.snap.Load(); c != nil {
+		if overlay {
+			c.delta.insert(src, dst, props)
+			a.append(src, dst, props)
+			return
+		}
+		a.snap.Store(nil)
+	}
+	a.append(src, dst, props)
+}
+
+// del routes one edge removal through the overlay policy (see insert). The
+// delta picks the occurrence to hide and reports its property tuple, and
+// the live removal targets the matching tuple, keeping both sides' content
+// in lockstep.
+//
+//geslint:seal overlay-disabled topology change invalidates the CSR snapshot (publishes nil)
+func (a *AdjList) del(src, dst vector.VID, overlay bool) bool {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if c := a.snap.Load(); c != nil {
+		if overlay {
+			tuple, ok := c.delta.remove(c, src, dst)
+			if !ok {
+				return false
+			}
+			a.removeMatching(src, dst, tuple)
+			return true
+		}
+		a.snap.Store(nil)
+	}
+	return a.remove(src, dst)
+}
+
+// append adds dst (with optional edge property values) to src's slot,
+// relocating the slot with doubled capacity when full. Callers go through
+// insert (or the single-writer bulk path) — append itself never touches
+// the published snapshot.
 func (a *AdjList) append(src, dst vector.VID, props []vector.Value) {
-	a.snap.Store(nil) // topology change invalidates the CSR snapshot
 	a.ensure(src)
 	m := &a.meta[src]
 	if m.len == m.cap {
@@ -155,18 +223,19 @@ const compactDeadFraction = 0.25
 // Compact rebuilds arr and the aligned edge-property columns when more than
 // compactDeadFraction of the entries are dead regions abandoned by slot
 // relocation. Slots keep their allocated capacity (the paper's doubled-slot
-// headroom), they are just packed back to back. Single-writer only: callers
-// must ensure no concurrent readers hold segment views they expect to stay
-// in sync with future appends (outstanding views of the old array remain
-// valid — the old memory is simply dropped). Returns true on rebuild.
-//geslint:seal slot relocation invalidates the snapshot before the rebuild; the caller re-Seals
+// headroom), they are just packed back to back, preserving within-slot
+// entry order — the rebuild changes the layout, never the content, so a
+// published CSR image (and its delta, whose positions reference the image,
+// not arr) stays valid throughout. Live-slot readers must not run
+// concurrently (outstanding views of the old array remain valid — the old
+// memory is simply dropped); sealed readers are unaffected. Returns true
+// on rebuild.
 func (a *AdjList) Compact() bool {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
 	if len(a.arr) == 0 || float64(a.deadSlots) <= compactDeadFraction*float64(len(a.arr)) {
 		return false
 	}
-	// The rebuild reshuffles offsets; drop the snapshot now and let the
-	// caller re-Seal, which swaps the fresh image in atomically.
-	a.snap.Store(nil)
 	liveCap := 0
 	for i := range a.meta {
 		liveCap += int(a.meta[i].cap)
@@ -209,35 +278,101 @@ func (a *AdjList) Compact() bool {
 }
 
 // remove deletes the first occurrence of dst in src's slot by shifting the
-// last live entry into its place (compacting mark-for-deletion).
-//
-//geslint:seal topology change invalidates the CSR snapshot (publishes nil)
+// last live entry into its place (compacting mark-for-deletion). Callers
+// go through del (or the single-writer bulk path).
 func (a *AdjList) remove(src, dst vector.VID) bool {
 	if int(src) >= len(a.meta) {
 		return false
 	}
-	a.snap.Store(nil) // topology change invalidates the CSR snapshot
 	m := &a.meta[src]
+	for i := m.off; i < m.off+m.len; i++ {
+		if a.arr[i] == dst {
+			a.removeAt(m, int(i))
+			return true
+		}
+	}
+	return false
+}
+
+// removeAt deletes entry i of slot m by shifting the last live entry into
+// its place.
+func (a *AdjList) removeAt(m *adjMeta, i int) {
+	last := int(m.off + m.len - 1)
+	a.arr[i] = a.arr[last]
+	for p, k := range a.propKinds {
+		switch k {
+		case vector.KindInt64, vector.KindDate:
+			a.propI64[p][i] = a.propI64[p][last]
+		case vector.KindFloat64:
+			a.propF64[p][i] = a.propF64[p][last]
+		case vector.KindString:
+			a.propStr[p][i] = a.propStr[p][last]
+		}
+	}
+	m.len--
+}
+
+// removeMatching deletes the occurrence of dst in src's slot whose property
+// tuple equals want. The overlay may tombstone a different duplicate than
+// the slot-order scan would pick, so matching on the tuple keeps the live
+// multiset identical to the merged view. Falls back to the first
+// occurrence when no tuple matches (only reachable if the two sides ever
+// diverged).
+func (a *AdjList) removeMatching(src, dst vector.VID, want []vector.Value) bool {
+	if len(a.propKinds) == 0 {
+		return a.remove(src, dst)
+	}
+	if int(src) >= len(a.meta) {
+		return false
+	}
+	m := &a.meta[src]
+	match, firstAny := -1, -1
 	for i := m.off; i < m.off+m.len; i++ {
 		if a.arr[i] != dst {
 			continue
 		}
-		last := m.off + m.len - 1
-		a.arr[i] = a.arr[last]
-		for p, k := range a.propKinds {
-			switch k {
-			case vector.KindInt64, vector.KindDate:
-				a.propI64[p][i] = a.propI64[p][last]
-			case vector.KindFloat64:
-				a.propF64[p][i] = a.propF64[p][last]
-			case vector.KindString:
-				a.propStr[p][i] = a.propStr[p][last]
+		if firstAny < 0 {
+			firstAny = int(i)
+		}
+		if a.propsEqualAt(int(i), want) {
+			match = int(i)
+			break
+		}
+	}
+	if match < 0 {
+		match = firstAny
+	}
+	if match < 0 {
+		return false
+	}
+	a.removeAt(m, match)
+	return true
+}
+
+// propsEqualAt reports whether entry i's property tuple equals want
+// (schema-position-aligned Values).
+func (a *AdjList) propsEqualAt(i int, want []vector.Value) bool {
+	for p, k := range a.propKinds {
+		var v vector.Value
+		if p < len(want) {
+			v = want[p]
+		}
+		switch k {
+		case vector.KindInt64, vector.KindDate:
+			if a.propI64[p][i] != v.I {
+				return false
+			}
+		case vector.KindFloat64:
+			if a.propF64[p][i] != v.F {
+				return false
+			}
+		case vector.KindString:
+			if a.propStr[p][i] != v.S {
+				return false
 			}
 		}
-		m.len--
-		return true
 	}
-	return false
+	return true
 }
 
 // neighbors returns the live segment of src's slot as a view into arr.

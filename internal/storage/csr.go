@@ -11,12 +11,14 @@ package storage
 //   - edge-property columns are permuted alongside the neighbors, so the
 //     aligned-run contract of Segment holds unchanged.
 //
-// The snapshot hangs off the AdjList behind an atomic pointer: any topology
-// mutation invalidates it (readers fall back to the live slot layout), and
-// re-sealing after a compaction is one atomic store — concurrent readers
-// keep whichever image they already loaded. Sealing is part of the
-// single-writer bulk path; once queries run, the base graph no longer
-// mutates and the snapshot is permanent.
+// The snapshot hangs off the AdjList behind an atomic pointer. Each image
+// carries a delta overlay (delta.go): once SealCSR has run, edge mutations
+// land in the delta instead of invalidating the image, readers merge the
+// two sides without losing the sorted-run contract, and a background reseal
+// (graph.go) swaps in a rebuilt image — one atomic store, concurrent
+// readers keep whichever image they already loaded. Only the -no-overlay
+// ablation and pre-seal bulk loading still publish nil (readers fall back
+// to the live slot layout).
 
 import (
 	"sort"
@@ -39,9 +41,18 @@ type csr struct {
 	propI64   [][]int64
 	propF64   [][]float64
 	propStr   [][]string
+
+	// delta is the image's mutable overlay (delta.go), allocated empty at
+	// seal time. Pairing it with the image — rather than the AdjList —
+	// means one snap.Load() hands a reader both sides consistently.
+	delta *adjDelta
 }
 
 // sealCSR builds the sorted CSR image of the family's current live entries.
+// The per-run sort is stable so entries sharing a destination keep their
+// slot order — the order the delta overlay's sealed-first tie break
+// reproduces, which keeps merged reads byte-identical to a reseal. Caller
+// holds wmu (or is the single bulk writer).
 func (a *AdjList) sealCSR() *csr {
 	total := 0
 	for i := range a.meta {
@@ -80,7 +91,7 @@ func (a *AdjList) sealCSR() *csr {
 		dst := c.neighbors[off : off+m.len]
 		if !hasProps {
 			copy(dst, src)
-			sort.Slice(dst, func(x, y int) bool { return dst[x] < dst[y] })
+			sort.SliceStable(dst, func(x, y int) bool { return dst[x] < dst[y] })
 		} else {
 			// Sort a permutation so the property columns move with their
 			// neighbors.
@@ -88,7 +99,7 @@ func (a *AdjList) sealCSR() *csr {
 			for j := 0; j < int(m.len); j++ {
 				perm = append(perm, j)
 			}
-			sort.Slice(perm, func(x, y int) bool { return src[perm[x]] < src[perm[y]] })
+			sort.SliceStable(perm, func(x, y int) bool { return src[perm[x]] < src[perm[y]] })
 			for j, pj := range perm {
 				dst[j] = src[pj]
 				at := int(off) + j
@@ -108,6 +119,7 @@ func (a *AdjList) sealCSR() *csr {
 		off += m.len
 	}
 	c.offsets[len(a.meta)] = off
+	c.delta = newAdjDelta(total, a.propKinds)
 	return c
 }
 
@@ -170,25 +182,34 @@ func (c *csr) memBytes() int {
 	return n
 }
 
-// Seal (re)builds the family's CSR snapshot and publishes it atomically.
-// Part of the single-writer bulk path; concurrent readers keep serving from
-// whichever image (or the live slots) they already resolved.
+// Seal (re)builds the family's CSR snapshot (with a fresh empty delta) and
+// publishes it atomically. Used by the bulk path and by background reseals;
+// concurrent readers keep serving from whichever image (or the live slots)
+// they already resolved.
+//
 //geslint:seal publishes the freshly built CSR image
-func (a *AdjList) Seal() { a.snap.Store(a.sealCSR()) }
+func (a *AdjList) Seal() {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	a.snap.Store(a.sealCSR())
+}
 
 // Sealed reports whether a current CSR snapshot is published.
 func (a *AdjList) Sealed() bool { return a.snap.Load() != nil }
 
 // SealCSR seals every adjacency family into a sorted CSR snapshot. Call it
 // at bulk-load finish (after CompactAdjacency) and again after any
-// single-writer maintenance pass; each family swaps in atomically. Returns
-// the number of families sealed.
+// single-writer maintenance pass; each family swaps in atomically. It also
+// opens the overlay phase: subsequent edge mutations land in per-image
+// deltas instead of invalidating the images. Returns the number of
+// families sealed.
 func (g *Graph) SealCSR() int {
 	n := 0
-	for _, l := range g.adj {
+	for _, l := range g.fams.Load().adj {
 		l.Seal()
 		n++
 	}
+	g.sealedPhase.Store(true)
 	// The statistics snapshot is derived from the same sealed image, in
 	// the same single-writer pass, and swaps in under the same discipline.
 	g.sealStats()
@@ -198,7 +219,7 @@ func (g *Graph) SealCSR() int {
 // CSRSealed reports whether every adjacency family currently serves from a
 // CSR snapshot (true for an edgeless graph).
 func (g *Graph) CSRSealed() bool {
-	for _, l := range g.adj {
+	for _, l := range g.fams.Load().adj {
 		if !l.Sealed() {
 			return false
 		}
@@ -274,21 +295,38 @@ func (b *Batch) reset(n int) {
 // The fast path engages when the request maps to a single sealed family
 // (one direction, concrete dstLabel, uniform source label): runs are pure
 // prefix-sum lookups into the shared CSR arrays — no per-source map lookup,
-// no copying — and Sorted is guaranteed. Everything else (AnyLabel fan-out,
-// Both, unsealed families, mixed source labels) takes the copying reference
-// path, which preserves exactly the scalar Neighbors segment order.
+// no copying — and Sorted is guaranteed. A sealed family with a non-empty
+// delta takes the owned merged-batch path (delta.go), which still
+// guarantees Sorted. Everything else (AnyLabel fan-out, Both, unsealed
+// families, mixed source labels) takes the copying reference path, which
+// preserves exactly the scalar Neighbors segment order.
 func (g *Graph) NeighborsBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool, out *Batch) {
-	if dir != catalog.Both && dstLabel != AnyLabel && g.csrBatch(srcs, et, dir, dstLabel, withProps, out) {
-		return
+	if dir != catalog.Both && dstLabel != AnyLabel {
+		switch st, c, label := g.csrBatch(srcs, et, dir, dstLabel, withProps, out); st {
+		case csrServed:
+			return
+		case csrDelta:
+			if c.mergedBatch(g, srcs, label, withProps, out) {
+				return
+			}
+		}
 	}
 	AppendNeighborsBatch(g, srcs, et, dir, dstLabel, withProps, out)
 }
 
-// csrBatch attempts the zero-copy CSR fast path; false means the caller
-// must fall back to the reference path.
+// csrBatch outcomes: the request was served from the shared CSR arrays, the
+// sealed image has a live delta the caller must merge, or no single sealed
+// family matched and the reference path must answer.
+const (
+	csrServed = iota
+	csrDelta
+	csrFallback
+)
+
+// csrBatch attempts the zero-copy CSR fast path.
 //
 //geslint:kernel
-func (g *Graph) csrBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool, out *Batch) bool {
+func (g *Graph) csrBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.Direction, dstLabel catalog.LabelID, withProps bool, out *Batch) (int, *csr, catalog.LabelID) {
 	// Resolve the single family off the first live source's label; bail to
 	// the general path when source labels mix.
 	var label catalog.LabelID
@@ -307,14 +345,14 @@ func (g *Graph) csrBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.D
 			out.Runs[i] = NeighborRun{}
 		}
 		out.Sorted = true
-		return true
+		return csrServed, nil, label
 	}
-	l, ok := g.adj[AdjKey{Src: label, Et: et, Dst: dstLabel, Dir: dir}]
+	l, ok := g.fams.Load().adj[AdjKey{Src: label, Et: et, Dst: dstLabel, Dir: dir}]
 	if !ok {
 		// No family for this label: verify uniformity, then emit empty runs.
 		for _, s := range srcs[first:] {
 			if s != vector.NilVID && g.labelOf[s] != label {
-				return false
+				return csrFallback, nil, label
 			}
 		}
 		out.reset(len(srcs))
@@ -322,11 +360,16 @@ func (g *Graph) csrBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.D
 			out.Runs[i] = NeighborRun{}
 		}
 		out.Sorted = true
-		return true
+		return csrServed, nil, label
 	}
 	c := l.snap.Load()
 	if c == nil {
-		return false
+		return csrFallback, nil, label
+	}
+	if !c.delta.isEmpty() {
+		// Live overlay: the caller merges sealed and delta runs into owned
+		// buffers (Sorted still holds).
+		return csrDelta, c, label
 	}
 	out.reset(len(srcs))
 	last := vector.VID(len(c.offsets) - 1)
@@ -336,7 +379,7 @@ func (g *Graph) csrBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.D
 			continue
 		}
 		if g.labelOf[s] != label {
-			return false
+			return csrFallback, nil, label
 		}
 		if s >= last {
 			out.Runs[i] = NeighborRun{}
@@ -349,7 +392,7 @@ func (g *Graph) csrBatch(srcs []vector.VID, et catalog.EdgeTypeID, dir catalog.D
 	if withProps {
 		out.PropI64, out.PropF64, out.PropStr = c.propI64, c.propF64, c.propStr
 	}
-	return true
+	return csrServed, nil, label
 }
 
 // AppendNeighborsBatch is the reference implementation of the batched

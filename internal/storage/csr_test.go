@@ -225,36 +225,58 @@ func TestNeighborsBatchSharedZeroCopy(t *testing.T) {
 	_ = city2
 }
 
-func TestCSRInvalidatedByMutation(t *testing.T) {
+func TestCSRPersistsAcrossMutation(t *testing.T) {
 	g, ps, cs, _, city, livesIn := csrGraph(t)
 	g.SealCSR()
 	if !g.CSRSealed() {
 		t.Fatal("not sealed")
 	}
-	// Removing an edge must drop the stale snapshot for that family.
+	// Removing an edge lands in the delta overlay: the snapshot stays
+	// published and reads reflect the delete immediately.
 	if !g.DeleteEdge(livesIn, ps[0], cs[0]) {
 		t.Fatal("DeleteEdge failed")
 	}
-	if g.CSRSealed() {
-		t.Fatal("snapshot must be invalidated by DeleteEdge")
+	if !g.CSRSealed() {
+		t.Fatal("snapshot must persist across DeleteEdge")
 	}
-	// Re-seal after compaction: reads must reflect the delete.
-	g.CompactAdjacency()
-	g.SealCSR()
 	for _, d := range flattenSegs(g.Neighbors(nil, ps[0], livesIn, catalog.Out, city, false)) {
 		if d == cs[0] {
-			t.Fatal("deleted edge still visible after re-seal")
+			t.Fatal("deleted edge still visible through the overlay")
 		}
 	}
 	srcs := append([]vector.VID(nil), ps...)
 	batchMatchesScalar(t, g, srcs, livesIn, catalog.Out, city, true)
 
-	// Adding an edge also invalidates.
+	// Adding an edge keeps the snapshot too, and the merged batch stays
+	// sorted (never Shared while the delta is live).
 	if err := g.AddEdge(livesIn, ps[0], cs[0], vector.Date(7)); err != nil {
 		t.Fatal(err)
 	}
-	if g.CSRSealed() {
-		t.Fatal("snapshot must be invalidated by AddEdge")
+	if !g.CSRSealed() {
+		t.Fatal("snapshot must persist across AddEdge")
+	}
+	var b Batch
+	g.NeighborsBatch(srcs, livesIn, catalog.Out, city, true, &b)
+	if !b.Sorted || b.Shared {
+		t.Fatalf("overlay batch Sorted=%v Shared=%v, want Sorted, not Shared", b.Sorted, b.Shared)
+	}
+	batchMatchesScalar(t, g, srcs, livesIn, catalog.Out, city, true)
+
+	// A quiesced re-seal after compaction must agree with what the overlay
+	// already served.
+	g.CompactAdjacency()
+	g.SealCSR()
+	batchMatchesScalar(t, g, srcs, livesIn, catalog.Out, city, true)
+
+	// The -no-overlay ablation restores invalidate-wholesale.
+	g2, ps2, cs2, _, _, livesIn2 := csrGraph(t)
+	g2.SetOverlayDisabled(true)
+	g2.SealCSR()
+	if !g2.DeleteEdge(livesIn2, ps2[0], cs2[0]) {
+		t.Fatal("DeleteEdge failed")
+	}
+	if g2.CSRSealed() {
+		t.Fatal("-no-overlay mutation must invalidate the snapshot")
 	}
 }
 

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"ges/internal/catalog"
@@ -72,9 +73,13 @@ type View interface {
 	NumVertices() int
 }
 
-// Graph is the immutable-after-load base storage. Bulk loading (AddVertex /
-// AddEdge) is single-writer; once queries start, the base is read-only and
-// all mutation flows through the transaction layer's overlays.
+// Graph is the base storage. Bulk loading (AddVertex / AddEdge) is
+// single-writer; after SealCSR, *edge* mutations may run concurrently with
+// readers — they land in per-image delta overlays (delta.go) while the
+// sealed CSR images stay published — and everything else (vertex inserts,
+// property writes) remains single-writer by contract. Transactional
+// mutation flows through the transaction layer's overlays and never
+// touches the base.
 type Graph struct {
 	cat *catalog.Catalog
 
@@ -84,17 +89,56 @@ type Graph struct {
 
 	tables []*propTable // per label
 
-	adj map[AdjKey]*AdjList
-	// famIdx indexes adjacency families by (src,et,dir) for AnyLabel probes.
-	famIdx map[famKey][]famEntry
+	// fams is the immutable family directory, republished copy-on-write
+	// (under famMu) when a mutation first touches a (src,et,dst,dir)
+	// combination — so a rare sealed-phase family creation is one atomic
+	// swap that concurrent readers never observe mid-update.
+	fams  atomic.Pointer[famTable] //geslint:atomicptr
+	famMu sync.Mutex
 
-	edgeCount int
+	edgeCount atomic.Int64
 
-	// statsSnap is the planner's statistics snapshot (stats.go), rebuilt
-	// by SealCSR and cleared by any base mutation. statsEpoch outlives
-	// invalidations so every rebuild publishes under a fresh epoch.
+	// sealedPhase turns true at the first SealCSR and marks the switch
+	// from bulk loading to the overlay write path.
+	sealedPhase atomic.Bool
+
+	// overlayOff restores the pre-overlay behavior (every mutation
+	// invalidates the CSR and statistics wholesale) — the -no-overlay
+	// ablation. Set before concurrent readers start.
+	overlayOff bool
+
+	// resealFrac/resealMin gate the background reseal: a family rebuilds
+	// once its delta holds at least resealMin entries and more than
+	// resealFrac of its sealed entry count. resealSubmit, when set, runs
+	// the rebuild off the mutating goroutine (internal/sched); nil or a
+	// false return reseals inline.
+	resealFrac   float64
+	resealMin    int
+	resealSubmit func(task func()) bool
+
+	resealCount atomic.Int64 // background reseals completed
+	resealNanos atomic.Int64 // total wall time spent resealing
+
+	// statsSnap is the planner's statistics snapshot (stats.go): rebuilt
+	// by SealCSR, rebased (fresh epoch, one family's summary replaced) by
+	// background reseals, and cleared only by bulk-phase or
+	// overlay-disabled mutations. statsEpoch outlives invalidations so
+	// every publication uses a fresh epoch; statsMu serializes the
+	// publishers. statsStale counts mutations since the last publication.
 	statsSnap  atomic.Pointer[stats.Snapshot] //geslint:atomicptr
 	statsEpoch atomic.Uint64
+	statsMu    sync.Mutex
+	statsStale atomic.Int64
+}
+
+// famTable is one immutable snapshot of the family directory: the per-key
+// adjacency families and the (src,et,dir) index AnyLabel probes fan out
+// over.
+//
+//geslint:snapshot-owner immutable after publication; family creation swaps in a copied table under famMu
+type famTable struct {
+	adj    map[AdjKey]*AdjList
+	famIdx map[famKey][]famEntry
 }
 
 type famKey struct {
@@ -108,14 +152,59 @@ type famEntry struct {
 	list *AdjList
 }
 
+// DefaultResealFraction is the delta share of a family's sealed entries
+// above which a background reseal is scheduled.
+const DefaultResealFraction = 1.0 / 16
+
+// DefaultResealMinDelta floors the reseal trigger so small families don't
+// rebuild on every mutation.
+const DefaultResealMinDelta = 64
+
 // NewGraph returns an empty base graph over the catalog.
+//
+//geslint:seal constructor publishes the initial empty family directory
 func NewGraph(cat *catalog.Catalog) *Graph {
-	return &Graph{
-		cat:    cat,
+	g := &Graph{
+		cat:        cat,
+		resealFrac: DefaultResealFraction,
+		resealMin:  DefaultResealMinDelta,
+	}
+	g.fams.Store(&famTable{
 		adj:    make(map[AdjKey]*AdjList),
 		famIdx: make(map[famKey][]famEntry),
+	})
+	return g
+}
+
+// SetOverlayDisabled turns the delta overlay off: mutations after SealCSR
+// invalidate the per-family CSR images and the statistics snapshot
+// wholesale — the pre-overlay behavior, kept as the -no-overlay ablation.
+// Set before concurrent readers start; with the overlay off, mutations and
+// reads must not overlap.
+func (g *Graph) SetOverlayDisabled(off bool) { g.overlayOff = off }
+
+// SetResealPolicy overrides the background-reseal trigger: a family reseals
+// once its delta holds at least minDelta entries and more than frac times
+// its sealed entry count. Non-positive arguments keep the defaults. Set
+// before concurrent readers start.
+func (g *Graph) SetResealPolicy(frac float64, minDelta int) {
+	if frac > 0 {
+		g.resealFrac = frac
+	}
+	if minDelta > 0 {
+		g.resealMin = minDelta
 	}
 }
+
+// SetResealSubmit injects the executor background reseals run on (the
+// scheduler's non-blocking submit); nil, or a false return when the pool is
+// saturated, reseals inline on the mutating goroutine. Set before
+// concurrent readers start.
+func (g *Graph) SetResealSubmit(submit func(task func()) bool) { g.resealSubmit = submit }
+
+// overlayEnabled reports whether edge mutations take the delta-overlay
+// write path.
+func (g *Graph) overlayEnabled() bool { return !g.overlayOff && g.sealedPhase.Load() }
 
 // Catalog returns the graph's catalog.
 func (g *Graph) Catalog() *catalog.Catalog { return g.cat }
@@ -138,36 +227,57 @@ func (g *Graph) AddVertex(label catalog.LabelID, extID int64, props ...vector.Va
 	g.labelOf = append(g.labelOf, label)
 	g.rowOf = append(g.rowOf, row)
 	g.extOf = append(g.extOf, extID)
-	g.invalidateStats()
+	g.noteMutation()
 	return vid, nil
 }
 
 // AddEdge inserts a directed edge src→dst of type et with edge-property
 // values ordered per the edge type's schema. Both the forward (Out) and
-// reverse (In) adjacency families are maintained.
+// reverse (In) adjacency families are maintained. After SealCSR (overlay
+// enabled) the insert lands in the sealed images' deltas and may run
+// concurrently with readers.
 func (g *Graph) AddEdge(et catalog.EdgeTypeID, src, dst vector.VID, props ...vector.Value) error {
 	if int(src) >= len(g.labelOf) || int(dst) >= len(g.labelOf) {
 		return fmt.Errorf("storage: AddEdge with unknown vertex (src=%d dst=%d)", src, dst)
 	}
 	sl, dl := g.labelOf[src], g.labelOf[dst]
-	g.family(AdjKey{Src: sl, Et: et, Dst: dl, Dir: catalog.Out}).append(src, dst, props)
-	g.family(AdjKey{Src: dl, Et: et, Dst: sl, Dir: catalog.In}).append(dst, src, props)
-	g.edgeCount++
-	g.invalidateStats()
+	outKey := AdjKey{Src: sl, Et: et, Dst: dl, Dir: catalog.Out}
+	inKey := AdjKey{Src: dl, Et: et, Dst: sl, Dir: catalog.In}
+	lo, li := g.family(outKey), g.family(inKey)
+	overlay := g.overlayEnabled()
+	lo.insert(src, dst, props, overlay)
+	li.insert(dst, src, props, overlay)
+	g.edgeCount.Add(1)
+	g.noteMutation()
+	if overlay {
+		g.maybeReseal(outKey, lo)
+		g.maybeReseal(inKey, li)
+	}
 	return nil
 }
 
 // DeleteEdge removes the edge src→dst of type et from both directions.
+// After SealCSR (overlay enabled) the removal tombstones the sealed images'
+// entries (or retracts delta inserts) and may run concurrently with
+// readers.
 func (g *Graph) DeleteEdge(et catalog.EdgeTypeID, src, dst vector.VID) bool {
 	if int(src) >= len(g.labelOf) || int(dst) >= len(g.labelOf) {
 		return false
 	}
 	sl, dl := g.labelOf[src], g.labelOf[dst]
-	okOut := g.family(AdjKey{Src: sl, Et: et, Dst: dl, Dir: catalog.Out}).remove(src, dst)
-	okIn := g.family(AdjKey{Src: dl, Et: et, Dst: sl, Dir: catalog.In}).remove(dst, src)
+	outKey := AdjKey{Src: sl, Et: et, Dst: dl, Dir: catalog.Out}
+	inKey := AdjKey{Src: dl, Et: et, Dst: sl, Dir: catalog.In}
+	lo, li := g.family(outKey), g.family(inKey)
+	overlay := g.overlayEnabled()
+	okOut := lo.del(src, dst, overlay)
+	okIn := li.del(dst, src, overlay)
 	if okOut && okIn {
-		g.edgeCount--
-		g.invalidateStats()
+		g.edgeCount.Add(-1)
+		g.noteMutation()
+		if overlay {
+			g.maybeReseal(outKey, lo)
+			g.maybeReseal(inKey, li)
+		}
 		return true
 	}
 	return false
@@ -175,13 +285,41 @@ func (g *Graph) DeleteEdge(et catalog.EdgeTypeID, src, dst vector.VID) bool {
 
 // family returns (creating on demand) the adjacency family for key.
 func (g *Graph) family(key AdjKey) *AdjList {
-	if l, ok := g.adj[key]; ok {
+	if l, ok := g.fams.Load().adj[key]; ok {
+		return l
+	}
+	return g.addFamily(key)
+}
+
+// addFamily publishes a copy of the family directory extended with key.
+// The maps inside a published famTable are immutable, so the copy (plus a
+// fresh slice for the one famIdx bucket that grows) is what makes the rare
+// sealed-phase family creation safe under concurrent readers.
+//
+//geslint:seal family creation publishes the copied directory atomically
+func (g *Graph) addFamily(key AdjKey) *AdjList {
+	g.famMu.Lock()
+	defer g.famMu.Unlock()
+	old := g.fams.Load()
+	if l, ok := old.adj[key]; ok {
 		return l
 	}
 	l := newAdjList(g.cat.EdgeTypeProps(key.Et))
-	g.adj[key] = l
+	nt := &famTable{
+		adj:    make(map[AdjKey]*AdjList, len(old.adj)+1),
+		famIdx: make(map[famKey][]famEntry, len(old.famIdx)+1),
+	}
+	for k, v := range old.adj {
+		nt.adj[k] = v
+	}
+	for k, v := range old.famIdx {
+		nt.famIdx[k] = v
+	}
+	nt.adj[key] = l
 	fk := famKey{src: key.Src, et: key.Et, dir: key.Dir}
-	g.famIdx[fk] = append(g.famIdx[fk], famEntry{dst: key.Dst, list: l})
+	bucket := append([]famEntry(nil), nt.famIdx[fk]...)
+	nt.famIdx[fk] = append(bucket, famEntry{dst: key.Dst, list: l})
+	g.fams.Store(nt)
 	return l
 }
 
@@ -209,16 +347,19 @@ func (g *Graph) Prop(v vector.VID, p catalog.PropID) vector.Value {
 // single-writer bulk path; transactional updates go through overlays.
 func (g *Graph) SetProp(v vector.VID, p catalog.PropID, val vector.Value) {
 	g.tables[g.labelOf[v]].set(g.rowOf[v], p, val)
-	g.invalidateStats()
+	g.noteMutation()
 }
 
 // fillSegment populates a Segment (with optional edge props) for src in l.
 // A sealed family serves the sorted CSR run (loaded once, so neighbors and
-// properties always come from the same image); otherwise the live slot
-// layout is used.
+// properties always come from the same image), merged with the image's
+// delta overlay when one is live; otherwise the live slot layout is used.
 func fillSegment(l *AdjList, src vector.VID, withProps bool) (Segment, bool) {
 	if c := l.snap.Load(); c != nil {
-		return c.segment(src, withProps)
+		if c.delta.isEmpty() {
+			return c.segment(src, withProps)
+		}
+		return c.mergedSegment(src, withProps)
 	}
 	ns := l.neighbors(src)
 	if len(ns) == 0 {
@@ -253,15 +394,16 @@ func (g *Graph) Neighbors(buf []Segment, src vector.VID, et catalog.EdgeTypeID, 
 		return g.Neighbors(buf, src, et, catalog.In, dstLabel, withProps)
 	}
 	srcLabel := g.labelOf[src]
+	ft := g.fams.Load()
 	if dstLabel != AnyLabel {
-		if l, ok := g.adj[AdjKey{Src: srcLabel, Et: et, Dst: dstLabel, Dir: dir}]; ok {
+		if l, ok := ft.adj[AdjKey{Src: srcLabel, Et: et, Dst: dstLabel, Dir: dir}]; ok {
 			if seg, ok := fillSegment(l, src, withProps); ok {
 				buf = append(buf, seg)
 			}
 		}
 		return buf
 	}
-	for _, fe := range g.famIdx[famKey{src: srcLabel, et: et, dir: dir}] {
+	for _, fe := range ft.famIdx[famKey{src: srcLabel, et: et, dir: dir}] {
 		if seg, ok := fillSegment(fe.list, src, withProps); ok {
 			buf = append(buf, seg)
 		}
@@ -275,15 +417,16 @@ func (g *Graph) Degree(src vector.VID, et catalog.EdgeTypeID, dir catalog.Direct
 		return g.Degree(src, et, catalog.Out, dstLabel) + g.Degree(src, et, catalog.In, dstLabel)
 	}
 	srcLabel := g.labelOf[src]
+	ft := g.fams.Load()
 	if dstLabel != AnyLabel {
-		if l, ok := g.adj[AdjKey{Src: srcLabel, Et: et, Dst: dstLabel, Dir: dir}]; ok {
-			return l.degree(src)
+		if l, ok := ft.adj[AdjKey{Src: srcLabel, Et: et, Dst: dstLabel, Dir: dir}]; ok {
+			return l.viewDegree(src)
 		}
 		return 0
 	}
 	n := 0
-	for _, fe := range g.famIdx[famKey{src: srcLabel, et: et, dir: dir}] {
-		n += fe.list.degree(src)
+	for _, fe := range ft.famIdx[famKey{src: srcLabel, et: et, dir: dir}] {
+		n += fe.list.viewDegree(src)
 	}
 	return n
 }
@@ -300,7 +443,7 @@ func (g *Graph) ScanLabel(label catalog.LabelID) []vector.VID {
 func (g *Graph) NumVertices() int { return len(g.labelOf) }
 
 // NumEdges returns the number of live directed edges in the base graph.
-func (g *Graph) NumEdges() int { return g.edgeCount }
+func (g *Graph) NumEdges() int { return int(g.edgeCount.Load()) }
 
 // CountLabel returns how many vertices carry the given label.
 func (g *Graph) CountLabel(label catalog.LabelID) int {
@@ -320,19 +463,22 @@ func (g *Graph) MemBytes() int {
 			n += t.memBytes()
 		}
 	}
-	for _, l := range g.adj {
+	ft := g.fams.Load()
+	for _, l := range ft.adj {
+		l.wmu.Lock()
 		n += l.memBytes()
+		l.wmu.Unlock()
 		if c := l.snap.Load(); c != nil {
-			n += c.memBytes()
+			n += c.memBytes() + c.delta.memBytes()
 		}
 	}
 	// Family hash table: AdjKey (8 bytes) + pointer + bucket overhead per
 	// entry.
-	n += len(g.adj) * (8 + 8 + 16)
+	n += len(ft.adj) * (8 + 8 + 16)
 	// AnyLabel family index: per key the famKey + slice header, per entry
 	// one famEntry (label + pointer).
-	n += len(g.famIdx) * (8 + 24)
-	for _, fes := range g.famIdx {
+	n += len(ft.famIdx) * (8 + 24)
+	for _, fes := range ft.famIdx {
 		n += len(fes) * 16
 	}
 	return n
@@ -342,8 +488,10 @@ func (g *Graph) MemBytes() int {
 // all families — the cost of the regrow-on-full update strategy.
 func (g *Graph) DeadSlots() int {
 	n := 0
-	for _, l := range g.adj {
+	for _, l := range g.fams.Load().adj {
+		l.wmu.Lock()
 		n += l.deadSlots
+		l.wmu.Unlock()
 	}
 	return n
 }
@@ -351,22 +499,31 @@ func (g *Graph) DeadSlots() int {
 // AdjSlotStats reports total adjacency entries and the dead ones among them
 // across all families (exposed via the service's /stats endpoint).
 func (g *Graph) AdjSlotStats() (slots, dead int) {
-	for _, l := range g.adj {
+	for _, l := range g.fams.Load().adj {
+		l.wmu.Lock()
 		slots += len(l.arr)
 		dead += l.deadSlots
+		l.wmu.Unlock()
 	}
 	return slots, dead
 }
 
 // CompactAdjacency rebuilds every adjacency family whose dead fraction
-// exceeds 25%, reclaiming regions abandoned by slot relocation. It is part
-// of the single-writer bulk path — call it at bulk-load finish, before
-// queries or transactions start. Returns the number of families rebuilt.
+// exceeds 25%, reclaiming regions abandoned by slot relocation. At
+// bulk-load finish it runs before the first SealCSR as always; called as a
+// maintenance pass after sealing, it also schedules the background reseal
+// path for any family left without a published image (e.g. after
+// overlay-disabled mutations), so a post-Compact read never falls back to
+// the unsorted live layout for longer than one rebuild. Live-slot readers
+// must not run concurrently. Returns the number of families rebuilt.
 func (g *Graph) CompactAdjacency() int {
 	n := 0
-	for _, l := range g.adj {
+	for key, l := range g.fams.Load().adj {
 		if l.Compact() {
 			n++
+		}
+		if g.sealedPhase.Load() && !l.Sealed() {
+			g.scheduleReseal(key, l)
 		}
 	}
 	return n

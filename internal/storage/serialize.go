@@ -170,7 +170,7 @@ func (g *Graph) Save(w io.Writer) error {
 		list *AdjList
 	}
 	var fams []famDump
-	for key, list := range g.adj {
+	for key, list := range g.fams.Load().adj {
 		if key.Dir == catalog.Out {
 			fams = append(fams, famDump{key, list})
 		}

@@ -12,11 +12,16 @@ import (
 // per-family degree histograms from the adjacency slot descriptors, and
 // per-column selectivity summaries rolled up from the zone maps and string
 // dictionaries the gather path already maintains. Published behind the same
-// atomic-pointer discipline as the CSR: any base mutation clears it, the
-// next SealCSR rebuilds it under a bumped epoch.
+// atomic-pointer discipline as the CSR: bulk-phase (or overlay-disabled)
+// mutations clear it and the next SealCSR rebuilds it under a bumped epoch,
+// while overlay-phase mutations leave it published and background reseals
+// rebase it family by family (reseal.go). Runs on the single-writer bulk
+// path — it reads the live slot descriptors unlocked.
 //
 //geslint:seal publishes the rebuilt statistics snapshot under a fresh epoch
 func (g *Graph) sealStats() {
+	g.statsMu.Lock()
+	defer g.statsMu.Unlock()
 	start := time.Now()
 	b := stats.NewBuilder(g.statsEpoch.Add(1))
 	for label, t := range g.tables {
@@ -31,21 +36,27 @@ func (g *Graph) sealStats() {
 			)
 		}
 	}
-	for key, l := range g.adj {
+	for key, l := range g.fams.Load().adj {
 		fk := stats.FamKey{Src: key.Src, Et: key.Et, Dst: key.Dst, Dir: key.Dir}
 		for i := range l.meta {
 			b.AddDegree(fk, int(l.meta[i].len))
 		}
 	}
 	g.statsSnap.Store(b.Finish(time.Since(start)))
+	g.statsStale.Store(0)
 }
 
 // Stats returns the current statistics snapshot, or nil while invalidated
-// (after any base mutation, before the next SealCSR).
+// (after a bulk-phase or overlay-disabled mutation, before the next
+// SealCSR). Overlay-phase mutations leave the snapshot published — mildly
+// stale between reseals — so cost-based planning never degrades to the
+// syntactic fallback under sustained writes.
 func (g *Graph) Stats() *stats.Snapshot { return g.statsSnap.Load() }
 
 // StatsEpoch returns the epoch of the current snapshot, or 0 while
-// invalidated. The service folds it into plan-cache keys.
+// invalidated. The service folds it into plan-cache keys; background
+// reseals bump it monotonically, so cached plans shaped for pre-reseal
+// cardinalities retire on the next lookup.
 func (g *Graph) StatsEpoch() uint64 {
 	if s := g.statsSnap.Load(); s != nil {
 		return s.Epoch
@@ -53,8 +64,17 @@ func (g *Graph) StatsEpoch() uint64 {
 	return 0
 }
 
-// invalidateStats drops the published snapshot. Called from every
-// base-graph mutation alongside the per-family CSR invalidation.
+// noteMutation records a base mutation against the statistics snapshot.
+// Before the first SealCSR, or with the overlay disabled, the snapshot is
+// dropped wholesale (the pre-overlay behavior); overlay-phase mutations
+// only bump the staleness gauge — the snapshot stays published and
+// background reseals rebase the families that actually drift.
 //
-//geslint:seal base mutation clears the published statistics (publishes nil)
-func (g *Graph) invalidateStats() { g.statsSnap.Store(nil) }
+//geslint:seal bulk-phase mutation clears the published statistics (publishes nil)
+func (g *Graph) noteMutation() {
+	if !g.overlayEnabled() {
+		g.statsSnap.Store(nil)
+		return
+	}
+	g.statsStale.Add(1)
+}

@@ -64,38 +64,89 @@ func TestSealPublishesStats(t *testing.T) {
 	}
 }
 
-func TestMutationInvalidatesStats(t *testing.T) {
+func TestOverlayMutationKeepsStatsPublished(t *testing.T) {
 	g, person, _, _ := statsGraph(t)
 	epoch := g.StatsEpoch()
 	if _, err := g.AddVertex(person, 4); err != nil {
 		t.Fatal(err)
 	}
-	if g.Stats() != nil || g.StatsEpoch() != 0 {
-		t.Fatal("mutation must drop the snapshot")
-	}
-	g.SealCSR()
+	// Sealed-phase mutations keep the snapshot published (it goes stale, it
+	// does not go nil) so the planner never loses its cost model mid-stream.
 	s := g.Stats()
+	if s == nil || g.StatsEpoch() != epoch {
+		t.Fatalf("snapshot dropped by overlay mutation: stats=%v epoch=%d want %d", s, g.StatsEpoch(), epoch)
+	}
+	if got := g.Overlay().StatsStale; got == 0 {
+		t.Fatal("overlay mutation must bump the staleness counter")
+	}
+	// A full re-seal refreshes the snapshot under a strictly higher epoch.
+	g.SealCSR()
+	s = g.Stats()
 	if s == nil || s.Epoch <= epoch {
 		t.Fatalf("re-seal epoch = %v, want > %d", s, epoch)
 	}
 	if s.Label(person) != 4 {
 		t.Fatalf("re-sealed person card = %d, want 4", s.Label(person))
 	}
+	if got := g.Overlay().StatsStale; got != 0 {
+		t.Fatalf("re-seal must clear staleness, got %d", got)
+	}
 }
 
-func TestSetPropAndDeleteEdgeInvalidateStats(t *testing.T) {
-	g, person, city, livesIn := statsGraph(t)
-	p1, _ := g.VertexByExt(person, 1)
+func TestBulkMutationInvalidatesStats(t *testing.T) {
+	// Before the first SealCSR the graph is in bulk-load phase: there is no
+	// overlay, so mutations keep the old contract of clearing the snapshot.
+	g, person, city, livesIn := twoLabelGraph(t)
+	p1, _ := g.AddVertex(person, 1, vector.String_("a"), vector.Int64(30))
+	c1, _ := g.AddVertex(city, 100, vector.String_("rome"))
+	if err := g.AddEdge(livesIn, p1, c1, vector.Date(10)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats() != nil || g.StatsEpoch() != 0 {
+		t.Fatal("bulk-phase graph must have no snapshot")
+	}
+	// -no-overlay keeps the invalidation contract even after sealing.
+	g.SealCSR()
+	g.SetOverlayDisabled(true)
 	g.SetProp(p1, 1, vector.Int64(31))
 	if g.Stats() != nil {
-		t.Fatal("SetProp must drop the snapshot")
+		t.Fatal("-no-overlay SetProp must drop the snapshot")
 	}
 	g.SealCSR()
-	c1, _ := g.VertexByExt(city, 100)
 	if !g.DeleteEdge(livesIn, p1, c1) {
 		t.Fatal("DeleteEdge failed")
 	}
 	if g.Stats() != nil {
-		t.Fatal("DeleteEdge must drop the snapshot")
+		t.Fatal("-no-overlay DeleteEdge must drop the snapshot")
+	}
+}
+
+func TestResealRebasesStats(t *testing.T) {
+	g, person, city, livesIn := statsGraph(t)
+	epoch := g.StatsEpoch()
+	p3, _ := g.VertexByExt(person, 3)
+	c2, _ := g.VertexByExt(city, 101)
+	// Force an inline reseal on the very first overlay write.
+	g.SetResealPolicy(1e-9, 1)
+	if err := g.AddEdge(livesIn, p3, c2, vector.Date(20)); err != nil {
+		t.Fatal(err)
+	}
+	s := g.Stats()
+	if s == nil {
+		t.Fatal("snapshot missing after reseal")
+	}
+	if s.Epoch <= epoch {
+		t.Fatalf("reseal must bump the epoch: got %d want > %d", s.Epoch, epoch)
+	}
+	out := stats.FamKey{Src: person, Et: livesIn, Dst: city, Dir: catalog.Out}
+	f, ok := s.Family(out)
+	if !ok {
+		t.Fatalf("missing family %+v after rebase", out)
+	}
+	if f.Edges != 4 || f.Sources != 3 {
+		t.Fatalf("rebased out family = %+v, want edges 4, sources 3", f)
+	}
+	if n := g.Overlay().Reseals; n == 0 {
+		t.Fatal("reseal counter must advance")
 	}
 }
