@@ -11,6 +11,8 @@
 //	                                # morsel-runtime scaling + JSON artifact
 //	gesbench -exp csr -quick -json BENCH_csr.json
 //	                                # CSR batched expand + intersection joins
+//	gesbench -exp mem -quick -json BENCH_mem.json
+//	                                # memory recycling vs -no-recycle ablation
 package main
 
 import (
@@ -39,6 +41,7 @@ func main() {
 		noInter  = flag.Bool("no-intersect", false, "disable the merge/galloping intersection in ExpandInto; cyclic joins close through the hash-set probe")
 		noWCOJ   = flag.Bool("no-wcoj", false, "de-fuse ExpandIntersect into the classical binary-join plan (expand then per-edge ExpandInto)")
 		noCost   = flag.Bool("no-cost", false, "disable cost-based Cypher planning; plans bind in syntactic order, as written")
+		noRecyc  = flag.Bool("no-recycle", false, "disable executor memory recycling (query arenas, reusable f-Trees, pooled morsel scratch); every scratch request allocates fresh")
 		noOvl    = flag.Bool("no-overlay", false, "disable the delta-overlay CSR in -exp update; sealed images invalidate on mutation and the harness serializes readers against the writer")
 		resealFr = flag.Float64("reseal-frac", 0, "background-reseal threshold for -exp update: reseal a family once its delta exceeds this fraction of its sealed entries (0 = storage default)")
 	)
@@ -80,6 +83,7 @@ func main() {
 	cfg.NoIntersect = *noInter
 	cfg.NoWCOJ = *noWCOJ
 	cfg.NoCost = *noCost
+	cfg.NoRecycle = *noRecyc
 	cfg.NoOverlay = *noOvl
 	cfg.ResealFraction = *resealFr
 

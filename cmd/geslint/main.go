@@ -1,12 +1,13 @@
-// Command geslint is the GES invariant analyzer: ten rules (R1–R10, see
+// Command geslint is the GES invariant analyzer: eleven rules (R1–R11, see
 // internal/lint) enforced over the whole module with nothing but the
 // standard library's go/ast, go/parser and go/types — no x/tools
 // dependency, so it builds wherever the engine does.
 //
-// R1–R6 are structural ownership rules; R7–R10 are interprocedural,
+// R1–R6 are structural ownership rules; R7–R11 are interprocedural,
 // answered from module-wide per-function summaries (allocations, lock
-// acquisitions, spawns, parameter retention, discarded errors) computed to
-// a fixed point over the call graph by internal/lint.
+// acquisitions, spawns, parameter retention, discarded errors, pool
+// discharges) computed to a fixed point over the call graph by
+// internal/lint.
 //
 // Usage:
 //
@@ -34,6 +35,7 @@
 //	//geslint:atomicptr               field read via Load, written at seals (R9)
 //	//geslint:seal <why>              func is a sanctioned publication site (R9)
 //	//geslint:err-ok <why>            waives one discarded-error site (R10)
+//	//geslint:leak-ok <why>           waives one undischarged pool acquire (R11)
 package main
 
 import (

@@ -52,6 +52,10 @@ type Config struct {
 	// (and any cypher compilation the experiments perform) binds plans in
 	// syntactic order, exactly as written.
 	NoCost bool
+	// NoRecycle disables executor memory recycling on every engine the
+	// experiments build: arenas allocate fresh and return nothing to the
+	// pool — the §5 memory-pool ablation baseline.
+	NoRecycle bool
 	// NoOverlay disables the delta-overlay CSR in the update experiment:
 	// sealed images invalidate on mutation (the pre-overlay behavior) and the
 	// harness serializes readers against the writer behind a RWMutex. The
@@ -70,6 +74,7 @@ func (cfg Config) newEngine(mode exec.Mode) *exec.Engine {
 	e.NoGather, e.NoDictCmp, e.NoZoneMap = cfg.NoGather, cfg.NoGather, cfg.NoGather
 	e.NoCSR, e.NoIntersect, e.NoWCOJ = cfg.NoCSR, cfg.NoIntersect, cfg.NoWCOJ
 	e.NoCost = cfg.NoCost
+	e.NoRecycle = cfg.NoRecycle
 	return e
 }
 

@@ -46,9 +46,10 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"wcoj":     "cross-check",
 		"planner":  "plan cache",
 		"update":   "byte-identical",
+		"mem":      "alloc reduction",
 	}
 	if len(bench.All()) != len(wantFragments) {
-		t.Fatalf("registry has %d experiments, want %d (one per table/figure + parallel + gather + csr + wcoj + planner + update)",
+		t.Fatalf("registry has %d experiments, want %d (one per table/figure + parallel + gather + csr + wcoj + planner + update + mem)",
 			len(bench.All()), len(wantFragments))
 	}
 	for _, e := range bench.All() {

@@ -1,0 +1,273 @@
+// The "mem" experiment measures executor-wide memory recycling (§5, memory
+// pool): query arenas over the size-classed pool, reusable f-Trees, and
+// pooled morsel scratch, ablated against the NoRecycle fresh-allocation
+// baseline. Every variant pair is cross-checked for byte-identical results
+// (including across worker counts) before anything is timed. It emits the
+// machine-readable BENCH_mem.json artifact when Config.JSONPath is set.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"ges/internal/catalog"
+	"ges/internal/driver"
+	"ges/internal/exec"
+	"ges/internal/expr"
+	"ges/internal/ldbc"
+	"ges/internal/op"
+	"ges/internal/plan"
+	"ges/internal/storage"
+)
+
+func init() {
+	register(Experiment{"mem", "Memory recycling: query arenas, reusable f-Trees, pooled morsel scratch", memExp})
+}
+
+// MemVariant is one point of the recycling ablation.
+type MemVariant struct {
+	Name      string
+	NoRecycle bool
+}
+
+// MemVariants lists the ablation pair, baseline first.
+var MemVariants = []MemVariant{
+	{Name: "no-recycle", NoRecycle: true},
+	{Name: "recycle", NoRecycle: false},
+}
+
+// Engine builds an engine with the variant's knob applied.
+func (v MemVariant) Engine(mode exec.Mode, workers int) *exec.Engine {
+	e := exec.New(mode)
+	e.Parallel = workers
+	e.NoRecycle = v.NoRecycle
+	return e
+}
+
+// MemExpandPlan is the canonical recycling workload: a fused-predicate
+// two-hop expansion over the knows graph followed by a batched external-ID
+// gather and a count aggregation. Every hot structure the arena recycles is
+// on the path — lazy expand batches and index vectors, fused-predicate morsel
+// scratch, gather staging, f-Tree nodes and selection vectors — while the
+// aggregate keeps the result tiny so the measurement is scratch traffic, not
+// result materialization.
+func MemExpandPlan(ds *ldbc.Dataset) plan.Plan {
+	h := ds.H
+	mid := int64(ds.Stats().Persons / 2)
+	return plan.Plan{
+		&op.NodeScan{Var: "p", Label: h.Person},
+		&op.Expand{From: "p", To: "f", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person},
+		&op.Expand{From: "f", To: "g", Et: h.Knows, Dir: catalog.Out, DstLabel: h.Person,
+			VertexPred: op.VertexPropPred(expr.Le(expr.C(op.ExtIDProp), expr.LInt(mid)), nil)},
+		&op.ProjectProps{Specs: []op.ProjSpec{{Var: "g", As: "g.id", ExtID: true}}},
+		&op.AggregateProjectTop{
+			Aggs:  []op.AggSpec{{Func: op.Count, As: "n"}},
+			Keys:  []op.SortKey{{Col: "n"}},
+			Limit: 1,
+		},
+	}
+}
+
+// memWorkerSweep is the worker-count grid of the byte-identity cross-check.
+var memWorkerSweep = []int{1, 2, 4, 8}
+
+// CheckMemIdentity runs the workload under every (variant, workers) pair and
+// fails if any result diverges from the sequential no-recycle reference.
+func CheckMemIdentity(ds *ldbc.Dataset, mode exec.Mode) error {
+	var want string
+	for _, v := range MemVariants {
+		for _, workers := range memWorkerSweep {
+			res, err := v.Engine(mode, workers).Run(ds.Graph, MemExpandPlan(ds))
+			if err != nil {
+				return fmt.Errorf("%s workers=%d: %w", v.Name, workers, err)
+			}
+			got := fmt.Sprint(res.Block.Names, res.Block.Rows)
+			if want == "" {
+				want = got
+			} else if got != want {
+				return fmt.Errorf("%s workers=%d: result diverges from reference: %s != %s",
+					v.Name, workers, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMemIdentityOverlay is CheckMemIdentity on a delta-overlay view: a
+// private dataset is sealed and then mutated with fresh KNOWS edges, so every
+// expansion reads through the sealed-CSR-plus-delta merge path while the
+// recycling variants are compared. Together with the base check this covers
+// both transaction views the executor serves.
+func CheckMemIdentityOverlay(sf float64, seed int64, mode exec.Mode) error {
+	ds, err := ldbc.Generate(ldbc.Config{SF: sf, Seed: seed})
+	if err != nil {
+		return err
+	}
+	ds.Graph.SealCSR()
+	// Sealed-phase writes land in the overlay delta; reuse the update
+	// experiment's absent-pair picker so every edge is genuinely new.
+	pairs := buildWriterPairs(ds, 64, seed)
+	added := 0
+	for _, p := range pairs {
+		if ds.Graph.AddEdge(ds.H.Knows, p.src, p.dst, updateProp(p.src, p.dst)) == nil {
+			added++
+		}
+	}
+	if added == 0 {
+		return fmt.Errorf("mem: overlay identity check added no edges")
+	}
+	return CheckMemIdentity(ds, mode)
+}
+
+// memVariantPoint is one measured ablation point in BENCH_mem.json.
+type memVariantPoint struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	// GC deltas across the measurement loop, normalized per operation.
+	GCPerOp      float64 `json:"gcPerOp"`
+	GCPauseNsOp  float64 `json:"gcPauseNsPerOp"`
+	PoolHitRate  float64 `json:"poolHitRate"`  // 0 for the no-recycle baseline
+	PoolGets     int64   `json:"poolGets"`     // cumulative across the loop
+	LiveBytesEnd int64   `json:"liveBytesEnd"` // checked-out slice bytes after the loop
+}
+
+// memRung is one scale factor of the ladder.
+type memRung struct {
+	SimSF    float64           `json:"simSF"`
+	Persons  int               `json:"persons"`
+	Variants []memVariantPoint `json:"variants"`
+	// AllocReduction is no-recycle allocs/op over recycle allocs/op — the
+	// headline number (acceptance floor: 5x on this workload).
+	AllocReduction float64 `json:"allocReduction"`
+	BytesReduction float64 `json:"bytesReduction"`
+}
+
+// memReport is the schema of BENCH_mem.json.
+type memReport struct {
+	Workload string    `json:"workload"`
+	Mode     string    `json:"mode"`
+	Ladder   []memRung `json:"ladder"`
+	// Classes snapshots the per-size-class pool counters of the largest
+	// rung's recycling engine.
+	Classes []storage.ClassStat `json:"classes,omitempty"`
+}
+
+// benchMemVariant measures one (dataset, variant) point: ns/op, allocs/op,
+// and GC activity across the loop, plus pool counters for recycling engines.
+func benchMemVariant(ds *ldbc.Dataset, v MemVariant, mode exec.Mode) (memVariantPoint, *storage.Pool, error) {
+	eng := v.Engine(mode, 1)
+	p0 := MemExpandPlan(ds)
+	// Warm the pool (and any lazy dataset state) outside the timer.
+	if _, err := eng.Run(ds.Graph, p0); err != nil {
+		return memVariantPoint{}, nil, err
+	}
+	var before, after runtime.MemStats
+	var benchErr error
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	iters := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(ds.Graph, p0); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+		iters += b.N
+	})
+	runtime.ReadMemStats(&after)
+	if benchErr != nil {
+		return memVariantPoint{}, nil, benchErr
+	}
+	pt := memVariantPoint{
+		Name:        v.Name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if iters > 0 {
+		pt.GCPerOp = float64(after.NumGC-before.NumGC) / float64(iters)
+		pt.GCPauseNsOp = float64(after.PauseTotalNs-before.PauseTotalNs) / float64(iters)
+	}
+	if !v.NoRecycle {
+		st := eng.Pool.DetailedStats()
+		pt.PoolHitRate = st.HitRate()
+		pt.PoolGets = st.Gets
+		pt.LiveBytesEnd = st.LiveBytes
+	}
+	return pt, eng.Pool, nil
+}
+
+func memExp(w io.Writer, cfg Config) error {
+	mode := exec.ModeFused
+	report := memReport{
+		Workload: "2-hop fused-predicate knows expansion + ext-ID gather + count",
+		Mode:     mode.String(),
+	}
+
+	var lastPool *storage.Pool
+	fmt.Fprintf(w, "memory recycling ablation (%s engine), workload: %s\n", report.Mode, report.Workload)
+	for _, sf := range cfg.SFs {
+		ds, err := driver.SharedDataset(sf)
+		if err != nil {
+			return err
+		}
+		// Byte-identity first: recycling must be invisible in results at
+		// every worker count before it is worth timing.
+		if err := CheckMemIdentity(ds, mode); err != nil {
+			return fmt.Errorf("simSF=%.4g: %w", sf, err)
+		}
+		rung := memRung{SimSF: sf, Persons: ds.Stats().Persons}
+		fmt.Fprintf(w, "--- simSF=%.4g (%d persons) ---\n", sf, rung.Persons)
+		fmt.Fprintf(w, "%-12s %12s %11s %12s %9s %12s %8s\n",
+			"variant", "ns/op", "allocs/op", "B/op", "GC/op", "pause-ns/op", "hit%")
+		var baseAllocs, baseBytes int64
+		for _, v := range MemVariants {
+			pt, pool, err := benchMemVariant(ds, v, mode)
+			if err != nil {
+				return fmt.Errorf("%s simSF=%.4g: %w", v.Name, sf, err)
+			}
+			if v.NoRecycle {
+				baseAllocs, baseBytes = pt.AllocsPerOp, pt.BytesPerOp
+			} else {
+				lastPool = pool
+				if pt.AllocsPerOp > 0 {
+					rung.AllocReduction = float64(baseAllocs) / float64(pt.AllocsPerOp)
+				}
+				if pt.BytesPerOp > 0 {
+					rung.BytesReduction = float64(baseBytes) / float64(pt.BytesPerOp)
+				}
+			}
+			rung.Variants = append(rung.Variants, pt)
+			fmt.Fprintf(w, "%-12s %12.0f %11d %12d %9.3f %12.0f %7.1f%%\n",
+				pt.Name, pt.NsPerOp, pt.AllocsPerOp, pt.BytesPerOp,
+				pt.GCPerOp, pt.GCPauseNsOp, 100*pt.PoolHitRate)
+		}
+		fmt.Fprintf(w, "alloc reduction %.1fx, bytes reduction %.1fx\n",
+			rung.AllocReduction, rung.BytesReduction)
+		report.Ladder = append(report.Ladder, rung)
+	}
+
+	if lastPool != nil {
+		report.Classes = lastPool.DetailedStats().Classes
+	}
+
+	if cfg.JSONPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", cfg.JSONPath, err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

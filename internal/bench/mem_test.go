@@ -1,0 +1,95 @@
+package bench_test
+
+import (
+	"testing"
+
+	"ges/internal/bench"
+	"ges/internal/driver"
+	"ges/internal/exec"
+)
+
+// BenchmarkMemRecycle is the CI guard for the executor recycling path: the
+// canonical fused-expand workload with arenas on. Run with -benchmem; the
+// allocs/op budget is asserted by TestMemRecycleAllocBudget below, so a
+// regression that starts allocating per row fails the suite, not just the
+// benchmark artifact.
+func BenchmarkMemRecycle(b *testing.B) {
+	ds, err := driver.SharedDataset(0.03)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := bench.MemVariants[1].Engine(exec.ModeFused, 1)
+	p := bench.MemExpandPlan(ds)
+	if _, err := eng.Run(ds.Graph, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(ds.Graph, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestMemIdentityViews is the full byte-identity sweep of the recycling
+// ablation: NoRecycle x engine mode x 1/2/4/8 workers x base and
+// delta-overlay transaction views. Run under -race in CI, it is the proof
+// that recycling is invisible in results.
+func TestMemIdentityViews(t *testing.T) {
+	ds, err := driver.SharedDataset(0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []exec.Mode{exec.ModeFlat, exec.ModeFactorized, exec.ModeFused} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			if err := bench.CheckMemIdentity(ds, mode); err != nil {
+				t.Errorf("base view: %v", err)
+			}
+			if err := bench.CheckMemIdentityOverlay(0.03, 7, mode); err != nil {
+				t.Errorf("overlay view: %v", err)
+			}
+		})
+	}
+}
+
+// TestMemRecycleAllocBudget is the soak half of the recycling acceptance: a
+// steady stream of fused-expand queries through one recycling engine must
+// (a) return byte-identical results to the fresh-allocation baseline and
+// (b) allocate at least 5x fewer times per query than it.
+func TestMemRecycleAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc soak skipped in -short")
+	}
+	ds, err := driver.SharedDataset(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.CheckMemIdentity(ds, exec.ModeFused); err != nil {
+		t.Fatal(err)
+	}
+	allocs := func(noRecycle bool) float64 {
+		v := bench.MemVariants[1]
+		if noRecycle {
+			v = bench.MemVariants[0]
+		}
+		eng := v.Engine(exec.ModeFused, 1)
+		p := bench.MemExpandPlan(ds)
+		if _, err := eng.Run(ds.Graph, p); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(50, func() {
+			if _, err := eng.Run(ds.Graph, p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := allocs(true)
+	recycled := allocs(false)
+	t.Logf("allocs/op: no-recycle %.0f, recycle %.0f (%.1fx)", base, recycled, base/recycled)
+	if recycled*5 > base {
+		t.Fatalf("recycling saves too little: no-recycle %.0f allocs/op vs recycle %.0f (want >= 5x reduction)",
+			base, recycled)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"ges/internal/vector"
 )
@@ -11,6 +12,59 @@ import (
 type ColRef struct {
 	Node int
 	Col  int
+}
+
+// proj pairs a projected column with its slot in the enumeration row buffer.
+type proj struct {
+	col    *vector.Column
+	bufPos int
+}
+
+// enumScratch is the reusable per-call state of EnumerateRange: the
+// per-node projection plan, one backing array split into the parent-index /
+// cursor / end stacks, and the row buffer handed to the callback.
+type enumScratch struct {
+	projs [][]proj
+	idx   []int
+	buf   []vector.Value
+}
+
+var enumPool = sync.Pool{New: func() any { return new(enumScratch) }}
+
+// grow sizes the scratch for an n-node tree projecting cols attributes and
+// returns the individual views, full-length-capped so appends cannot bleed
+// between the three stacks.
+func (sc *enumScratch) grow(n, cols int) (projs [][]proj, parentIdx, cur, end []int, buf []vector.Value) {
+	if cap(sc.projs) < n {
+		sc.projs = make([][]proj, n)
+	}
+	projs = sc.projs[:n]
+	for i := range projs {
+		projs[i] = projs[i][:0]
+	}
+	if cap(sc.idx) < 3*n {
+		sc.idx = make([]int, 3*n)
+	}
+	idx := sc.idx[:3*n]
+	clear(idx)
+	parentIdx, cur, end = idx[:n:n], idx[n:2*n:2*n], idx[2*n:]
+	if cap(sc.buf) < cols {
+		sc.buf = make([]vector.Value, cols)
+	}
+	buf = sc.buf[:cols]
+	return
+}
+
+// release drops every column and value reference the scratch picked up — so
+// a pooled scratch never pins graph or intermediate memory — and returns it
+// to the pool.
+func (sc *enumScratch) release() {
+	for i := range sc.projs {
+		clear(sc.projs[i])
+		sc.projs[i] = sc.projs[i][:0]
+	}
+	clear(sc.buf[:cap(sc.buf)])
+	enumPool.Put(sc)
 }
 
 // Resolve maps attribute names to ColRefs, failing on unknown names.
@@ -53,23 +107,21 @@ func (t *FTree) EnumerateRange(refs []ColRef, lo, hi int, fn func(row []vector.V
 	if n == 0 || t.Root.Block.NumRows() == 0 || lo >= hi {
 		return
 	}
-	// Per-node projected columns, grouped for cheap buffer filling.
-	type proj struct {
-		col    *vector.Column
-		bufPos int
-	}
-	projs := make([][]proj, n)
+	// The walk's per-call scratch (cursor stacks, projection plan, row
+	// buffer) cycles through a package pool so steady-state enumeration —
+	// one call per aggregate or de-factor morsel — allocates nothing. The
+	// pool (not the tree) carries the scratch because parallel de-factoring
+	// enumerates disjoint ranges of one tree concurrently.
+	sc := enumPool.Get().(*enumScratch)
+	defer sc.release()
+	projs, parentIdx, cur, end, buf := sc.grow(n, len(refs))
 	for pos, r := range refs {
 		projs[r.Node] = append(projs[r.Node], proj{col: t.nodes[r.Node].Block.Column(r.Col), bufPos: pos})
 	}
-	parentIdx := make([]int, n)
+	sc.projs = projs // retain any inner-slice growth for reuse
 	for i := 1; i < n; i++ {
 		parentIdx[i] = t.nodes[i].Parent.id
 	}
-
-	buf := make([]vector.Value, len(refs))
-	cur := make([]int, n)
-	end := make([]int, n)
 
 	cur[0], end[0] = lo, hi
 	d := 0

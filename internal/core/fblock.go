@@ -108,6 +108,21 @@ func (b *FBlock) Reset() {
 	}
 }
 
+// Reinit re-points a recycled block at a new column set, retaining the
+// column-pointer slice's capacity (§5, memory pool). The cols argument is
+// copied, not retained, so variadic callers keep their argument on the stack.
+func (b *FBlock) Reinit(cols []*vector.Column) {
+	b.cols = append(b.cols[:0], cols...)
+	b.mustAligned()
+}
+
+// Drop clears the block's column references (releasing them for collection or
+// reuse) and truncates it, readying the block for pooling.
+func (b *FBlock) Drop() {
+	clear(b.cols)
+	b.cols = b.cols[:0]
+}
+
 // MemBytes returns the accounted intermediate-result memory of the block.
 func (b *FBlock) MemBytes() int {
 	n := 48

@@ -55,6 +55,12 @@ func (n *Node) ChildRange(i int) Range {
 type FTree struct {
 	Root  *Node
 	nodes []*Node
+
+	// spare holds Node structs retired by Reset; AddChild reuses them —
+	// including their selection-vector word capacity — so a recycled tree
+	// regrows without re-allocating per-node state (§5, pre-allocated
+	// reusable f-Trees).
+	spare []*Node
 }
 
 // NewFTree creates a tree whose root holds the given block; all root rows
@@ -73,16 +79,47 @@ func (t *FTree) AddChild(parent *Node, block *FBlock, index []Range) *Node {
 		panic(fmt.Sprintf("core: index vector length %d != parent cardinality %d",
 			len(index), parent.Block.NumRows()))
 	}
-	n := &Node{
-		Block:  block,
-		Sel:    vector.NewBitset(block.NumRows()),
-		Parent: parent,
-		Index:  index,
-		id:     len(t.nodes),
+	var n *Node
+	if k := len(t.spare); k > 0 {
+		n = t.spare[k-1]
+		t.spare[k-1] = nil
+		t.spare = t.spare[:k-1]
+		n.Sel.Reinit(block.NumRows(), true)
+		n.Block, n.Parent, n.Index = block, parent, index
+	} else {
+		n = &Node{
+			Block:  block,
+			Sel:    vector.NewBitset(block.NumRows()),
+			Parent: parent,
+			Index:  index,
+		}
 	}
+	n.id = len(t.nodes)
 	parent.Children = append(parent.Children, n)
 	t.nodes = append(t.nodes, n)
 	return n
+}
+
+// Reset re-roots the tree over rootBlock, retiring every non-root node into
+// the spare list for AddChild to reuse. Block and index-vector references are
+// dropped (their memory belongs to the query arena, not the tree); selection
+// bitsets stay attached to the retired nodes so their word storage is
+// recycled. A root-only tree over rootBlock with all rows valid remains —
+// the state NewFTree would produce, minus the allocations.
+func (t *FTree) Reset(rootBlock *FBlock) {
+	for _, n := range t.nodes[1:] {
+		n.Block, n.Parent, n.Index = nil, nil, nil
+		n.Children = n.Children[:0]
+		t.spare = append(t.spare, n)
+	}
+	clear(t.nodes[1:])
+	t.nodes = t.nodes[:1]
+	root := t.nodes[0]
+	root.Block = rootBlock
+	root.Children = root.Children[:0]
+	root.Index = nil
+	root.Sel.Reinit(rootBlock.NumRows(), true)
+	t.Root = root
 }
 
 // Nodes returns the preorder node registry (parents precede children).

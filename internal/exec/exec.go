@@ -103,6 +103,11 @@ type Engine struct {
 	// per-side ExpandInto) instead of the worst-case-optimal k-way
 	// intersection — the WCOJ ablation knob. Results are identical.
 	NoWCOJ bool
+	// NoRecycle disables executor memory recycling: Run still brackets the
+	// query with an arena, but every scratch request falls through to plain
+	// allocation and nothing returns to the pool — the §5 memory-pool
+	// ablation knob. Results are byte-identical either way.
+	NoRecycle bool
 	// NoCost makes the cypher binder emit today's syntactic plan instead
 	// of consulting the statistics-driven cost model — the planner
 	// ablation knob. Plans differ in shape but results are identical. The
@@ -129,7 +134,15 @@ func (e *Engine) Run(view storage.View, p plan.Plan) (*Result, error) {
 	if e.Mode == ModeFused {
 		p = plan.Fuse(p)
 	}
-	ctx := &op.Ctx{View: view, Pool: e.Pool, MaxRows: e.MaxRows, Parallel: e.Parallel, Sched: e.Sched,
+	// The arena brackets plan execution: operators draw all scratch from
+	// it, and once the result is flattened into row values (which alias no
+	// arena memory) everything goes back to the engine's shared pool in one
+	// wholesale release — even on error paths. The arena struct itself is
+	// recycled too, so its ownership-tracking slices keep their capacity
+	// across queries.
+	arena := e.Pool.GetArena(e.NoRecycle)
+	defer e.Pool.PutArena(arena)
+	ctx := &op.Ctx{View: view, Pool: e.Pool, Arena: arena, MaxRows: e.MaxRows, Parallel: e.Parallel, Sched: e.Sched,
 		NoGather: e.NoGather, NoDictCmp: e.NoDictCmp, NoZoneMap: e.NoZoneMap,
 		NoCSR: e.NoCSR, NoIntersect: e.NoIntersect, NoWCOJ: e.NoWCOJ}
 	start := time.Now()
@@ -153,7 +166,7 @@ func (e *Engine) Run(view storage.View, p plan.Plan) (*Result, error) {
 			if ferr != nil {
 				return nil, fmt.Errorf("exec: %s (op %d): %w", o.Name(), i, ferr)
 			}
-			ch = &core.Chunk{Flat: fb}
+			ch = ctx.FlatChunk(fb)
 		}
 		ctx.Observe(ch)
 		// Debug builds (-tags gesassert) re-verify the factorized
@@ -178,7 +191,7 @@ func (e *Engine) Run(view storage.View, p plan.Plan) (*Result, error) {
 		if ferr != nil {
 			return nil, ferr
 		}
-		ch = &core.Chunk{Flat: fb}
+		ch = ctx.FlatChunk(fb)
 		ctx.Observe(ch)
 	}
 	res.Block = ch.Flat

@@ -12,13 +12,14 @@ import (
 //   - file scope: anywhere in the file (scalar-ok, selwrite-ok,
 //     statswrite-ok);
 //   - line scope: on, or on the line directly above, the statement it
-//     waives (scalar-ok for Neighbors, go-ok, alloc-ok, retain-ok, err-ok);
+//     waives (scalar-ok for Neighbors, go-ok, alloc-ok, retain-ok, err-ok,
+//     leak-ok);
 //   - declaration scope: inside the doc comment of (or on the line directly
 //     above) a func, type, or struct field (kernel, seal, snapshot-owner,
 //     atomicptr), or in the declaration's same-line comment.
 //
 // Opt-outs that silence an interprocedural rule must say why: alloc-ok,
-// retain-ok, err-ok, seal, and snapshot-owner require a non-empty
+// retain-ok, err-ok, leak-ok, seal, and snapshot-owner require a non-empty
 // justification argument, enforced by checkJustifications. A bare directive
 // is inert (the site it would waive is still reported) and is itself a
 // finding, so an opt-out can never silently rot into a blanket exemption.
@@ -33,6 +34,7 @@ var needsReason = map[string]string{
 	"snapshot-owner": "R8",
 	"seal":           "R9",
 	"err-ok":         "R10",
+	"leak-ok":        "R11",
 }
 
 // fileDirectives collects the file-scope geslint directives of a file.

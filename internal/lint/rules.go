@@ -8,7 +8,7 @@ import (
 	"strings"
 )
 
-// The ten invariant rules geslint enforces over the engine:
+// The eleven invariant rules geslint enforces over the engine:
 //
 //	R1  no scalar storage reads in internal/op. View.Prop / View.ExtID must
 //	    go through the vectorized gather path; files implementing the
@@ -57,6 +57,14 @@ import (
 //	R10 errors returned by module-internal functions are never silently
 //	    discarded — neither by a bare call statement nor a blank assign —
 //	    outside lines annotated //geslint:err-ok <why>.
+//	R11 transient pooled buffers follow the acquire/release discipline:
+//	    outside internal/storage, every storage Arena/Pool Get* call must be
+//	    discharged by the acquiring function — a matching Put* (found through
+//	    the local alias taint), or an ownership hand-off (returned, stored
+//	    into a container, sent on a channel, or passed to a callee that
+//	    transitively releases or retains it, closed over the discharge and
+//	    retention summaries). //geslint:leak-ok <why> waives a line. Arena
+//	    Own* calls are exempt: Release returns them wholesale.
 
 // selWriters are the internal/op files sanctioned by name to write selection
 // vectors (R3): the Filter operator, and ExpandInto, whose intersection
@@ -158,6 +166,7 @@ func (a *Analysis) Run() []Diag {
 	a.checkKernels()
 	a.checkSnapshotLifetime()
 	a.checkErrDiscards()
+	a.checkPoolDiscipline()
 	sortDiags(a.diags)
 	return a.diags
 }

@@ -31,3 +31,33 @@ func (b *Batch) Run(i int) []vector.VID { return b.Runs[i].VIDs }
 
 // Stats returns the published statistics snapshot (R8 call-typed source).
 func Stats() *stats.Snapshot { return nil }
+
+// Pool is the size-classed buffer pool stub (R11 acquire/release surface).
+type Pool struct{}
+
+// GetVIDs acquires a transient VID buffer (R11 obligation).
+func (p *Pool) GetVIDs(n int) []vector.VID { return make([]vector.VID, 0, n) }
+
+// PutVIDs releases a transient VID buffer (R11 discharge).
+func (p *Pool) PutVIDs(buf []vector.VID) {}
+
+// GetArena acquires a query arena (R11 obligation).
+func (p *Pool) GetArena(noRecycle bool) *Arena { return &Arena{} }
+
+// PutArena releases a query arena wholesale (R11 discharge).
+func (p *Pool) PutArena(a *Arena) {}
+
+// Arena brackets one query's transient buffers over the shared pool.
+type Arena struct{}
+
+// GetVIDs acquires a transient VID buffer (R11 obligation).
+func (a *Arena) GetVIDs(n int) []vector.VID { return make([]vector.VID, 0, n) }
+
+// PutVIDs releases a transient VID buffer (R11 discharge).
+func (a *Arena) PutVIDs(buf []vector.VID) {}
+
+// GetVals acquires a transient value buffer (R11 obligation).
+func (a *Arena) GetVals(n int) []vector.Value { return make([]vector.Value, 0, n) }
+
+// PutVals releases a transient value buffer (R11 discharge).
+func (a *Arena) PutVals(buf []vector.Value) {}

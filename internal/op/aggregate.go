@@ -54,12 +54,12 @@ func (o *Aggregate) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx.Observe(&core.Chunk{Flat: fb})
+	ctx.Observe(ctx.FlatChunk(fb))
 	out, err := hashAggregate(fb, o.GroupBy, o.Aggs)
 	if err != nil {
 		return nil, err
 	}
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 // aggState accumulates one group.

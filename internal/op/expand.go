@@ -95,24 +95,30 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 	}
 	lazyOK := !o.NoLazy && len(o.EdgeProps) == 0 && o.VertexPred == nil && o.EdgePropPred == nil
 
-	index := make([]core.Range, parent.Block.NumRows())
+	// The index vector lands in the new f-Tree node, so it is query-lifetime
+	// arena memory, released wholesale when the engine ends the query.
+	index := ctx.Arena.OwnRanges(parent.Block.NumRows())
 	var segBuf []storage.Segment
 
 	if lazyOK {
 		if ctx.Parallel > 1 && parent.Block.NumRows() >= parallelMinRows {
 			toCol, pidx := parallelLazyExpand(ctx, o.To, parent, fromCol, o.Et, o.Dir, o.DstLabel)
-			ft.AddChild(parent, core.NewFBlock(toCol), pidx)
+			ft.AddChild(parent, ctx.NewFBlock(toCol), pidx)
 			assertFTree(ft)
-			return &core.Chunk{FT: ft}, nil
+			return ctx.FTChunk(ft), nil
 		}
-		toCol := vector.NewLazyVIDColumn(o.To)
+		toCol := ctx.Arena.OwnLazyVIDColumn(o.To)
 		if !ctx.NoCSR {
 			// Batched kernel: one NeighborsBatch call resolves every parent
 			// row (prefix-sum lookups on a sealed CSR, no per-row family
 			// map probes); each non-empty run appends as one lazy segment.
-			var b storage.Batch
-			ctx.View.NeighborsBatch(expandSrcs(parent, fromCol, 0, parent.Block.NumRows()),
-				o.Et, o.Dir, o.DstLabel, false, &b)
+			// The lazy column retains run sub-slices of the batch, so the
+			// batch is query-lifetime (OwnBatch), not morsel scratch.
+			b := ctx.Arena.OwnBatch()
+			srcs := expandSrcs(parent, fromCol, 0, parent.Block.NumRows(),
+				ctx.Arena.GetVIDs(parent.Block.NumRows()))
+			ctx.View.NeighborsBatch(srcs, o.Et, o.Dir, o.DstLabel, false, b)
+			ctx.Arena.PutVIDs(srcs)
 			total := 0
 			for i, r := range b.Runs {
 				start := total
@@ -121,9 +127,9 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 				}
 				index[i] = core.Range{Start: int32(start), End: int32(total)}
 			}
-			ft.AddChild(parent, core.NewFBlock(toCol), index)
+			ft.AddChild(parent, ctx.NewFBlock(toCol), index)
 			assertFTree(ft)
-			return &core.Chunk{FT: ft}, nil
+			return ctx.FTChunk(ft), nil
 		}
 		// NoCSR reference path: scalar per-source lookups, byte-identical
 		// to the batched kernel.
@@ -146,9 +152,9 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 				index[i] = core.Range{Start: int32(start), End: int32(total)}
 			}
 		}
-		ft.AddChild(parent, core.NewFBlock(toCol), index)
+		ft.AddChild(parent, ctx.NewFBlock(toCol), index)
 		assertFTree(ft)
-		return &core.Chunk{FT: ft}, nil
+		return ctx.FTChunk(ft), nil
 	}
 
 	// Materializing path: edge properties or fused predicates requested.
@@ -156,33 +162,34 @@ func (o *Expand) executeFactorized(ctx *Ctx, ft *core.FTree, epp edgePropPlan) (
 		block, pidx := parallelMaterialExpand(ctx, o, parent, fromCol, epp)
 		ft.AddChild(parent, block, pidx)
 		assertFTree(ft)
-		return &core.Chunk{FT: ft}, nil
+		return ctx.FTChunk(ft), nil
 	}
-	toCol := vector.NewColumn(o.To, vector.KindVID)
+	toCol := ctx.Arena.OwnColumn(o.To, vector.KindVID)
 	propCols := make([]*vector.Column, len(o.EdgeProps))
 	for i, ep := range o.EdgeProps {
-		propCols[i] = vector.NewColumn(ep.As, epp.kind[i])
+		propCols[i] = ctx.Arena.OwnColumn(ep.As, epp.kind[i])
 	}
 	index = o.expandRows(ctx, o.VertexPred, parent, fromCol, epp, 0, parent.Block.NumRows(), toCol, propCols, index[:0])
-	block := core.NewFBlock(toCol)
+	block := ctx.NewFBlock(toCol)
 	for _, pc := range propCols {
 		block.AddColumn(pc)
 	}
 	ft.AddChild(parent, block, index)
 	assertFTree(ft)
-	return &core.Chunk{FT: ft}, nil
+	return ctx.FTChunk(ft), nil
 }
 
-// expandSrcs builds a batched neighbor request for parent rows [lo,hi):
-// the From VID per valid row, NilVID (an empty run) for invalid rows, so
-// the returned runs stay aligned with the row range.
-func expandSrcs(parent *core.Node, fromCol *vector.Column, lo, hi int) []vector.VID {
-	srcs := make([]vector.VID, hi-lo)
+// expandSrcs builds a batched neighbor request for parent rows [lo,hi) into
+// buf (typically pooled VID scratch; the caller releases it after the batch
+// call returns): the From VID per valid row, NilVID (an empty run) for
+// invalid rows, so the returned runs stay aligned with the row range.
+func expandSrcs(parent *core.Node, fromCol *vector.Column, lo, hi int, buf []vector.VID) []vector.VID {
+	srcs := buf[:0]
 	for i := lo; i < hi; i++ {
 		if parent.Valid(i) {
-			srcs[i-lo] = fromCol.VIDAt(i)
+			srcs = append(srcs, fromCol.VIDAt(i))
 		} else {
-			srcs[i-lo] = vector.NilVID
+			srcs = append(srcs, vector.NilVID)
 		}
 	}
 	return srcs
@@ -201,13 +208,22 @@ func expandSrcs(parent *core.Node, fromCol *vector.Column, lo, hi int) []vector.
 func (o *Expand) expandRows(ctx *Ctx, pred VertexPred, parent *core.Node, fromCol *vector.Column,
 	epp edgePropPlan, lo, hi int, toCol *vector.Column, propCols []*vector.Column, index []core.Range) []core.Range {
 
-	propVals := make([]vector.Value, len(o.EdgeProps))
 	withProps := len(o.EdgeProps) > 0
+	var propVals []vector.Value
+	if withProps {
+		propVals = ctx.Arena.GetVals(len(o.EdgeProps))
+		defer ctx.Arena.PutVals(propVals)
+	}
 	total := toCol.Len()
 
 	if !ctx.NoCSR {
-		var b storage.Batch
-		ctx.View.NeighborsBatch(expandSrcs(parent, fromCol, lo, hi), o.Et, o.Dir, o.DstLabel, withProps, &b)
+		// Materializing path: every value is copied out of the batch before
+		// this call returns, so the batch is transient scratch.
+		b := ctx.Arena.GetBatch()
+		defer ctx.Arena.PutBatch(b)
+		srcs := expandSrcs(parent, fromCol, lo, hi, ctx.Arena.GetVIDs(hi-lo))
+		ctx.View.NeighborsBatch(srcs, o.Et, o.Dir, o.DstLabel, withProps, b)
+		ctx.Arena.PutVIDs(srcs)
 		for ri := range b.Runs {
 			start := total
 			r := b.Runs[ri]
@@ -228,7 +244,7 @@ func (o *Expand) expandRows(ctx *Ctx, pred VertexPred, parent *core.Node, fromCo
 					}
 				}
 				for p := range o.EdgeProps {
-					propVals[p] = batchPropValue(&b, epp, p, int(r.Start)+k)
+					propVals[p] = batchPropValue(b, epp, p, int(r.Start)+k)
 				}
 				if o.EdgePropPred != nil && !o.EdgePropPred(propVals) {
 					continue
@@ -336,7 +352,7 @@ func (o *Expand) executeFlat(ctx *Ctx, in *core.FlatBlock, epp edgePropPlan) (*c
 		if err != nil {
 			return nil, err
 		}
-		return &core.Chunk{Flat: fb}, nil
+		return ctx.FlatChunk(fb), nil
 	}
 	out := core.NewFlatBlock(names, kinds)
 	if err := o.expandFlatRows(ctx, o.VertexPred, in, fromIdx, epp, 0, len(in.Rows), names, out); err != nil {
@@ -345,7 +361,7 @@ func (o *Expand) executeFlat(ctx *Ctx, in *core.FlatBlock, epp edgePropPlan) (*c
 	if ctx.MaxRows > 0 && out.NumRows() > ctx.MaxRows {
 		return nil, errRowLimit("flat expand", out.NumRows(), ctx.MaxRows)
 	}
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 // expandFlatRows expands input rows [lo,hi) into out — the single flat-path
@@ -356,8 +372,14 @@ func (o *Expand) expandFlatRows(ctx *Ctx, pred VertexPred, in *core.FlatBlock, f
 	epp edgePropPlan, lo, hi int, names []string, out *core.FlatBlock) error {
 
 	withProps := len(o.EdgeProps) > 0
-	propVals := make([]vector.Value, len(o.EdgeProps))
+	var propVals []vector.Value
+	if withProps {
+		propVals = ctx.Arena.GetVals(len(o.EdgeProps))
+		defer ctx.Arena.PutVals(propVals)
+	}
 	emit := func(row []vector.Value, v vector.VID) {
+		// The output row escapes into the result block, so it is never
+		// pooled.
 		nr := make([]vector.Value, 0, len(names))
 		nr = append(nr, row...)
 		nr = append(nr, vector.VIDValue(v))
@@ -366,12 +388,14 @@ func (o *Expand) expandFlatRows(ctx *Ctx, pred VertexPred, in *core.FlatBlock, f
 	}
 
 	if !ctx.NoCSR {
-		srcs := make([]vector.VID, hi-lo)
+		srcs := ctx.Arena.GetVIDs(hi - lo)
 		for i := lo; i < hi; i++ {
-			srcs[i-lo] = in.Rows[i][fromIdx].AsVID()
+			srcs = append(srcs, in.Rows[i][fromIdx].AsVID())
 		}
-		var b storage.Batch
-		ctx.View.NeighborsBatch(srcs, o.Et, o.Dir, o.DstLabel, withProps, &b)
+		b := ctx.Arena.GetBatch()
+		defer ctx.Arena.PutBatch(b)
+		ctx.View.NeighborsBatch(srcs, o.Et, o.Dir, o.DstLabel, withProps, b)
+		ctx.Arena.PutVIDs(srcs)
 		for ri := range b.Runs {
 			row := in.Rows[lo+ri]
 			r := b.Runs[ri]
@@ -388,7 +412,7 @@ func (o *Expand) expandFlatRows(ctx *Ctx, pred VertexPred, in *core.FlatBlock, f
 					}
 				}
 				for p := range o.EdgeProps {
-					propVals[p] = batchPropValue(&b, epp, p, int(r.Start)+k)
+					propVals[p] = batchPropValue(b, epp, p, int(r.Start)+k)
 				}
 				if o.EdgePropPred != nil && !o.EdgePropPred(propVals) {
 					continue

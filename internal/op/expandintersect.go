@@ -100,21 +100,22 @@ func (o *ExpandIntersect) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error)
 	n := deep.Block.NumRows()
 	if ctx.Parallel > 1 && n >= parallelMinRows {
 		toCol, index := o.parallelIntersect(ctx, deep, cols, owners)
-		ft.AddChild(deep, core.NewFBlock(toCol), index)
+		ft.AddChild(deep, ctx.NewFBlock(toCol), index)
 		assertFTree(ft)
-		return &core.Chunk{FT: ft}, nil
+		return ctx.FTChunk(ft), nil
 	}
-	toCol := vector.NewColumn(o.To, vector.KindVID)
-	index := o.intersectRows(ctx, deep, cols, owners, 0, n, toCol, make([]core.Range, 0, n))
-	ft.AddChild(deep, core.NewFBlock(toCol), index)
+	toCol := ctx.Arena.OwnColumn(o.To, vector.KindVID)
+	index := o.intersectRows(ctx, deep, cols, owners, 0, n, toCol, ctx.Arena.OwnRanges(n)[:0])
+	ft.AddChild(deep, ctx.NewFBlock(toCol), index)
 	assertFTree(ft)
-	return &core.Chunk{FT: ft}, nil
+	return ctx.FTChunk(ft), nil
 }
 
-// sideSrcs builds side si's source column for deep rows [lo,hi): the side
-// vertex of each valid row, NilVID (an empty run) otherwise.
-func sideSrcs(deep *core.Node, col *vector.Column, owner []int32, lo, hi int) []vector.VID {
-	srcs := make([]vector.VID, hi-lo)
+// sideSrcs builds side si's source column for deep rows [lo,hi) in buf
+// (capacity at least hi-lo, typically arena scratch): the side vertex of
+// each valid row, NilVID (an empty run) otherwise.
+func sideSrcs(deep *core.Node, col *vector.Column, owner []int32, lo, hi int, buf []vector.VID) []vector.VID {
+	srcs := buf[:hi-lo]
 	for i := lo; i < hi; i++ {
 		if deep.Valid(i) {
 			srcs[i-lo] = col.VIDAt(int(owner[i]))
@@ -144,13 +145,25 @@ func fillSide(ctx *Ctx, s IntersectSide, srcs []vector.VID, out *storage.Batch) 
 func (o *ExpandIntersect) intersectRows(ctx *Ctx, deep *core.Node, cols []*vector.Column,
 	owners [][]int32, lo, hi int, toCol *vector.Column, index []core.Range) []core.Range {
 
-	base := new(storage.Batch)
-	fillSide(ctx, o.Sides[0], sideSrcs(deep, cols[0], owners[0], lo, hi), base)
+	// Side batches and source buffers are morsel-transient: the survivors are
+	// copied into toCol before this call returns, so everything cycles back
+	// through the arena here.
+	base := ctx.Arena.GetBatch()
+	defer ctx.Arena.PutBatch(base)
+	srcs0 := sideSrcs(deep, cols[0], owners[0], lo, hi, ctx.Arena.GetVIDs(hi-lo))
+	defer ctx.Arena.PutVIDs(srcs0)
+	fillSide(ctx, o.Sides[0], srcs0, base)
 	probes := make([]*storage.Batch, len(o.Sides)-1)
 	probeSrcs := make([][]vector.VID, len(o.Sides)-1)
+	defer func() {
+		for p := range probes {
+			ctx.Arena.PutBatch(probes[p])
+			ctx.Arena.PutVIDs(probeSrcs[p])
+		}
+	}()
 	for p := range probes {
-		probeSrcs[p] = sideSrcs(deep, cols[p+1], owners[p+1], lo, hi)
-		probes[p] = new(storage.Batch)
+		probeSrcs[p] = sideSrcs(deep, cols[p+1], owners[p+1], lo, hi, ctx.Arena.GetVIDs(hi-lo))
+		probes[p] = ctx.Arena.GetBatch()
 		fillSide(ctx, o.Sides[p+1], probeSrcs[p], probes[p])
 	}
 	var x storage.Intersector
@@ -190,13 +203,13 @@ func (o *ExpandIntersect) parallelIntersect(ctx *Ctx, deep *core.Node, cols []*v
 	shards := make([]matShard, sched.NumMorsels(n, expandMorselSize))
 	ctx.RunMorsels(n, expandMorselSize, func(m sched.Morsel) {
 		sh := &shards[m.Index]
-		sh.toCol = vector.NewColumn(o.To, vector.KindVID)
+		sh.toCol = ctx.Arena.OwnColumn(o.To, vector.KindVID)
 		sh.index = o.intersectRows(ctx, deep, cols, owners, m.Start, m.End,
-			sh.toCol, make([]core.Range, 0, m.End-m.Start))
+			sh.toCol, ctx.Arena.GetRanges(m.End-m.Start))
 	})
 
-	toCol := vector.NewColumn(o.To, vector.KindVID)
-	index := make([]core.Range, 0, n)
+	toCol := ctx.Arena.OwnColumn(o.To, vector.KindVID)
+	index := ctx.Arena.OwnRanges(n)[:0]
 	offset := int32(0)
 	for si := range shards {
 		sh := &shards[si]
@@ -205,6 +218,8 @@ func (o *ExpandIntersect) parallelIntersect(ctx *Ctx, deep *core.Node, cols []*v
 			index = append(index, core.Range{Start: rg.Start + offset, End: rg.End + offset})
 		}
 		offset += int32(sh.toCol.Len())
+		ctx.Arena.PutRanges(sh.index)
+		sh.index = nil
 	}
 	return toCol, index
 }
@@ -223,20 +238,29 @@ func (o *ExpandIntersect) executeFlat(ctx *Ctx, in *core.FlatBlock) (*core.Chunk
 	kinds := append(append([]vector.Kind(nil), in.Kinds...), vector.KindVID)
 
 	emitRows := func(lo, hi int, out *core.FlatBlock) {
-		base := new(storage.Batch)
+		base := ctx.Arena.GetBatch()
+		defer ctx.Arena.PutBatch(base)
 		probes := make([]*storage.Batch, len(o.Sides)-1)
 		probeSrcs := make([][]vector.VID, len(o.Sides)-1)
 		srcsOf := func(si int) []vector.VID {
-			srcs := make([]vector.VID, hi-lo)
+			srcs := ctx.Arena.GetVIDs(hi - lo)[:hi-lo]
 			for i := lo; i < hi; i++ {
 				srcs[i-lo] = in.Rows[i][idxs[si]].AsVID()
 			}
 			return srcs
 		}
-		fillSide(ctx, o.Sides[0], srcsOf(0), base)
+		srcs0 := srcsOf(0)
+		defer ctx.Arena.PutVIDs(srcs0)
+		fillSide(ctx, o.Sides[0], srcs0, base)
+		defer func() {
+			for p := range probes {
+				ctx.Arena.PutBatch(probes[p])
+				ctx.Arena.PutVIDs(probeSrcs[p])
+			}
+		}()
 		for p := range probes {
 			probeSrcs[p] = srcsOf(p + 1)
-			probes[p] = new(storage.Batch)
+			probes[p] = ctx.Arena.GetBatch()
 			fillSide(ctx, o.Sides[p+1], probeSrcs[p], probes[p])
 		}
 		var x storage.Intersector
@@ -271,7 +295,7 @@ func (o *ExpandIntersect) executeFlat(ctx *Ctx, in *core.FlatBlock) (*core.Chunk
 	if ctx.MaxRows > 0 && out.NumRows() > ctx.MaxRows {
 		return nil, errRowLimit("flat expand-intersect", out.NumRows(), ctx.MaxRows)
 	}
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 // executeReference runs the de-fused classical plan — Expand along side 0,

@@ -114,7 +114,7 @@ func (o *ExpandInto) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 	}
 	ft.PruneUp(deep)
 	assertFTree(ft)
-	return &core.Chunk{FT: ft}, nil
+	return ctx.FTChunk(ft), nil
 }
 
 // executeFlat filters materialized rows by closing-edge existence.
@@ -135,7 +135,7 @@ func (o *ExpandInto) executeFlat(ctx *Ctx, in *core.FlatBlock) (*core.Chunk, err
 			out.AppendOwned(row)
 		}
 	}
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 // ancestorOf reports whether a is d or an ancestor of d.

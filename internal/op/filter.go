@@ -43,7 +43,7 @@ func (o *Filter) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		if err != nil {
 			return nil, err
 		}
-		in = &core.Chunk{Flat: fb}
+		in = ctx.FlatChunk(fb)
 	}
 	get, err := expr.BindFlat(o.Pred, in.Flat)
 	if err != nil {
@@ -68,14 +68,14 @@ func (o *Filter) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		for _, sh := range shards {
 			out.Rows = append(out.Rows, sh...)
 		}
-		return &core.Chunk{Flat: out}, nil
+		return ctx.FlatChunk(out), nil
 	}
 	for i, row := range rows {
 		if get(i).AsBool() {
 			out.AppendOwned(row)
 		}
 	}
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 // applySelFilter clears the selection bit of every selected row failing the
@@ -121,13 +121,13 @@ func (o *Defactor) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &core.Chunk{Flat: fb}, nil
+		return ctx.FlatChunk(fb), nil
 	}
 	fb, err := DefactorNames(ctx, in.FT, o.Cols)
 	if err != nil {
 		return nil, err
 	}
-	return &core.Chunk{Flat: fb}, nil
+	return ctx.FlatChunk(fb), nil
 }
 
 // vectorizedFilter is the §5 vectorization fast path: single-column

@@ -5,7 +5,6 @@ import (
 
 	"ges/internal/catalog"
 	"ges/internal/core"
-	"ges/internal/storage"
 	"ges/internal/vector"
 )
 
@@ -39,11 +38,15 @@ func (o *SeekExpand) Name() string { return "SeekExpand(fused)" }
 
 // Execute implements Operator.
 func (o *SeekExpand) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
-	col := vector.NewLazyVIDColumn(o.To)
+	col := ctx.Arena.OwnLazyVIDColumn(o.To)
 	if src, ok := ctx.View.VertexByExt(o.Label, o.ExtID); ok {
 		if !ctx.NoCSR {
-			var b storage.Batch
-			ctx.View.NeighborsBatch([]vector.VID{src}, o.Et, o.Dir, o.DstLabel, false, &b)
+			// The lazy column retains a view of the batch's VID run, so the
+			// batch is query-lifetime (Own scope), not morsel scratch.
+			b := ctx.Arena.OwnBatch()
+			srcs := append(ctx.Arena.GetVIDs(1), src)
+			ctx.View.NeighborsBatch(srcs, o.Et, o.Dir, o.DstLabel, false, b)
+			ctx.Arena.PutVIDs(srcs)
 			if run := b.Run(0); len(run) > 0 {
 				col.AppendSegment(run)
 			}
@@ -54,7 +57,7 @@ func (o *SeekExpand) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 			}
 		}
 	}
-	return &core.Chunk{FT: core.NewFTree(core.NewFBlock(col))}, nil
+	return ctx.FTChunk(ctx.NewFTree(col)), nil
 }
 
 // AggregateProjectTop is the paper's flagship fusion: Aggregate → Project →
@@ -95,7 +98,7 @@ func (o *AggregateProjectTop) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, er
 		return nil, err
 	}
 	if len(o.Keys) == 0 {
-		return &core.Chunk{Flat: grouped}, nil
+		return ctx.FlatChunk(grouped), nil
 	}
 	keyIdx, err := keyIndices(grouped.Names, o.Keys)
 	if err != nil {
@@ -127,7 +130,7 @@ func (o *AggregateProjectTop) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, er
 			return rowLess(out.Rows[a], out.Rows[b], keyIdx)
 		})
 	}
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 // factorizedAggregate aggregates a tree without materializing it.

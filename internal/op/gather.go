@@ -28,14 +28,23 @@ func materializedVIDs(col *vector.Column, buf []vector.VID) []vector.VID {
 // newGatherOutput returns the output column shape for a batch gather over
 // the given defining labels: single-label string properties share the
 // storage dictionary so the gather moves 4-byte codes; everything else is a
-// plain typed column.
-func (g *propGetter) newGatherOutput(ctx *Ctx, as string, labels []labelPid) *vector.Column {
+// plain typed column. own draws the column from the query arena —
+// Projection's f-Block-bound outputs use that — while predicate scratch
+// passes own=false because cached plans keep their batch columns (and the
+// compiled getters bound to them) alive across queries, beyond any arena.
+func (g *propGetter) newGatherOutput(ctx *Ctx, as string, labels []labelPid, own bool) *vector.Column {
 	if g.kind == vector.KindString && len(labels) == 1 {
 		if dp, ok := ctx.View.(storage.DictProvider); ok {
 			if d := dp.PropDict(labels[0].label, labels[0].pid); d != nil {
+				if own {
+					return ctx.Arena.OwnDictColumn(as, d)
+				}
 				return vector.NewDictColumn(as, d)
 			}
 		}
+	}
+	if own {
+		return ctx.Arena.OwnColumn(as, g.kind)
 	}
 	return vector.NewColumn(as, g.kind)
 }
@@ -80,7 +89,14 @@ func (g *propGetter) gatherColumn(ctx *Ctx, vidCol *vector.Column, as string) *v
 	if ctx.NoGather || len(g.labels) == 0 {
 		return nil
 	}
-	vids := materializedVIDs(vidCol, nil)
+	// Lazy columns materialize into arena scratch; non-lazy columns return
+	// their own storage, so only buf (never vids) goes back to the pool.
+	var buf []vector.VID
+	if vidCol.Lazy() {
+		buf = ctx.Arena.GetVIDs(vidCol.Len())
+		defer ctx.Arena.PutVIDs(buf)
+	}
+	vids := materializedVIDs(vidCol, buf)
 	// A scan-ordered VID column matches at most one label's scan order, so
 	// probing every defining label is cheap (length mismatches reject in O(1)).
 	if sc, ok := ctx.View.(storage.ColumnSharer); ok {
@@ -93,7 +109,7 @@ func (g *propGetter) gatherColumn(ctx *Ctx, vidCol *vector.Column, as string) *v
 		}
 	}
 	labels := g.presentLabels(ctx, vids)
-	out := g.newGatherOutput(ctx, as, labels)
+	out := g.newGatherOutput(ctx, as, labels, true)
 	out.Grow(len(vids))
 	for _, lp := range labels {
 		ctx.View.GatherProps(vids, lp.label, lp.pid, nil, out)
@@ -108,8 +124,13 @@ func gatherExtIDColumn(ctx *Ctx, vidCol *vector.Column, as string) *vector.Colum
 	if ctx.NoGather {
 		return nil
 	}
-	vids := materializedVIDs(vidCol, nil)
-	out := vector.NewColumn(as, vector.KindInt64)
+	var buf []vector.VID
+	if vidCol.Lazy() {
+		buf = ctx.Arena.GetVIDs(vidCol.Len())
+		defer ctx.Arena.PutVIDs(buf)
+	}
+	vids := materializedVIDs(vidCol, buf)
+	out := ctx.Arena.OwnColumn(as, vector.KindInt64)
 	out.Grow(len(vids))
 	ctx.View.GatherExtIDs(vids, nil, out.Int64s())
 	ctx.Gather.Gathers.Add(1)

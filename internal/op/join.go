@@ -103,7 +103,7 @@ func (o *HashJoin) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 				out.AppendOwned(row)
 			}
 		}
-		return &core.Chunk{Flat: out}, nil
+		return ctx.FlatChunk(out), nil
 	}
 
 	names := append(append([]string(nil), left.Names...), right.Names...)
@@ -133,7 +133,7 @@ func (o *HashJoin) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 			}
 		}
 	}
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 func colIndices(fb *core.FlatBlock, names []string, where string) ([]int, error) {

@@ -31,6 +31,15 @@ type Ctx struct {
 	View storage.View
 	Pool *storage.Pool
 
+	// Arena brackets this query's scratch memory (§5, memory pool):
+	// query-lifetime structures (index vectors, f-Block columns, lazy
+	// batches) come from Own* and are released wholesale when the engine
+	// ends the query; transient morsel scratch cycles through Get*/Put*.
+	// A nil arena is valid and allocates fresh memory everywhere — the
+	// NoRecycle ablation reference — so operators call through it
+	// unconditionally.
+	Arena *storage.Arena
+
 	// PeakMem records the largest chunk observed between operators; the
 	// executor samples it after every operator (Table 2).
 	PeakMem int
@@ -104,6 +113,48 @@ func (c *Ctx) RunMorsels(n, size int, fn func(m sched.Morsel)) {
 		s = sched.Global()
 	}
 	s.RunMorsels(c.Parallel, n, size, fn)
+}
+
+// RunMorselsScratch is RunMorsels with claimant-local scratch reused across
+// every morsel a worker claims (see sched.Scheduler.RunMorselsScratch).
+func (c *Ctx) RunMorselsScratch(n, size int, mk func() any, done func(any), fn func(m sched.Morsel, scratch any)) {
+	s := c.Sched
+	if s == nil {
+		s = sched.Global()
+	}
+	s.RunMorselsScratch(c.Parallel, n, size, mk, done, fn)
+}
+
+// NewFTree returns the query's root f-Tree over a block of the given
+// columns, drawn from the arena so repeated executions reuse node and
+// selection-vector storage (§5, pre-allocated reusable f-Trees).
+func (c *Ctx) NewFTree(cols ...*vector.Column) *core.FTree {
+	return c.Arena.OwnFTree(c.NewFBlock(cols...))
+}
+
+// NewFBlock returns a query-lifetime f-Block over cols, drawn from the arena
+// so the block struct and its column-pointer slice recycle across queries.
+// Columns attach one at a time — the variadic slice never escapes, so
+// call sites keep it on the stack. Blocks that must outlive the query —
+// cached-plan predicate scratch — use core.NewFBlock directly.
+func (c *Ctx) NewFBlock(cols ...*vector.Column) *core.FBlock {
+	b := c.Arena.OwnFBlock()
+	for _, col := range cols {
+		b.AddColumn(col)
+	}
+	return b
+}
+
+// FTChunk wraps a factorized result in a query-lifetime chunk. Chunks flow
+// between operators and die with the query (exec retains only the final flat
+// block), so the wrapper recycles through the arena.
+func (c *Ctx) FTChunk(ft *core.FTree) *core.Chunk {
+	return c.Arena.OwnChunk(ft, nil)
+}
+
+// FlatChunk wraps a flat result in a query-lifetime chunk.
+func (c *Ctx) FlatChunk(fb *core.FlatBlock) *core.Chunk {
+	return c.Arena.OwnChunk(nil, fb)
 }
 
 // Observe folds a chunk's size into the peak-memory statistic.

@@ -46,50 +46,60 @@ func parallelLazyExpand(ctx *Ctx, name string, parent *core.Node, fromCol *vecto
 
 	n := parent.Block.NumRows()
 	shards := make([]expandShard, sched.NumMorsels(n, expandMorselSize))
-	ctx.RunMorsels(n, expandMorselSize, func(m sched.Morsel) {
-		sh := &shards[m.Index]
-		sh.index = make([]core.Range, 0, m.End-m.Start)
-		total := 0
-		if !ctx.NoCSR {
-			// One batched call per morsel. The Batch is morsel-local and never
-			// reset, so the run sub-slices the shard retains stay valid through
-			// the merge (shared mode aliases the immutable CSR array; owned
-			// mode keeps its pack buffer).
-			b := new(storage.Batch)
-			ctx.View.NeighborsBatch(expandSrcs(parent, fromCol, m.Start, m.End), et, dir, dstLabel, false, b)
-			for i := range b.Runs {
+	// Each claimant reuses one pooled source-VID buffer across every morsel
+	// it drains (worker-local scratch); shard index vectors are pooled per
+	// morsel and released after the merge below.
+	ctx.RunMorselsScratch(n, expandMorselSize,
+		func() any { return ctx.Arena.GetVIDs(expandMorselSize) },
+		func(sc any) { ctx.Arena.PutVIDs(sc.([]vector.VID)) },
+		func(m sched.Morsel, sc any) {
+			sh := &shards[m.Index]
+			sh.index = ctx.Arena.GetRanges(m.End - m.Start)
+			total := 0
+			if !ctx.NoCSR {
+				// One batched call per morsel. The Batch is query-lifetime
+				// arena memory (never reset mid-query), so the run sub-slices
+				// the shard retains stay valid through the merge and beyond —
+				// the lazy column keeps referencing them (shared mode aliases
+				// the immutable CSR array; owned mode keeps its pack buffer).
+				b := ctx.Arena.OwnBatch()
+				srcs := expandSrcs(parent, fromCol, m.Start, m.End, sc.([]vector.VID))
+				ctx.View.NeighborsBatch(srcs, et, dir, dstLabel, false, b)
+				for i := range b.Runs {
+					start := total
+					if r := b.Runs[i]; r.End > r.Start {
+						sh.segs = append(sh.segs, b.VIDs[r.Start:r.End])
+						total += int(r.End - r.Start)
+					}
+					sh.index = append(sh.index, core.Range{Start: int32(start), End: int32(total)})
+				}
+				sh.rows = total
+				return
+			}
+			var segBuf []storage.Segment
+			for i := m.Start; i < m.End; i++ {
 				start := total
-				if r := b.Runs[i]; r.End > r.Start {
-					sh.segs = append(sh.segs, b.VIDs[r.Start:r.End])
-					total += int(r.End - r.Start)
+				if parent.Valid(i) {
+					//geslint:scalar-ok
+					segBuf = ctx.View.Neighbors(segBuf[:0], fromCol.VIDAt(i), et, dir, dstLabel, false)
+					for _, seg := range segBuf {
+						sh.segs = append(sh.segs, seg.VIDs)
+						total += len(seg.VIDs)
+					}
 				}
 				sh.index = append(sh.index, core.Range{Start: int32(start), End: int32(total)})
 			}
 			sh.rows = total
-			return
-		}
-		var segBuf []storage.Segment
-		for i := m.Start; i < m.End; i++ {
-			start := total
-			if parent.Valid(i) {
-				//geslint:scalar-ok
-				segBuf = ctx.View.Neighbors(segBuf[:0], fromCol.VIDAt(i), et, dir, dstLabel, false)
-				for _, seg := range segBuf {
-					sh.segs = append(sh.segs, seg.VIDs)
-					total += len(seg.VIDs)
-				}
-			}
-			sh.index = append(sh.index, core.Range{Start: int32(start), End: int32(total)})
-		}
-		sh.rows = total
-	})
+		})
 
 	// Deterministic merge: append shard segments in morsel order, offsetting
-	// ranges.
-	toCol := vector.NewLazyVIDColumn(name)
-	index := make([]core.Range, 0, n)
+	// ranges. The merged index lands in the f-Tree, so it is query-lifetime
+	// arena memory; the per-shard vectors return to the pool here.
+	toCol := ctx.Arena.OwnLazyVIDColumn(name)
+	index := ctx.Arena.OwnRanges(n)[:0]
 	offset := int32(0)
-	for _, sh := range shards {
+	for si := range shards {
+		sh := &shards[si]
 		for _, seg := range sh.segs {
 			toCol.AppendSegment(seg)
 		}
@@ -97,6 +107,8 @@ func parallelLazyExpand(ctx *Ctx, name string, parent *core.Node, fromCol *vecto
 			index = append(index, core.Range{Start: rg.Start + offset, End: rg.End + offset})
 		}
 		offset += int32(sh.rows)
+		ctx.Arena.PutRanges(sh.index)
+		sh.index = nil
 	}
 	return toCol, index
 }
@@ -123,21 +135,24 @@ func parallelMaterialExpand(ctx *Ctx, o *Expand, parent *core.Node, fromCol *vec
 		if pred != nil {
 			pred = pred.Fork()
 		}
-		sh.toCol = vector.NewColumn(o.To, vector.KindVID)
+		// Shard columns feed the merged block below and die with the query;
+		// expandRows draws its batch/source/value scratch from the arena
+		// internally.
+		sh.toCol = ctx.Arena.OwnColumn(o.To, vector.KindVID)
 		sh.propCols = make([]*vector.Column, len(o.EdgeProps))
 		for p, ep := range o.EdgeProps {
-			sh.propCols[p] = vector.NewColumn(ep.As, epp.kind[p])
+			sh.propCols[p] = ctx.Arena.OwnColumn(ep.As, epp.kind[p])
 		}
 		sh.index = o.expandRows(ctx, pred, parent, fromCol, epp, m.Start, m.End,
-			sh.toCol, sh.propCols, make([]core.Range, 0, m.End-m.Start))
+			sh.toCol, sh.propCols, ctx.Arena.GetRanges(m.End-m.Start))
 	})
 
-	toCol := vector.NewColumn(o.To, vector.KindVID)
+	toCol := ctx.Arena.OwnColumn(o.To, vector.KindVID)
 	propCols := make([]*vector.Column, len(o.EdgeProps))
 	for p, ep := range o.EdgeProps {
-		propCols[p] = vector.NewColumn(ep.As, epp.kind[p])
+		propCols[p] = ctx.Arena.OwnColumn(ep.As, epp.kind[p])
 	}
-	index := make([]core.Range, 0, n)
+	index := ctx.Arena.OwnRanges(n)[:0]
 	offset := int32(0)
 	for si := range shards {
 		sh := &shards[si]
@@ -149,8 +164,10 @@ func parallelMaterialExpand(ctx *Ctx, o *Expand, parent *core.Node, fromCol *vec
 			index = append(index, core.Range{Start: rg.Start + offset, End: rg.End + offset})
 		}
 		offset += int32(sh.toCol.Len())
+		ctx.Arena.PutRanges(sh.index)
+		sh.index = nil
 	}
-	block := core.NewFBlock(toCol)
+	block := ctx.NewFBlock(toCol)
 	for _, pc := range propCols {
 		block.AddColumn(pc)
 	}
@@ -219,8 +236,8 @@ func parallelTraverse(ctx *Ctx, o *VarLengthExpand, parent *core.Node, fromCol *
 		}
 	})
 
-	toCol := vector.NewColumn(o.To, vector.KindVID)
-	index := make([]core.Range, 0, n)
+	toCol := ctx.Arena.OwnColumn(o.To, vector.KindVID)
+	index := ctx.Arena.OwnRanges(n)[:0]
 	total := int32(0)
 	for _, sh := range shards {
 		for _, vs := range sh.perRow {
@@ -275,11 +292,15 @@ func DefactorAll(ctx *Ctx, ft *core.FTree) (*core.FlatBlock, error) {
 // concurrent calls on distinct rows (property reads through the storage
 // view are).
 func parallelGather(ctx *Ctx, name string, kind vector.Kind, n int, get func(i int) vector.Value) *vector.Column {
-	vals := make([]vector.Value, n)
+	// The staging buffer is transient: NewColumnFromValues copies every
+	// value into typed storage, so the boxed rows return to the pool here.
+	vals := ctx.Arena.GetVals(n)
 	ctx.RunMorsels(n, filterMorselSize, func(m sched.Morsel) {
 		for i := m.Start; i < m.End; i++ {
 			vals[i] = get(i)
 		}
 	})
-	return vector.NewColumnFromValues(name, kind, vals)
+	col := vector.NewColumnFromValues(name, kind, vals)
+	ctx.Arena.PutVals(vals)
+	return col
 }

@@ -143,7 +143,7 @@ func (p *propPred) buildBatch(ctx *Ctx) *predBatch {
 				return nil
 			}
 			b.getters[name] = g
-			col = g.newGatherOutput(ctx, name, g.labels)
+			col = g.newGatherOutput(ctx, name, g.labels, false)
 		}
 		b.cols[name] = col
 		b.order = append(b.order, name)

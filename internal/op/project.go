@@ -77,7 +77,7 @@ func (o *ProjectProps) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 					return vector.Int64(ctx.View.ExtID(col.VIDAt(i)))
 				})
 			} else {
-				out = vector.NewColumn(spec.As, vector.KindInt64)
+				out = ctx.Arena.OwnColumn(spec.As, vector.KindInt64)
 				col.EachVID(func(_ int, v vector.VID) {
 					out.AppendInt64(ctx.View.ExtID(v))
 				})
@@ -92,7 +92,7 @@ func (o *ProjectProps) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 					return g.get(col.VIDAt(i))
 				})
 			} else {
-				out = vector.NewColumn(spec.As, g.kind)
+				out = ctx.Arena.OwnColumn(spec.As, g.kind)
 				col.EachVID(func(_ int, v vector.VID) {
 					out.Append(g.get(v))
 				})
@@ -157,7 +157,7 @@ func (o *ProjectProps) executeFlat(ctx *Ctx, in *core.FlatBlock) (*core.Chunk, e
 	} else {
 		extend(0, len(out.Rows))
 	}
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 // ProjectExpr appends one computed column. On the factorized path the
@@ -188,7 +188,7 @@ func (o *ProjectExpr) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 					return coerce(get(i), o.Kind)
 				})
 			} else {
-				out = vector.NewColumn(o.As, o.Kind)
+				out = ctx.Arena.OwnColumn(o.As, o.Kind)
 				for i := 0; i < n; i++ {
 					out.Append(coerce(get(i), o.Kind))
 				}
@@ -201,7 +201,7 @@ func (o *ProjectExpr) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		if err != nil {
 			return nil, err
 		}
-		in = &core.Chunk{Flat: fb}
+		in = ctx.FlatChunk(fb)
 	}
 	get, err := expr.BindFlat(o.Expr, in.Flat)
 	if err != nil {
@@ -217,7 +217,7 @@ func (o *ProjectExpr) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		nr = append(nr, coerce(get(i), o.Kind))
 		out.AppendOwned(nr)
 	}
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 func coerce(v vector.Value, k vector.Kind) vector.Value {

@@ -34,7 +34,7 @@ func (o *Rename) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		}
 		out := core.NewFlatBlock(names, in.Flat.Kinds)
 		out.Rows = in.Flat.Rows
-		return &core.Chunk{Flat: out}, nil
+		return ctx.FlatChunk(out), nil
 	}
 	for _, node := range in.FT.Nodes() {
 		for _, c := range node.Block.Columns() {

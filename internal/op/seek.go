@@ -30,12 +30,11 @@ func (o *NodeByIdSeek) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 	if in != nil {
 		return nil, fmt.Errorf("op: NodeByIdSeek must be a source operator")
 	}
-	col := vector.NewColumn(o.Var, vector.KindVID)
+	col := ctx.Arena.OwnColumn(o.Var, vector.KindVID)
 	if vid, ok := ctx.View.VertexByExt(o.Label, o.ExtID); ok {
 		col.AppendVID(vid)
 	}
-	ft := core.NewFTree(core.NewFBlock(col))
-	return &core.Chunk{FT: ft}, nil
+	return ctx.FTChunk(ctx.NewFTree(col)), nil
 }
 
 // NodeScan starts a plan from every vertex of a label.
@@ -55,7 +54,7 @@ func (o *NodeScan) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 	vids := ctx.View.ScanLabel(o.Label)
 	var col *vector.Column
 	if ctx.NoGather {
-		col = vector.NewColumn(o.Var, vector.KindVID)
+		col = ctx.Arena.OwnColumn(o.Var, vector.KindVID)
 		for _, v := range vids {
 			col.AppendVID(v)
 		}
@@ -64,8 +63,7 @@ func (o *NodeScan) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		// selection vector instead of rewriting the column.
 		col = vector.ShareVIDs(o.Var, vids)
 	}
-	ft := core.NewFTree(core.NewFBlock(col))
-	return &core.Chunk{FT: ft}, nil
+	return ctx.FTChunk(ctx.NewFTree(col)), nil
 }
 
 // MultiSeek starts a plan from an explicit list of external identifiers
@@ -84,12 +82,11 @@ func (o *MultiSeek) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 	if in != nil {
 		return nil, fmt.Errorf("op: MultiSeek must be a source operator")
 	}
-	col := vector.NewColumn(o.Var, vector.KindVID)
+	col := ctx.Arena.OwnColumn(o.Var, vector.KindVID)
 	for _, ext := range o.ExtIDs {
 		if vid, ok := ctx.View.VertexByExt(o.Label, ext); ok {
 			col.AppendVID(vid)
 		}
 	}
-	ft := core.NewFTree(core.NewFBlock(col))
-	return &core.Chunk{FT: ft}, nil
+	return ctx.FTChunk(ctx.NewFTree(col)), nil
 }

@@ -69,7 +69,7 @@ func (o *OrderBy) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 			// in the heap and compares sort keys directly against the
 			// gathered columns — rejected rows are never boxed or copied.
 			if out := columnarTopK(ctx, in.FT, refs, cols, kinds, keyIdx, o.Limit); out != nil {
-				return o.projectOut(out)
+				return o.projectOut(ctx, out)
 			}
 			// Constant-delay enumeration into a bounded heap.
 			h := newTopK(o.Limit, keyIdx)
@@ -79,7 +79,7 @@ func (o *OrderBy) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 			})
 			out := core.NewFlatBlock(append([]string(nil), cols...), kinds)
 			out.Rows = h.sorted()
-			return o.projectOut(out)
+			return o.projectOut(ctx, out)
 		}
 		fb = core.NewFlatBlock(append([]string(nil), cols...), kinds)
 		in.FT.Enumerate(refs, func(row []vector.Value) bool {
@@ -98,26 +98,26 @@ func (o *OrderBy) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		}
 		out := core.NewFlatBlock(fb.Names, fb.Kinds)
 		out.Rows = h.sorted()
-		return o.projectOut(out)
+		return o.projectOut(ctx, out)
 	}
 	sorted := core.NewFlatBlock(fb.Names, fb.Kinds)
 	sorted.Rows = append([][]vector.Value(nil), fb.Rows...)
 	sort.SliceStable(sorted.Rows, func(a, b int) bool {
 		return rowLess(sorted.Rows[a], sorted.Rows[b], keyIdx)
 	})
-	return o.projectOut(sorted)
+	return o.projectOut(ctx, sorted)
 }
 
 // projectOut narrows to o.Cols when set.
-func (o *OrderBy) projectOut(fb *core.FlatBlock) (*core.Chunk, error) {
+func (o *OrderBy) projectOut(ctx *Ctx, fb *core.FlatBlock) (*core.Chunk, error) {
 	if o.Cols == nil {
-		return &core.Chunk{Flat: fb}, nil
+		return ctx.FlatChunk(fb), nil
 	}
 	out, err := fb.Project(o.Cols)
 	if err != nil {
 		return nil, err
 	}
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 func mergeKeyCols(cols []string, keys []SortKey) []string {
@@ -414,7 +414,7 @@ func (o *Limit) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		}
 		out := core.NewFlatBlock(fb.Names, fb.Kinds)
 		out.Rows = fb.Rows[lo:hi]
-		return &core.Chunk{Flat: out}, nil
+		return ctx.FlatChunk(out), nil
 	}
 	cols := in.FT.Schema()
 	refs, err := in.FT.Resolve(cols)
@@ -435,7 +435,7 @@ func (o *Limit) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		out.Append(row)
 		return out.NumRows() < o.N
 	})
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 // Distinct removes duplicate tuples over the named columns (all columns when
@@ -477,7 +477,7 @@ func (o *Distinct) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error) {
 		seen[k] = struct{}{}
 		out.AppendOwned(row)
 	}
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 // rowKey builds a collision-safe hash key for a tuple using length-prefixed

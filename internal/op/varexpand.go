@@ -44,12 +44,12 @@ func (o *VarLengthExpand) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error)
 	// var-expands take the parallel path too.
 	if ctx.Parallel > 1 && parent.Block.NumRows() >= parallelMinRows {
 		toCol, index := parallelTraverse(ctx, o, parent, fromCol)
-		ft.AddChild(parent, core.NewFBlock(toCol), index)
+		ft.AddChild(parent, ctx.NewFBlock(toCol), index)
 		assertFTree(ft)
-		return &core.Chunk{FT: ft}, nil
+		return ctx.FTChunk(ft), nil
 	}
-	toCol := vector.NewColumn(o.To, vector.KindVID)
-	index := make([]core.Range, parent.Block.NumRows())
+	toCol := ctx.Arena.OwnColumn(o.To, vector.KindVID)
+	index := ctx.Arena.OwnRanges(parent.Block.NumRows())
 	total := 0
 	for i := 0; i < parent.Block.NumRows(); i++ {
 		start := total
@@ -61,9 +61,9 @@ func (o *VarLengthExpand) Execute(ctx *Ctx, in *core.Chunk) (*core.Chunk, error)
 		}
 		index[i] = core.Range{Start: int32(start), End: int32(total)}
 	}
-	ft.AddChild(parent, core.NewFBlock(toCol), index)
+	ft.AddChild(parent, ctx.NewFBlock(toCol), index)
 	assertFTree(ft)
-	return &core.Chunk{FT: ft}, nil
+	return ctx.FTChunk(ft), nil
 }
 
 func (o *VarLengthExpand) executeFlat(ctx *Ctx, in *core.FlatBlock) (*core.Chunk, error) {
@@ -82,7 +82,7 @@ func (o *VarLengthExpand) executeFlat(ctx *Ctx, in *core.FlatBlock) (*core.Chunk
 			out.AppendOwned(nr)
 		})
 	}
-	return &core.Chunk{Flat: out}, nil
+	return ctx.FlatChunk(out), nil
 }
 
 // traverse runs the bounded BFS (distinct) or DFS path walk (non-distinct)
@@ -97,9 +97,12 @@ func (o *VarLengthExpand) traverse(ctx *Ctx, pred VertexPred, src vector.VID, em
 	}
 	if o.Distinct {
 		seen := map[vector.VID]int{src: 0}
-		frontier := []vector.VID{src}
+		// Frontier buffers and the per-level batch are transient scratch,
+		// returned to the pool when the BFS finishes (values are copied into
+		// the emit sink, never retained).
+		frontier := append(ctx.Arena.GetVIDs(8), src)
 		var segBuf []storage.Segment
-		var b storage.Batch
+		b := ctx.Arena.GetBatch()
 		visit := func(v vector.VID, depth int, next []vector.VID) []vector.VID {
 			if _, ok := seen[v]; ok {
 				return next
@@ -112,17 +115,18 @@ func (o *VarLengthExpand) traverse(ctx *Ctx, pred VertexPred, src vector.VID, em
 			return next
 		}
 		for depth := 1; depth <= o.MaxHops && len(frontier) > 0; depth++ {
-			var next []vector.VID
+			next := ctx.Arena.GetVIDs(len(frontier))
 			if !ctx.NoCSR {
 				// One batched call per BFS level: run i holds frontier[i]'s
 				// neighbors in the same order the scalar loop sees them.
-				ctx.View.NeighborsBatch(frontier, o.Et, o.Dir, o.DstLabel, false, &b)
+				ctx.View.NeighborsBatch(frontier, o.Et, o.Dir, o.DstLabel, false, b)
 				for i := range b.Runs {
 					r := b.Runs[i]
 					for _, v := range b.VIDs[r.Start:r.End] {
 						next = visit(v, depth, next)
 					}
 				}
+				ctx.Arena.PutVIDs(frontier)
 				frontier = next
 				continue
 			}
@@ -135,8 +139,11 @@ func (o *VarLengthExpand) traverse(ctx *Ctx, pred VertexPred, src vector.VID, em
 					}
 				}
 			}
+			ctx.Arena.PutVIDs(frontier)
 			frontier = next
 		}
+		ctx.Arena.PutVIDs(frontier)
+		ctx.Arena.PutBatch(b)
 		return
 	}
 	// Path semantics: depth-first enumeration of all paths up to MaxHops

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -32,8 +33,9 @@ type Server struct {
 	mode     exec.Mode
 	pool     *storage.Pool
 	parallel int
-	cache    *planCache
-	noCost   bool
+	cache     *planCache
+	noCost    bool
+	noRecycle bool
 	// now is injectable for deterministic tests.
 	now func() time.Time
 
@@ -58,6 +60,10 @@ type Options struct {
 	// NoCost disables cost-based planning for /query: plans bind in
 	// syntactic order, as written. Mirrors gesbench -no-cost.
 	NoCost bool
+	// NoRecycle disables executor memory recycling: every request's engine
+	// allocates fresh instead of drawing from the shared pool. Mirrors
+	// gesbench -no-recycle; the ablation knob for the §5 memory pool.
+	NoRecycle bool
 }
 
 // New wires a server for a dataset in the given engine mode with default
@@ -74,15 +80,17 @@ func NewWith(ds *ldbc.Dataset, mode exec.Mode, opts Options) *Server {
 		mode:     mode,
 		pool:     storage.NewPool(),
 		parallel: opts.Parallel,
-		cache:    newPlanCache(opts.PlanCacheSize),
-		noCost:   opts.NoCost,
-		now:      time.Now,
+		cache:     newPlanCache(opts.PlanCacheSize),
+		noCost:    opts.NoCost,
+		noRecycle: opts.NoRecycle,
+		now:       time.Now,
 	}
 }
 
-// newEngine returns a fresh per-request engine sharing the server's pool.
+// newEngine returns a fresh per-request engine sharing the server's pool, so
+// arenas released at end-of-request recycle into the next request.
 func (s *Server) newEngine() *exec.Engine {
-	return &exec.Engine{Mode: s.mode, Pool: s.pool, Parallel: s.parallel}
+	return &exec.Engine{Mode: s.mode, Pool: s.pool, Parallel: s.parallel, NoRecycle: s.noRecycle}
 }
 
 // Mux returns the HTTP handler.
@@ -277,6 +285,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"statistics": s.statsSection(),
 		"overlay":    s.overlaySection(),
+		"memory":     s.memorySection(),
 		"planner": map[string]any{
 			"costBased":     !s.noCost,
 			"estQueries":    s.estQueries.Load(),
@@ -319,6 +328,55 @@ func (s *Server) overlaySection() map[string]any {
 		"statsEpoch":       ov.StatsEpoch,
 		"statsStaleOps":    ov.StatsStale,
 		"perFamily":        fams,
+	}
+}
+
+// memorySection renders the executor recycling gauges: aggregate and
+// per-class pool hit rates, live checked-out buffer bytes, per-object-pool
+// counters, and the process GC totals the recycling exists to relieve.
+func (s *Server) memorySection() map[string]any {
+	st := s.pool.DetailedStats()
+	classes := make([]map[string]any, 0, len(st.Classes))
+	for _, c := range st.Classes {
+		hr := 0.0
+		if c.Gets > 0 {
+			hr = float64(c.Hits) / float64(c.Gets)
+		}
+		classes = append(classes, map[string]any{
+			"cap":     c.Cap,
+			"gets":    c.Gets,
+			"hits":    c.Hits,
+			"puts":    c.Puts,
+			"hitRate": hr,
+		})
+	}
+	obj := func(o storage.ObjStat) map[string]any {
+		return map[string]any{"gets": o.Gets, "hits": o.Hits, "puts": o.Puts}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return map[string]any{
+		"recycling":      !s.noRecycle,
+		"poolGets":       st.Gets,
+		"poolPuts":       st.Puts,
+		"poolHitRate":    st.HitRate(),
+		"liveArenaBytes": st.LiveBytes,
+		"classes":        classes,
+		"objects": map[string]any{
+			"columns": obj(st.Columns),
+			"bitsets": obj(st.Bitsets),
+			"ftrees":  obj(st.Trees),
+			"batches": obj(st.Batches),
+			"fblocks": obj(st.Blocks),
+			"chunks":  obj(st.Chunks),
+			"arenas":  obj(st.Arenas),
+		},
+		"gc": map[string]any{
+			"cycles":          ms.NumGC,
+			"pauseTotalMs":    float64(ms.PauseTotalNs) / 1e6,
+			"heapAllocBytes":  ms.HeapAlloc,
+			"totalAllocBytes": ms.TotalAlloc,
+		},
 	}
 }
 

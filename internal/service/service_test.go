@@ -247,3 +247,69 @@ func TestStatsEndpointOverlaySection(t *testing.T) {
 		t.Fatalf("reseal did not bump the stats epoch: %v <= %v", ov["statsEpoch"], epoch)
 	}
 }
+
+func TestStatsEndpointMemorySection(t *testing.T) {
+	ts := testServer(t)
+
+	getMemory := func() map[string]any {
+		t.Helper()
+		r, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var st map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		mem, ok := st["memory"].(map[string]any)
+		if !ok {
+			t.Fatalf("no memory section in /stats: %v", st)
+		}
+		return mem
+	}
+
+	// Shape first: the gauges exist even before any query traffic.
+	mem := getMemory()
+	if mem["recycling"] != true {
+		t.Fatalf("recycling = %v, want true by default", mem["recycling"])
+	}
+	for _, k := range []string{"poolGets", "poolPuts", "poolHitRate", "liveArenaBytes", "classes", "objects", "gc"} {
+		if _, ok := mem[k]; !ok {
+			t.Fatalf("memory section missing %q: %v", k, mem)
+		}
+	}
+	gc := mem["gc"].(map[string]any)
+	for _, k := range []string{"cycles", "pauseTotalMs", "heapAllocBytes", "totalAllocBytes"} {
+		if _, ok := gc[k]; !ok {
+			t.Fatalf("gc section missing %q: %v", k, gc)
+		}
+	}
+
+	// Query traffic draws arenas and buffers from the shared server pool, so
+	// the counters move and every checked-out buffer comes back.
+	for i := 0; i < 3; i++ {
+		resp, out := post(t, ts, "/query", service.QueryRequest{
+			Query: `MATCH (p:Person)-[:KNOWS]->(f)-[:KNOWS]->(g) RETURN COUNT(*) AS n`,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d: %v", resp.StatusCode, out)
+		}
+	}
+	mem = getMemory()
+	if mem["poolGets"].(float64) <= 0 {
+		t.Fatalf("poolGets = %v after query traffic", mem["poolGets"])
+	}
+	objects := mem["objects"].(map[string]any)
+	arenas := objects["arenas"].(map[string]any)
+	if arenas["gets"].(float64) < 3 || arenas["puts"].(float64) < arenas["gets"].(float64) {
+		t.Fatalf("arena counters did not bracket requests: %v", arenas)
+	}
+	if mem["liveArenaBytes"].(float64) != 0 {
+		t.Fatalf("liveArenaBytes = %v after release, want 0", mem["liveArenaBytes"])
+	}
+	// The repeated identical query recycles its predecessor's buffers.
+	if mem["poolHitRate"].(float64) <= 0 {
+		t.Fatalf("poolHitRate = %v after repeated queries", mem["poolHitRate"])
+	}
+}

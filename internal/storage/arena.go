@@ -1,0 +1,317 @@
+package storage
+
+import (
+	"sync"
+
+	"ges/internal/core"
+	"ges/internal/vector"
+)
+
+// Arena brackets the scratch memory of one query execution (§5, memory
+// pool). The engine creates one arena per Run over the engine's shared Pool;
+// operators draw every intermediate structure from it; and at query end the
+// engine releases the whole arena back to the pool in one call — the
+// paper's "allocate once, recycle per query" discipline. Service per-request
+// engines share one server pool, so released arenas feed the next request.
+//
+// Two ownership scopes exist:
+//
+//   - Own* methods hand out query-lifetime structures (index vectors that
+//     land in f-Tree nodes, f-Block columns, selection bitsets, lazy-segment
+//     batches). The arena tracks them and Release returns them wholesale;
+//     callers never put them back individually.
+//   - Get*/Put* methods hand out transient scratch (batched source VIDs,
+//     per-morsel shard buffers, boxed-value staging). The caller must put
+//     the buffer back on every path — geslint R11 enforces this — and the
+//     arena passes it straight through to the shared pool.
+//
+// A nil *Arena is valid and recycles nothing: every getter falls back to
+// plain allocation and every release is a no-op, so operator code calls
+// through unconditionally. The NoRecycle engine knob produces the same
+// behavior with the arena present, for byte-identity ablations.
+//
+// Own* and Get*/Put* are safe for concurrent use by parallel morsel workers.
+type Arena struct {
+	pool      *Pool
+	noRecycle bool
+
+	mu      sync.Mutex
+	ranges  [][]core.Range
+	vals    [][]vector.Value
+	vids    [][]vector.VID
+	cols    []*vector.Column
+	bits    []*vector.Bitset
+	trees   []*core.FTree
+	batches []*Batch
+	blocks  []*core.FBlock
+	chunks  []*core.Chunk
+}
+
+// NewArena returns an arena over pool. A nil pool or noRecycle=true yields
+// an arena that allocates fresh memory and recycles nothing — the ablation
+// reference behavior.
+func NewArena(pool *Pool, noRecycle bool) *Arena {
+	if pool == nil {
+		noRecycle = true
+	}
+	return &Arena{pool: pool, noRecycle: noRecycle}
+}
+
+// recycling reports whether the arena actually pools memory.
+func (a *Arena) recycling() bool { return a != nil && !a.noRecycle }
+
+// OwnRanges returns a query-lifetime index vector of length n, zeroed.
+func (a *Arena) OwnRanges(n int) []core.Range {
+	if !a.recycling() {
+		return make([]core.Range, n)
+	}
+	s := a.pool.GetRanges(n)[:n] // full capacity is zeroed on get
+	a.mu.Lock()
+	a.ranges = append(a.ranges, s)
+	a.mu.Unlock()
+	return s
+}
+
+// OwnVals returns a query-lifetime boxed-value buffer of length n, zeroed.
+func (a *Arena) OwnVals(n int) []vector.Value {
+	if !a.recycling() {
+		return make([]vector.Value, n)
+	}
+	s := a.pool.GetVals(n)[:n]
+	a.mu.Lock()
+	a.vals = append(a.vals, s)
+	a.mu.Unlock()
+	return s
+}
+
+// OwnColumn returns a query-lifetime column (f-Block scratch).
+func (a *Arena) OwnColumn(name string, kind vector.Kind) *vector.Column {
+	if !a.recycling() {
+		return vector.NewColumn(name, kind)
+	}
+	c := a.pool.GetColumn(name, kind)
+	a.mu.Lock()
+	a.cols = append(a.cols, c)
+	a.mu.Unlock()
+	return c
+}
+
+// OwnLazyVIDColumn returns a query-lifetime lazy VID column.
+func (a *Arena) OwnLazyVIDColumn(name string) *vector.Column {
+	if !a.recycling() {
+		return vector.NewLazyVIDColumn(name)
+	}
+	c := a.pool.GetLazyVIDColumn(name)
+	a.mu.Lock()
+	a.cols = append(a.cols, c)
+	a.mu.Unlock()
+	return c
+}
+
+// OwnDictColumn returns a query-lifetime dictionary-encoded string column.
+func (a *Arena) OwnDictColumn(name string, d *vector.Dict) *vector.Column {
+	if !a.recycling() {
+		return vector.NewDictColumn(name, d)
+	}
+	c := a.pool.GetDictColumn(name, d)
+	a.mu.Lock()
+	a.cols = append(a.cols, c)
+	a.mu.Unlock()
+	return c
+}
+
+// OwnBitset returns a query-lifetime n-bit selection vector.
+func (a *Arena) OwnBitset(n int, valid bool) *vector.Bitset {
+	if !a.recycling() {
+		if valid {
+			return vector.NewBitset(n)
+		}
+		return vector.NewBitsetEmpty(n)
+	}
+	b := a.pool.GetBitset(n, valid)
+	a.mu.Lock()
+	a.bits = append(a.bits, b)
+	a.mu.Unlock()
+	return b
+}
+
+// OwnFTree returns a query-lifetime root-only f-Tree over rootBlock,
+// recycling a prior query's tree (node registry, selection-vector words)
+// when one is pooled.
+func (a *Arena) OwnFTree(rootBlock *core.FBlock) *core.FTree {
+	if !a.recycling() {
+		return core.NewFTree(rootBlock)
+	}
+	t := a.pool.GetFTree(rootBlock)
+	a.mu.Lock()
+	a.trees = append(a.trees, t)
+	a.mu.Unlock()
+	return t
+}
+
+// OwnFBlock returns an empty query-lifetime f-Block, recycling a retired
+// block's column-pointer slice when one is pooled; the caller attaches
+// columns via AddColumn (see Ctx.NewFBlock).
+func (a *Arena) OwnFBlock() *core.FBlock {
+	if !a.recycling() {
+		return core.NewFBlock()
+	}
+	b := a.pool.GetFBlock()
+	a.mu.Lock()
+	a.blocks = append(a.blocks, b)
+	a.mu.Unlock()
+	return b
+}
+
+// OwnChunk returns a query-lifetime operator-result wrapper. Chunks flow
+// between operators and die with the query (Result retains the flat block,
+// never the chunk), so the one-per-operator wrapper allocation recycles too.
+func (a *Arena) OwnChunk(ft *core.FTree, flat *core.FlatBlock) *core.Chunk {
+	if !a.recycling() {
+		return &core.Chunk{FT: ft, Flat: flat}
+	}
+	c := a.pool.GetChunk()
+	c.FT, c.Flat = ft, flat
+	a.mu.Lock()
+	a.chunks = append(a.chunks, c)
+	a.mu.Unlock()
+	return c
+}
+
+// OwnBatch returns a query-lifetime adjacency batch. Lazy expansion retains
+// run sub-slices of the batch inside f-Tree columns, so batches feeding lazy
+// columns must live until query end — exactly the Own scope.
+func (a *Arena) OwnBatch() *Batch {
+	if !a.recycling() {
+		return new(Batch)
+	}
+	b := a.pool.GetBatch()
+	a.mu.Lock()
+	a.batches = append(a.batches, b)
+	a.mu.Unlock()
+	return b
+}
+
+// GetVIDs returns transient VID scratch; the caller must PutVIDs it on
+// every path (geslint R11).
+func (a *Arena) GetVIDs(n int) []vector.VID {
+	if !a.recycling() {
+		return make([]vector.VID, 0, n)
+	}
+	return a.pool.GetVIDs(n)
+}
+
+// PutVIDs releases transient VID scratch.
+func (a *Arena) PutVIDs(buf []vector.VID) {
+	if a.recycling() {
+		a.pool.PutVIDs(buf)
+	}
+}
+
+// GetRanges returns transient index-vector scratch; the caller must
+// PutRanges it on every path (geslint R11).
+func (a *Arena) GetRanges(n int) []core.Range {
+	if !a.recycling() {
+		return make([]core.Range, 0, n)
+	}
+	return a.pool.GetRanges(n)
+}
+
+// PutRanges releases transient index-vector scratch.
+func (a *Arena) PutRanges(buf []core.Range) {
+	if a.recycling() {
+		a.pool.PutRanges(buf)
+	}
+}
+
+// GetVals returns transient boxed-value scratch of length n, zeroed; the
+// caller must PutVals it on every path (geslint R11).
+func (a *Arena) GetVals(n int) []vector.Value {
+	if !a.recycling() {
+		return make([]vector.Value, n)
+	}
+	return a.pool.GetVals(n)[:n]
+}
+
+// PutVals releases transient boxed-value scratch.
+func (a *Arena) PutVals(buf []vector.Value) {
+	if a.recycling() {
+		a.pool.PutVals(buf)
+	}
+}
+
+// GetBatch returns a transient adjacency batch for materializing paths
+// (every value is copied out of the batch before the morsel ends); the
+// caller must PutBatch it on every path (geslint R11). Lazy paths use
+// OwnBatch instead.
+func (a *Arena) GetBatch() *Batch {
+	if !a.recycling() {
+		return new(Batch)
+	}
+	return a.pool.GetBatch()
+}
+
+// PutBatch releases a transient adjacency batch.
+func (a *Arena) PutBatch(b *Batch) {
+	if a.recycling() {
+		a.pool.PutBatch(b)
+	}
+}
+
+// Release returns every Own*-scoped structure to the parent pool in one
+// sweep — the query-end wholesale release. The engine calls it after the
+// final result has been flattened into row values; nothing the caller
+// receives aliases arena memory. Release is idempotent: a second call finds
+// the ownership lists empty.
+func (a *Arena) Release() {
+	if !a.recycling() {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, s := range a.ranges {
+		a.pool.PutRanges(s)
+	}
+	clear(a.ranges)
+	a.ranges = a.ranges[:0]
+	for _, s := range a.vals {
+		a.pool.PutVals(s)
+	}
+	clear(a.vals)
+	a.vals = a.vals[:0]
+	for _, s := range a.vids {
+		a.pool.PutVIDs(s)
+	}
+	clear(a.vids)
+	a.vids = a.vids[:0]
+	for _, c := range a.cols {
+		a.pool.PutColumn(c)
+	}
+	clear(a.cols)
+	a.cols = a.cols[:0]
+	for _, b := range a.bits {
+		a.pool.PutBitset(b)
+	}
+	clear(a.bits)
+	a.bits = a.bits[:0]
+	for _, t := range a.trees {
+		a.pool.PutFTree(t)
+	}
+	clear(a.trees)
+	a.trees = a.trees[:0]
+	for _, b := range a.batches {
+		a.pool.PutBatch(b)
+	}
+	clear(a.batches)
+	a.batches = a.batches[:0]
+	for _, b := range a.blocks {
+		a.pool.PutFBlock(b)
+	}
+	clear(a.blocks)
+	a.blocks = a.blocks[:0]
+	for _, c := range a.chunks {
+		a.pool.PutChunk(c)
+	}
+	clear(a.chunks)
+	a.chunks = a.chunks[:0]
+}

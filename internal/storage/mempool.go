@@ -4,22 +4,65 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ges/internal/core"
 	"ges/internal/vector"
 )
 
-// Pool is the size-classed memory pool of §5: the copy-on-write transaction
-// path and snapshot merging frequently need short-lived neighbor buffers,
-// and routing them through the pool avoids hammering the allocator.
+// Pool is the size-classed memory pool of §5. Originally it recycled only
+// the copy-on-write transaction path's neighbor buffers; it now serves as
+// the process-wide arena parent for every executor scratch shape — VID
+// buffers, index vectors, boxed-value rows, f-Block columns, selection
+// bitsets, f-Trees and adjacency batches — with per-class get/put/hit
+// counters feeding the /stats memory section.
+//
+// All methods are safe for concurrent use; per-query ownership bracketing
+// lives in Arena (arena.go).
 type Pool struct {
-	classes [numClasses]sync.Pool
-	gets    atomic.Int64
-	puts    atomic.Int64
+	vids   slicePool[vector.VID]
+	ranges slicePool[core.Range]
+	vals   slicePool[vector.Value]
+
+	cols    objPool[vector.Column]
+	bits    objPool[vector.Bitset]
+	trees   objPool[core.FTree]
+	batches objPool[Batch]
+	blocks  objPool[core.FBlock]
+	chunks  objPool[core.Chunk]
+	arenas  objPool[Arena]
+
+	// live approximates the bytes currently checked out of the slice pools
+	// (capacity × element size); the /stats memory section reports it as
+	// live arena bytes.
+	live atomic.Int64
 }
 
 const numClasses = 16 // class i holds buffers of capacity 8<<i, up to 256Ki
 
+// Element sizes for live-byte accounting (struct layouts on 64-bit targets).
+const (
+	vidSize   = 4
+	rangeSize = 8
+	valueSize = 40
+)
+
+// Poison sentinels for the -tags gesassert release discipline. The values
+// are deliberately improbable so a legitimately all-sentinel buffer is
+// effectively impossible.
+var (
+	poisonVID   = vector.VID(0xDEADBEEF)
+	poisonRange = core.Range{Start: -0x21524111, End: -0x21524111}
+	poisonValue = vector.Value{Kind: vector.Kind(0xEE), I: -0x21524111_21524111, F: -6.51e151, S: "\xde\xad"}
+)
+
 // NewPool returns a ready memory pool.
-func NewPool() *Pool { return &Pool{} }
+func NewPool() *Pool {
+	p := &Pool{}
+	p.vids.poison, p.vids.elemSize = poisonVID, vidSize
+	p.ranges.poison, p.ranges.elemSize = poisonRange, rangeSize
+	p.vals.poison, p.vals.elemSize = poisonValue, valueSize
+	p.vids.live, p.ranges.live, p.vals.live = &p.live, &p.live, &p.live
+	return p
+}
 
 // classFor returns the smallest size class whose capacity fits n, or -1 when
 // n exceeds the largest class (callers then allocate directly).
@@ -35,39 +78,417 @@ func classFor(n int) int {
 	return c
 }
 
-// GetVIDs returns a zero-length VID buffer with capacity at least n.
-func (p *Pool) GetVIDs(n int) []vector.VID {
-	p.gets.Add(1)
-	c := classFor(n)
-	if c < 0 {
-		return make([]vector.VID, 0, n)
-	}
-	if v := p.classes[c].Get(); v != nil {
-		return v.(*vidBuf).s[:0]
-	}
-	return make([]vector.VID, 0, 8<<uint(c))
+// slicePool recycles buffers of one element type across the size classes.
+type slicePool[T comparable] struct {
+	classes [numClasses]sync.Pool
+	boxes   sync.Pool // emptied sliceBoxes, so puts don't allocate a box each
+	gets    [numClasses]atomic.Int64
+	hits    [numClasses]atomic.Int64
+	puts    [numClasses]atomic.Int64
+	big     atomic.Int64 // oversize requests served by make, never pooled
+
+	poison   T
+	elemSize int
+	live     *atomic.Int64
 }
 
-// PutVIDs returns a buffer obtained from GetVIDs to the pool.
-func (p *Pool) PutVIDs(buf []vector.VID) {
-	p.puts.Add(1)
+// sliceBox boxes a slice so sync.Pool stores a pointer-shaped value.
+type sliceBox[T any] struct{ s []T }
+
+// get returns a zero-length buffer with capacity at least n. The full
+// capacity is zeroed, so stale contents from a previous owner are never
+// observable — even to callers that reslice past len (the GetVIDs stale-VID
+// fix).
+func (p *slicePool[T]) get(n int) []T {
+	c := classFor(n)
+	if c < 0 {
+		p.big.Add(1)
+		return make([]T, 0, n)
+	}
+	p.gets[c].Add(1)
+	if p.live != nil {
+		p.live.Add(int64((8 << uint(c)) * p.elemSize))
+	}
+	if v := p.classes[c].Get(); v != nil {
+		p.hits[c].Add(1)
+		box := v.(*sliceBox[T])
+		s := box.s[:cap(box.s)]
+		box.s = nil
+		p.boxes.Put(box)
+		checkPoison(s, p.poison)
+		clear(s)
+		return s[:0]
+	}
+	return make([]T, 0, 8<<uint(c))
+}
+
+// put returns a buffer obtained from get to the pool. Append growth may
+// leave the capacity between classes; the buffer is demoted to the class it
+// fully satisfies.
+func (p *slicePool[T]) put(buf []T) {
 	c := classFor(cap(buf))
 	if c < 0 {
 		return
 	}
-	// Append growth may leave the capacity between classes; demote the
-	// buffer to the class it fully satisfies.
 	if cap(buf) < 8<<uint(c) {
 		c--
 		if c < 0 {
 			return
 		}
 	}
-	p.classes[c].Put(&vidBuf{s: buf[:0]})
+	p.puts[c].Add(1)
+	if p.live != nil {
+		p.live.Add(-int64((8 << uint(c)) * p.elemSize))
+	}
+	s := buf[:cap(buf)]
+	applyPoison(s, p.poison)
+	box, _ := p.boxes.Get().(*sliceBox[T])
+	if box == nil {
+		box = new(sliceBox[T])
+	}
+	box.s = s[:0]
+	p.classes[c].Put(box)
 }
 
-// vidBuf boxes a slice so sync.Pool stores a pointer-shaped value.
-type vidBuf struct{ s []vector.VID }
+func (p *slicePool[T]) stats() (gets, hits, puts int64) {
+	for c := 0; c < numClasses; c++ {
+		gets += p.gets[c].Load()
+		hits += p.hits[c].Load()
+		puts += p.puts[c].Load()
+	}
+	return gets + p.big.Load(), hits, puts
+}
 
-// Stats returns cumulative Get/Put counts (instrumentation for tests).
-func (p *Pool) Stats() (gets, puts int64) { return p.gets.Load(), p.puts.Load() }
+// applyPoison stamps a released buffer with the sentinel in assert builds
+// (-tags gesassert). A second Put of the same buffer finds the stamp intact
+// and panics — the poison-on-release discipline check. Release builds
+// compile both helpers away (AssertEnabled is a false constant).
+func applyPoison[T comparable](s []T, poison T) {
+	if !core.AssertEnabled || len(s) == 0 {
+		return
+	}
+	if s[0] == poison {
+		all := true
+		for _, v := range s[1:] {
+			if v != poison {
+				all = false
+				break
+			}
+		}
+		if all {
+			panic("storage: pool double release: buffer already carries the release sentinel")
+		}
+	}
+	for i := range s {
+		s[i] = poison
+	}
+}
+
+// checkPoison verifies a recycled buffer still carries the release sentinel
+// in assert builds: a caller that kept writing through a buffer after Put
+// breaks the stamp and is caught the next time the buffer is handed out.
+func checkPoison[T comparable](s []T, poison T) {
+	if !core.AssertEnabled {
+		return
+	}
+	for _, v := range s {
+		if v != poison {
+			panic("storage: pool use after release: recycled buffer was written through after Put")
+		}
+	}
+}
+
+// objPool recycles pointer-shaped executor objects (columns, bitsets,
+// f-Trees, batches) with get/hit/put counters.
+type objPool[T any] struct {
+	p    sync.Pool
+	gets atomic.Int64
+	hits atomic.Int64
+	puts atomic.Int64
+}
+
+func (p *objPool[T]) get() *T {
+	p.gets.Add(1)
+	if v := p.p.Get(); v != nil {
+		p.hits.Add(1)
+		return v.(*T)
+	}
+	return new(T)
+}
+
+func (p *objPool[T]) put(v *T) {
+	p.puts.Add(1)
+	p.p.Put(v)
+}
+
+func (p *objPool[T]) stats() ObjStat {
+	return ObjStat{Gets: p.gets.Load(), Hits: p.hits.Load(), Puts: p.puts.Load()}
+}
+
+// GetVIDs returns a zero-length VID buffer with capacity at least n, its
+// full capacity zeroed.
+func (p *Pool) GetVIDs(n int) []vector.VID { return p.vids.get(n) }
+
+// PutVIDs returns a buffer obtained from GetVIDs to the pool.
+func (p *Pool) PutVIDs(buf []vector.VID) { p.vids.put(buf) }
+
+// GetRanges returns a zero-length index-vector buffer with capacity at
+// least n, its full capacity zeroed.
+func (p *Pool) GetRanges(n int) []core.Range { return p.ranges.get(n) }
+
+// PutRanges returns a buffer obtained from GetRanges to the pool.
+func (p *Pool) PutRanges(buf []core.Range) { p.ranges.put(buf) }
+
+// GetVals returns a zero-length boxed-value buffer with capacity at least n,
+// its full capacity zeroed.
+func (p *Pool) GetVals(n int) []vector.Value { return p.vals.get(n) }
+
+// PutVals returns a buffer obtained from GetVals to the pool.
+func (p *Pool) PutVals(buf []vector.Value) { p.vals.put(buf) }
+
+// GetColumn returns an empty column of the given identity, recycling a
+// previously released column's backing capacity when one is available.
+func (p *Pool) GetColumn(name string, kind vector.Kind) *vector.Column {
+	c := p.cols.get()
+	c.Reinit(name, kind)
+	return c
+}
+
+// GetLazyVIDColumn is GetColumn for the lazy segmented VID representation.
+func (p *Pool) GetLazyVIDColumn(name string) *vector.Column {
+	c := p.cols.get()
+	c.ReinitLazyVID(name)
+	return c
+}
+
+// GetDictColumn is GetColumn for a dictionary-encoded string column over d.
+func (p *Pool) GetDictColumn(name string, d *vector.Dict) *vector.Column {
+	c := p.cols.get()
+	c.ReinitDict(name, d)
+	return c
+}
+
+// PutColumn returns a column to the pool. The caller must not retain any
+// reference to it or to its backing slices.
+func (p *Pool) PutColumn(c *vector.Column) {
+	if c == nil {
+		return
+	}
+	c.Reinit("", vector.KindInvalid)
+	p.cols.put(c)
+}
+
+// GetBitset returns an n-bit selection vector, every bit set (valid=true) or
+// clear, recycling word storage when available.
+func (p *Pool) GetBitset(n int, valid bool) *vector.Bitset {
+	b := p.bits.get()
+	b.Reinit(n, valid)
+	return b
+}
+
+// PutBitset returns a bitset to the pool.
+func (p *Pool) PutBitset(b *vector.Bitset) {
+	if b == nil {
+		return
+	}
+	p.bits.put(b)
+}
+
+// GetFTree returns a root-only f-Tree over rootBlock with all rows valid —
+// NewFTree semantics. A recycled tree arrives with its retired node registry
+// intact, so regrowing it reuses the previous query's Node structs and
+// selection-vector storage (§5, pre-allocated reusable f-Trees).
+func (p *Pool) GetFTree(rootBlock *core.FBlock) *core.FTree {
+	t := p.trees.get()
+	if t.Root == nil {
+		// Fresh allocation from new(FTree): give it a root the Reset
+		// contract requires.
+		*t = *core.NewFTree(rootBlock)
+		return t
+	}
+	t.Reset(rootBlock)
+	return t
+}
+
+// PutFTree returns a tree to the pool. Its block and index references are
+// dropped at the next GetFTree's Reset; until then the inert pooled tree may
+// briefly pin them, which is bounded by pool size.
+func (p *Pool) PutFTree(t *core.FTree) {
+	if t == nil {
+		return
+	}
+	p.trees.put(t)
+}
+
+// GetFBlock returns an empty f-Block, recycling a retired block's
+// column-pointer slice when one is pooled; the caller attaches columns via
+// AddColumn. Taking no column slice keeps call-site variadic arguments
+// non-escaping (they would otherwise heap-allocate per call).
+func (p *Pool) GetFBlock() *core.FBlock {
+	return p.blocks.get()
+}
+
+// PutFBlock drops a block's column references and returns it to the pool.
+func (p *Pool) PutFBlock(b *core.FBlock) {
+	if b == nil {
+		return
+	}
+	b.Drop()
+	p.blocks.put(b)
+}
+
+// GetChunk returns an empty operator-result wrapper.
+func (p *Pool) GetChunk() *core.Chunk {
+	return p.chunks.get()
+}
+
+// PutChunk drops a chunk's representation references and returns it to the
+// pool.
+func (p *Pool) PutChunk(c *core.Chunk) {
+	if c == nil {
+		return
+	}
+	c.FT, c.Flat = nil, nil
+	p.chunks.put(c)
+}
+
+// GetArena returns a query arena over this pool, recycling a released
+// arena's ownership-tracking slices when one is pooled — so steady-state
+// query execution allocates neither the arena struct nor its bookkeeping.
+// A nil pool yields a fresh non-recycling arena (NewArena semantics).
+func (p *Pool) GetArena(noRecycle bool) *Arena {
+	if p == nil {
+		return NewArena(nil, true)
+	}
+	a := p.arenas.get()
+	a.pool = p
+	a.noRecycle = noRecycle
+	return a
+}
+
+// PutArena releases every structure the arena still owns and returns the
+// arena itself — tracking-slice capacity intact — to the pool. Safe on nil
+// and on arenas created by NewArena over this pool.
+func (p *Pool) PutArena(a *Arena) {
+	if a == nil {
+		return
+	}
+	a.Release()
+	if p == nil || a.pool != p {
+		return
+	}
+	a.noRecycle = false
+	p.arenas.put(a)
+}
+
+// GetBatch returns an empty adjacency batch whose internal slices retain
+// capacity from previous use; NeighborsBatch overwrites them in place.
+func (p *Pool) GetBatch() *Batch { return p.batches.get() }
+
+// PutBatch returns a batch to the pool. Shared batches alias storage-owned
+// snapshot memory, so their views are dropped rather than recycled — a
+// pooled batch must never pin a snapshot alive.
+func (p *Pool) PutBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	if b.Shared {
+		*b = Batch{Runs: b.Runs[:0]}
+	} else {
+		b.VIDs = b.VIDs[:0]
+		b.Runs = b.Runs[:0]
+		for i := range b.PropStr {
+			clear(b.PropStr[i])
+		}
+		b.PropI64, b.PropF64, b.PropStr = b.PropI64[:0], b.PropF64[:0], b.PropStr[:0]
+		b.Sorted = false
+	}
+	p.batches.put(b)
+}
+
+// Stats returns cumulative Get/Put counts across every pooled shape
+// (instrumentation for tests and coarse monitoring).
+func (p *Pool) Stats() (gets, puts int64) {
+	s := p.DetailedStats()
+	return s.Gets, s.Puts
+}
+
+// ClassStat is one size class's cumulative slice-pool counters, aggregated
+// across the element types.
+type ClassStat struct {
+	Cap  int   `json:"cap"`
+	Gets int64 `json:"gets"`
+	Hits int64 `json:"hits"`
+	Puts int64 `json:"puts"`
+}
+
+// ObjStat is the counter triple of one object pool.
+type ObjStat struct {
+	Gets int64 `json:"gets"`
+	Hits int64 `json:"hits"`
+	Puts int64 `json:"puts"`
+}
+
+// PoolStats is the full counter snapshot the /stats memory section and the
+// mem experiment report.
+type PoolStats struct {
+	Gets      int64       `json:"gets"`
+	Hits      int64       `json:"hits"`
+	Puts      int64       `json:"puts"`
+	LiveBytes int64       `json:"liveBytes"`
+	Classes   []ClassStat `json:"classes,omitempty"`
+	Columns   ObjStat     `json:"columns"`
+	Bitsets   ObjStat     `json:"bitsets"`
+	Trees     ObjStat     `json:"ftrees"`
+	Batches   ObjStat     `json:"batches"`
+	Blocks    ObjStat     `json:"fblocks"`
+	Chunks    ObjStat     `json:"chunks"`
+	Arenas    ObjStat     `json:"arenas"`
+}
+
+// HitRate returns hits/gets, or 0 before any traffic.
+func (s PoolStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// DetailedStats snapshots every pool counter. Classes lists only size
+// classes that saw traffic.
+func (p *Pool) DetailedStats() PoolStats {
+	var s PoolStats
+	for c := 0; c < numClasses; c++ {
+		cs := ClassStat{Cap: 8 << uint(c)}
+		for _, sp := range []*struct{ g, h, pu *atomic.Int64 }{
+			{&p.vids.gets[c], &p.vids.hits[c], &p.vids.puts[c]},
+			{&p.ranges.gets[c], &p.ranges.hits[c], &p.ranges.puts[c]},
+			{&p.vals.gets[c], &p.vals.hits[c], &p.vals.puts[c]},
+		} {
+			cs.Gets += sp.g.Load()
+			cs.Hits += sp.h.Load()
+			cs.Puts += sp.pu.Load()
+		}
+		if cs.Gets > 0 || cs.Puts > 0 {
+			s.Classes = append(s.Classes, cs)
+		}
+		s.Gets += cs.Gets
+		s.Hits += cs.Hits
+		s.Puts += cs.Puts
+	}
+	s.Gets += p.vids.big.Load() + p.ranges.big.Load() + p.vals.big.Load()
+	s.Columns = p.cols.stats()
+	s.Bitsets = p.bits.stats()
+	s.Trees = p.trees.stats()
+	s.Batches = p.batches.stats()
+	s.Blocks = p.blocks.stats()
+	s.Chunks = p.chunks.stats()
+	s.Arenas = p.arenas.stats()
+	for _, o := range []ObjStat{s.Columns, s.Bitsets, s.Trees, s.Batches, s.Blocks, s.Chunks, s.Arenas} {
+		s.Gets += o.Gets
+		s.Hits += o.Hits
+		s.Puts += o.Puts
+	}
+	s.LiveBytes = p.live.Load()
+	return s
+}

@@ -208,5 +208,23 @@ func (b *Bitset) Resize(n int, valid bool) {
 	b.trim()
 }
 
+// Reinit resizes the bitset to n bits with every bit set (valid=true) or
+// clear, retaining word capacity — the recycling counterpart of NewBitset /
+// NewBitsetEmpty for pooled selection vectors (§5, memory pool).
+func (b *Bitset) Reinit(n int, valid bool) {
+	need := (n + 63) / 64
+	if cap(b.words) < need {
+		b.words = make([]uint64, need)
+	} else {
+		b.words = b.words[:need]
+	}
+	b.n = n
+	if valid {
+		b.SetAll()
+	} else {
+		b.ClearAll()
+	}
+}
+
 // MemBytes returns the accounted memory of the bitset.
 func (b *Bitset) MemBytes() int { return len(b.words)*8 + 16 }

@@ -557,6 +557,48 @@ func (c *Column) Reset() {
 	c.segLen = 0
 }
 
+// Reinit retargets a recycled column to a fresh identity, truncating every
+// backing slice but retaining capacity. It is the pooled counterpart of
+// NewColumn (§5, memory pool): Reset preserves Name/Kind for within-query
+// reuse, Reinit additionally clears the lazy/dict/shared/zone-map state a
+// previous owner may have left behind, and drops pointer-bearing slots
+// (string headers, lazy segment references) so a pooled column never pins a
+// prior query's storage snapshot alive.
+func (c *Column) Reinit(name string, kind Kind) {
+	if c.shared {
+		*c = Column{}
+	}
+	c.Name, c.Kind = name, kind
+	c.lazy = false
+	c.dict = nil
+	c.zm = nil
+	c.i64 = c.i64[:0]
+	c.f64 = c.f64[:0]
+	c.bl = c.bl[:0]
+	c.vid = c.vid[:0]
+	c.codes = c.codes[:0]
+	clear(c.str[:cap(c.str)])
+	c.str = c.str[:0]
+	clear(c.segs[:cap(c.segs)])
+	c.segs = c.segs[:0]
+	c.segOff = c.segOff[:0]
+	c.segLen = 0
+}
+
+// ReinitLazyVID retargets a recycled column as an empty lazy VID column —
+// the pooled counterpart of NewLazyVIDColumn.
+func (c *Column) ReinitLazyVID(name string) {
+	c.Reinit(name, KindVID)
+	c.lazy = true
+}
+
+// ReinitDict retargets a recycled column as an empty dictionary-encoded
+// string column over d — the pooled counterpart of NewDictColumn.
+func (c *Column) ReinitDict(name string, d *Dict) {
+	c.Reinit(name, KindString)
+	c.dict = d
+}
+
 // MemBytes returns the accounted intermediate-result memory of the column.
 // Lazy and shared columns account only their headers — the payload belongs
 // to graph storage, which is precisely the saving of pointer-based joins and
